@@ -1,0 +1,92 @@
+// Ablation A1 — sensitivity to the EM re-estimation period T.
+//
+// Algorithm 3 re-estimates each worker's hyper-parameters every T runs.
+// The paper notes the accuracy/time trade-off ("smaller T will bring
+// higher accuracy ... but meanwhile will increase the time overhead") and
+// uses T = 10. This bench sweeps T and reports estimation error, true
+// utility, and wall-clock time; it also ablates the refilter-after-EM
+// refinement (see DESIGN.md).
+#include <chrono>
+#include <cstdio>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "estimators/melody_estimator.h"
+#include "sim/metrics.h"
+#include "sim/platform.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+sim::LongTermScenario reduced_scenario() {
+  sim::LongTermScenario s;
+  s.num_workers = 100;
+  s.num_tasks = 120;
+  s.runs = 400;
+  s.budget = 300.0;
+  return s;
+}
+
+struct Outcome {
+  double error = 0;
+  double utility = 0;
+  double seconds = 0;
+};
+
+Outcome run(int period, bool refilter) {
+  const auto scenario = reduced_scenario();
+  estimators::MelodyEstimatorConfig config;
+  config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+  config.reestimation_period = period;
+  config.refilter_after_em = refilter;
+  estimators::MelodyEstimator estimator(config);
+  auction::MelodyAuction mechanism;
+  util::Rng rng(41);
+  sim::Platform platform(
+      scenario, mechanism, estimator,
+      sim::sample_population(scenario.population_config(), rng), 42);
+  const auto start = std::chrono::steady_clock::now();
+  const auto records = platform.run_all();
+  Outcome out;
+  out.seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  const auto summary = sim::summarize_after(records, 50);
+  out.error = summary.mean_estimation_error;
+  out.utility = summary.mean_true_utility;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A1 — EM re-estimation period T");
+  auto csv = bench::open_csv("ablation_T.csv");
+  if (csv) {
+    csv->write_row({"T", "refilter", "estimation_error", "true_utility",
+                    "seconds"});
+  }
+  util::TablePrinter table(
+      {"T", "refilter after EM", "est. error", "true utility", "seconds"});
+  for (int period : {0, 5, 10, 25, 50, 100}) {
+    for (bool refilter : {true, false}) {
+      if (period == 0 && !refilter) continue;  // EM disabled: one row only
+      const Outcome out = run(period, refilter);
+      table.add_row({period == 0 ? "off" : std::to_string(period),
+                     refilter ? "yes" : "no",
+                     util::TablePrinter::format(out.error, 4),
+                     util::TablePrinter::format(out.utility, 1),
+                     util::TablePrinter::format(out.seconds, 2)});
+      if (csv) {
+        csv->write_row({std::to_string(period), refilter ? "1" : "0",
+                        std::to_string(out.error), std::to_string(out.utility),
+                        std::to_string(out.seconds)});
+      }
+    }
+  }
+  table.print();
+  std::printf("(paper uses T = 10; smaller T = more frequent EM = slower "
+              "but usually more accurate)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A6 — UCB exploration bonus under scarce budgets (extension).
+//
+// Under the paper's supply-saturated regime every worker is observed every
+// run and exploration is unnecessary. Under scarcity, a worker whose
+// estimate collapses is never re-assigned and his estimate goes stale
+// (see DESIGN.md). The exploration_beta extension adds a UCB-style bonus
+// beta * sqrt(log(runs)/observations) to the reported estimate; this bench
+// sweeps beta on a deliberately budget-starved scenario and reports the
+// requester's true utility and the tracking error.
+#include <cstdio>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "estimators/melody_estimator.h"
+#include "sim/metrics.h"
+#include "sim/platform.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+sim::LongTermScenario starved_scenario() {
+  sim::LongTermScenario s;
+  s.num_workers = 150;
+  s.num_tasks = 120;
+  s.runs = 400;
+  s.budget = 250.0;  // roughly half the supply can be hired per run
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A6 — exploration bonus under budget scarcity");
+  auto csv = bench::open_csv("ablation_exploration.csv");
+  if (csv) {
+    csv->write_row({"beta", "true_utility", "estimation_error",
+                    "total_payment"});
+  }
+  const auto scenario = starved_scenario();
+  util::TablePrinter table(
+      {"beta", "true utility", "est. error", "payment"});
+  for (double beta : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    estimators::MelodyEstimatorConfig config;
+    config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+    config.reestimation_period = scenario.reestimation_period;
+    config.exploration_beta = beta;
+    estimators::MelodyEstimator estimator(config);
+    auction::MelodyAuction mechanism;
+    util::Rng rng(61);  // identical population across betas
+    sim::Platform platform(
+        scenario, mechanism, estimator,
+        sim::sample_population(scenario.population_config(), rng), 62);
+    const auto summary = sim::summarize_after(platform.run_all(), 50);
+    table.add_row(util::TablePrinter::format(beta, 2),
+                  {summary.mean_true_utility, summary.mean_estimation_error,
+                   summary.mean_total_payment},
+                  3);
+    if (csv) {
+      csv->write_numeric_row({beta, summary.mean_true_utility,
+                              summary.mean_estimation_error,
+                              summary.mean_total_payment});
+    }
+  }
+  table.print();
+  std::printf("(beta = 0 is the paper's behaviour; the reported estimation "
+              "error includes the bonus itself, so moderate beta trades a "
+              "little measured error for re-discovering improved workers)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation A9 — closed-form Kalman tracker (Theorem 3) vs the grid-based
+// general-form tracker (Theorem 2): tracking accuracy must agree to grid
+// resolution for Gaussian emissions; the grid pays a large constant factor
+// for its generality. Both run with fixed hyper-parameters (no EM) so the
+// comparison isolates the inference engine.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "estimators/grid_estimator.h"
+#include "estimators/melody_estimator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+struct Outcome {
+  double error = 0.0;
+  double seconds = 0.0;
+};
+
+template <typename Estimator>
+Outcome track(Estimator& estimator, int workers, int runs) {
+  util::Rng rng(51);
+  const lds::LdsParams truth{1.0, 0.05, 9.0};
+  std::vector<double> q(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    estimator.register_worker(w);
+    q[static_cast<std::size_t>(w)] = rng.uniform(2.0, 9.0);
+  }
+  util::RunningStats error;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < runs; ++r) {
+    for (int w = 0; w < workers; ++w) {
+      auto& quality = q[static_cast<std::size_t>(w)];
+      quality = std::clamp(quality + rng.normal(0.0, std::sqrt(truth.gamma)),
+                           1.0, 10.0);
+      lds::ScoreSet set;
+      for (int s = 0; s < 3; ++s) {
+        set.add(quality + rng.normal(0.0, std::sqrt(truth.eta)));
+      }
+      estimator.observe(w, set);
+      if (r > runs / 4) error.add(std::abs(quality - estimator.estimate(w)));
+    }
+  }
+  Outcome out;
+  out.seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  out.error = error.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A9 — Kalman (Thm. 3) vs grid filter (Thm. 2)");
+  const int workers = 10;
+  const int runs = 150;
+
+  estimators::MelodyEstimatorConfig kalman_config;
+  kalman_config.initial_posterior = {5.5, 2.25};
+  kalman_config.initial_params = {1.0, 0.05, 9.0};
+  kalman_config.reestimation_period = 0;
+  estimators::MelodyEstimator kalman(kalman_config);
+  const Outcome kalman_outcome = track(kalman, workers, runs);
+
+  estimators::GridEstimatorConfig grid_config;
+  grid_config.quality_min = -6.0;
+  grid_config.quality_max = 18.0;
+  grid_config.grid_points = 300;
+  grid_config.initial_posterior = {5.5, 2.25};
+  grid_config.params = {1.0, 0.05, 9.0};
+  estimators::GridEstimator grid(grid_config);
+  const Outcome grid_outcome = track(grid, workers, runs);
+
+  util::TablePrinter table({"tracker", "mean |q - mu|", "seconds"});
+  table.add_row({"Kalman (closed form)",
+                 util::TablePrinter::format(kalman_outcome.error, 4),
+                 util::TablePrinter::format(kalman_outcome.seconds, 3)});
+  table.add_row({"grid (300 cells)",
+                 util::TablePrinter::format(grid_outcome.error, 4),
+                 util::TablePrinter::format(grid_outcome.seconds, 3)});
+  table.print();
+  std::printf("(identical accuracy to grid resolution; the grid costs "
+              "O(cells^2) per transition and buys arbitrary emission "
+              "families — Poisson/Gamma/Beta are exercised in the tests)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A4 — posterior accuracy vs number of scores per run.
+//
+// Theorem 3's update consumes a run's score set through (N, sum S); more
+// scores per run shrink the posterior variance and the tracking error.
+// This bench synthesizes a drifting worker and measures the tracker's
+// mean absolute estimation error and final posterior variance as the
+// per-run score count grows.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lds/kalman.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+using namespace melody;
+}
+
+int main() {
+  bench::banner("Ablation A4 — scores per run vs tracking accuracy");
+  auto csv = bench::open_csv("ablation_scores_per_run.csv");
+  if (csv) {
+    csv->write_row({"scores_per_run", "mean_abs_error", "posterior_var"});
+  }
+  const lds::LdsParams truth{1.0, 0.05, 9.0};  // sigma_S = 3 as in Table 4
+  const lds::Gaussian init{5.5, 2.25};
+  const int runs = 300;
+  const int repetitions = 40;
+
+  util::TablePrinter table(
+      {"scores per run", "mean |q - mu|", "final posterior variance"});
+  for (int scores_per_run : {1, 2, 4, 8, 16, 32}) {
+    util::RunningStats error;
+    util::RunningStats variance;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      util::Rng rng(static_cast<std::uint64_t>(scores_per_run) * 1000 + rep);
+      double q = rng.normal(init.mean, init.stddev());
+      lds::Gaussian posterior = init;
+      for (int r = 0; r < runs; ++r) {
+        q = truth.a * q + rng.normal(0.0, std::sqrt(truth.gamma));
+        lds::ScoreSet set;
+        for (int s = 0; s < scores_per_run; ++s) {
+          set.add(q + rng.normal(0.0, std::sqrt(truth.eta)));
+        }
+        posterior = lds::filter_step(posterior, set, truth);
+        if (r >= 50) error.add(std::abs(q - posterior.mean));
+      }
+      variance.add(posterior.var);
+    }
+    table.add_row(std::to_string(scores_per_run),
+                  {error.mean(), variance.mean()}, 4);
+    if (csv) {
+      csv->write_numeric_row({static_cast<double>(scores_per_run),
+                              error.mean(), variance.mean()});
+    }
+  }
+  table.print();
+  std::printf("(error should fall roughly as the steady-state Kalman gain "
+              "improves with N; it cannot beat the sqrt(gamma) drift floor)\n");
+  return 0;
+}

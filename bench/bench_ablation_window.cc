@@ -1,0 +1,74 @@
+// Ablation A8 — bounded history window (max_history, extension).
+//
+// The paper's Algorithm 2 refits EM over a worker's entire history, whose
+// cost grows linearly with platform age. The max_history option slides a
+// window with an exact Bayesian anchor (see DESIGN.md); this bench sweeps
+// the window size on a long scenario and reports tracking quality and
+// wall-clock time.
+#include <chrono>
+#include <cstdio>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "estimators/melody_estimator.h"
+#include "sim/metrics.h"
+#include "sim/platform.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+sim::LongTermScenario long_scenario() {
+  sim::LongTermScenario s;
+  s.num_workers = 100;
+  s.num_tasks = 120;
+  s.runs = 600;
+  s.budget = 500.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A8 — EM history window");
+  auto csv = bench::open_csv("ablation_window.csv");
+  if (csv) {
+    csv->write_row({"max_history", "estimation_error", "true_utility",
+                    "seconds"});
+  }
+  const auto scenario = long_scenario();
+  util::TablePrinter table(
+      {"window", "est. error", "true utility", "seconds"});
+  for (int window : {0, 400, 200, 100, 50, 25}) {
+    estimators::MelodyEstimatorConfig config;
+    config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+    config.reestimation_period = scenario.reestimation_period;
+    config.max_history = window;
+    estimators::MelodyEstimator estimator(config);
+    auction::MelodyAuction mechanism;
+    util::Rng rng(83);
+    sim::Platform platform(
+        scenario, mechanism, estimator,
+        sim::sample_population(scenario.population_config(), rng), 84);
+    const auto start = std::chrono::steady_clock::now();
+    const auto records = platform.run_all();
+    const double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    const auto summary = sim::summarize_after(records, 100);
+    table.add_row(window == 0 ? "unbounded" : std::to_string(window),
+                  {summary.mean_estimation_error, summary.mean_true_utility,
+                   seconds},
+                  3);
+    if (csv) {
+      csv->write_numeric_row({static_cast<double>(window),
+                              summary.mean_estimation_error,
+                              summary.mean_true_utility, seconds});
+    }
+  }
+  table.print();
+  std::printf("(a modest window keeps nearly all of the accuracy at a "
+              "fraction of the EM cost — and adapts faster when the worker's "
+              "dynamics themselves change)\n");
+  return 0;
+}

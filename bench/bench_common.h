@@ -1,0 +1,32 @@
+// Shared helpers for the bench harness binaries: CSV output location and
+// small formatting utilities. Each bench prints the rows/series the paper's
+// corresponding table or figure reports, and mirrors them into CSV files
+// next to the working directory (best-effort; printing is the source of
+// truth).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/csv.h"
+
+namespace melody::bench {
+
+/// Open a CSV mirror for a figure; returns nullptr (and keeps going) when
+/// the working directory is not writable.
+inline std::unique_ptr<util::CsvWriter> open_csv(const std::string& name) {
+  try {
+    return std::make_unique<util::CsvWriter>(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "note: CSV mirror disabled (%s)\n", e.what());
+    return nullptr;
+  }
+}
+
+inline void banner(const char* title) {
+  std::printf("\n######## %s ########\n\n", title);
+}
+
+}  // namespace melody::bench

@@ -1,0 +1,108 @@
+// Fig. 5 — Individual rationality and budget feasibility checks.
+//
+//   (a) per-winner total payment vs total cost (every point must lie above
+//       the diagonal): setting II with N = 300, B = 2000;
+//   (b) histogram + CDF of worker utilities (paper: long tail, mean 0.059,
+//       max 0.479);
+//   (c) actual total payment vs budget swept 0..1500 step 100 (never above
+//       the diagonal, saturating once workers run out).
+#include <cstdio>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "sim/scenario.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+using namespace melody;
+}
+
+int main() {
+  // ---------------------------------------------------------- Fig. 5a + 5b
+  bench::banner("Fig. 5a — individual rationality (N=300, B=2000)");
+  sim::SraScenario scenario;
+  scenario.num_workers = 300;
+  scenario.num_tasks = 500;
+  scenario.budget = 2000.0;
+  util::Rng rng(55);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+  auction::MelodyAuction melody;
+  const auto result = melody.run(workers, tasks, config);
+
+  auto csv_a = bench::open_csv("fig5a_individual_rationality.csv");
+  if (csv_a) csv_a->write_row({"worker", "total_cost", "total_payment"});
+
+  double min_margin = 1e18;
+  int winners = 0;
+  std::vector<double> utilities;
+  for (const auto& w : workers) {
+    const double payment = result.payment_to(w.id);
+    const int assigned = result.tasks_assigned_to(w.id);
+    utilities.push_back(payment - w.bid.cost * assigned);
+    if (assigned == 0) continue;
+    ++winners;
+    const double cost = w.bid.cost * assigned;
+    min_margin = std::min(min_margin, payment - cost);
+    if (csv_a) {
+      csv_a->write_numeric_row({static_cast<double>(w.id), cost, payment});
+    }
+  }
+  std::printf("winners: %d of %d workers\n", winners,
+              static_cast<int>(workers.size()));
+  std::printf("minimum (payment - cost) margin over winners: %.6f "
+              "(must be >= 0)\n\n",
+              min_margin);
+
+  bench::banner("Fig. 5b — distribution of workers' utilities");
+  util::RunningStats stats;
+  for (double u : utilities) stats.add(u);
+  std::printf("mean utility: %.4f  max utility: %.4f "
+              "(paper: mean 0.059, max 0.479)\n\n",
+              stats.mean(), stats.max());
+  util::Histogram histogram(0.0, std::max(stats.max(), 1e-9), 12);
+  for (double u : utilities) histogram.add(u);
+  std::fputs(histogram.render(40).c_str(), stdout);
+  std::printf("\nCDF at bin upper edges: ");
+  for (double c : histogram.cdf()) std::printf("%.3f ", c);
+  std::printf("\n");
+  auto csv_b = bench::open_csv("fig5b_utility_distribution.csv");
+  if (csv_b) {
+    csv_b->write_row({"bin_lo", "bin_hi", "count", "cdf"});
+    const auto cdf = histogram.cdf();
+    for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
+      csv_b->write_numeric_row({histogram.bin_lo(b), histogram.bin_hi(b),
+                                static_cast<double>(histogram.count(b)),
+                                cdf[b]});
+    }
+  }
+
+  // --------------------------------------------------------------- Fig. 5c
+  bench::banner("Fig. 5c — budget feasibility (B = 0..1500 step 100)");
+  auto csv_c = bench::open_csv("fig5c_budget_feasibility.csv");
+  if (csv_c) csv_c->write_row({"budget", "total_payment"});
+  util::TablePrinter table({"budget", "total payment"});
+  bool feasible = true;
+  for (double budget = 0.0; budget <= 1500.0; budget += 100.0) {
+    auto swept = scenario;
+    swept.budget = budget;
+    util::Rng sweep_rng(56);
+    const auto sweep_workers = swept.sample_workers(sweep_rng);
+    const auto sweep_tasks = swept.sample_tasks(sweep_rng);
+    const double paid =
+        melody.run(sweep_workers, sweep_tasks, swept.auction_config())
+            .total_payment();
+    feasible = feasible && paid <= budget + 1e-9;
+    table.add_row(util::TablePrinter::format(budget, 0), {paid}, 2);
+    if (csv_c) csv_c->write_numeric_row({budget, paid});
+  }
+  table.print();
+  std::printf("total payment never exceeded budget: %s\n",
+              feasible ? "yes" : "NO — VIOLATION");
+  return 0;
+}

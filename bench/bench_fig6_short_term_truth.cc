@@ -1,0 +1,150 @@
+// Fig. 6 — Short-term truthfulness check.
+//
+// Following Section 7.4: from the N=300, B=2000 instance pick one winner
+// and one loser, then sweep their *actual* bids of cost and frequency
+// around the true values and report the resulting single-run utility. The
+// paper's claim (utility is maximized at the true bid) should be visible as
+// a plateau at the truthful utility with no higher point.
+#include <cstdio>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+double utility_of(const auction::AllocationResult& result,
+                  auction::WorkerId id, double true_cost) {
+  return result.payment_to(id) - true_cost * result.tasks_assigned_to(id);
+}
+
+void sweep_cost(const std::vector<auction::WorkerProfile>& workers,
+                const std::vector<auction::Task>& tasks,
+                const auction::AuctionConfig& config, std::size_t target,
+                const char* label, util::CsvWriter* csv) {
+  auction::MelodyAuction melody;
+  const double true_cost = workers[target].bid.cost;
+  util::TablePrinter table({"actual bid of cost", "utility"});
+  double best_utility = -1e18;
+  double best_bid = 0.0;
+  for (double factor = 0.5; factor <= 1.75; factor += 0.0625) {
+    auto bids = workers;
+    bids[target].bid.cost = true_cost * factor;
+    auction::MelodyAuction auction;
+    const auto result = auction.run(bids, tasks, config);
+    const double utility = utility_of(result, workers[target].id, true_cost);
+    if (utility > best_utility) {
+      best_utility = utility;
+      best_bid = bids[target].bid.cost;
+    }
+    table.add_row(util::TablePrinter::format(bids[target].bid.cost, 3),
+                  {utility}, 4);
+    if (csv != nullptr) {
+      csv->write_row({label, "cost", std::to_string(bids[target].bid.cost),
+                      std::to_string(utility)});
+    }
+  }
+  std::printf("%s: true cost %.3f; utility-maximizing swept bid %.3f\n", label,
+              true_cost, best_bid);
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_frequency(const std::vector<auction::WorkerProfile>& workers,
+                     const std::vector<auction::Task>& tasks,
+                     const auction::AuctionConfig& config, std::size_t target,
+                     const char* label, util::CsvWriter* csv) {
+  const double true_cost = workers[target].bid.cost;
+  util::TablePrinter table({"actual bid of frequency", "utility"});
+  for (int frequency = 1; frequency <= 5; ++frequency) {
+    auto bids = workers;
+    bids[target].bid.frequency = frequency;
+    auction::MelodyAuction auction;
+    const auto result = auction.run(bids, tasks, config);
+    const double utility = utility_of(result, workers[target].id, true_cost);
+    table.add_row(util::TablePrinter::format(frequency, 0), {utility}, 4);
+    if (csv != nullptr) {
+      csv->write_row({label, "frequency", std::to_string(frequency),
+                      std::to_string(utility)});
+    }
+  }
+  std::printf("%s: true frequency %d\n", label,
+              workers[target].bid.frequency);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  sim::SraScenario scenario;
+  scenario.num_workers = 300;
+  scenario.num_tasks = 500;
+  scenario.budget = 2000.0;
+  util::Rng rng(64);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+
+  auction::MelodyAuction melody;
+  const auto truthful = melody.run(workers, tasks, config);
+
+  // Pick one winner and one loser (first of each in id order).
+  std::size_t winner = workers.size(), loser = workers.size();
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const bool assigned = truthful.tasks_assigned_to(workers[w].id) > 0;
+    if (assigned && winner == workers.size()) winner = w;
+    if (!assigned && loser == workers.size()) loser = w;
+  }
+
+  auto csv = bench::open_csv("fig6_short_term_truthfulness.csv");
+  if (csv) csv->write_row({"role", "dimension", "actual_bid", "utility"});
+
+  bench::banner("Fig. 6a — cost-truthfulness of a winner");
+  sweep_cost(workers, tasks, config, winner, "winner", csv.get());
+  bench::banner("Fig. 6b — frequency-truthfulness of a winner");
+  sweep_frequency(workers, tasks, config, winner, "winner", csv.get());
+  bench::banner("Fig. 6c — cost-truthfulness of a loser");
+  sweep_cost(workers, tasks, config, loser, "loser", csv.get());
+  bench::banner("Fig. 6d — frequency-truthfulness of a loser");
+  sweep_frequency(workers, tasks, config, loser, "loser", csv.get());
+
+  std::printf(
+      "NOTE (reproduction finding): at the paper's own scale (M = 500 tasks,\n"
+      "slack budget) the utility curves above need NOT peak at the true bid —\n"
+      "a worker's limited frequency is matched to the earliest tasks, so a\n"
+      "mild cost overbid shifts his portfolio toward later, better-paying\n"
+      "tasks. See DESIGN.md and bench_ablation_truthfulness_gap. The paper's\n"
+      "claimed shape does hold in the competitive single-task regime, shown\n"
+      "below as a control.\n");
+
+  bench::banner("Fig. 6 control — single-task regime (exactly truthful)");
+  sim::SraScenario single;
+  single.num_workers = 20;
+  single.num_tasks = 1;
+  single.budget = 1000.0;
+  util::Rng single_rng(65);
+  const auto single_workers = single.sample_workers(single_rng);
+  const auto single_tasks = single.sample_tasks(single_rng);
+  const auto single_config = single.auction_config();
+  auction::MelodyAuction single_auction;
+  const auto single_result =
+      single_auction.run(single_workers, single_tasks, single_config);
+  std::size_t single_winner = single_workers.size();
+  for (std::size_t w = 0; w < single_workers.size(); ++w) {
+    if (single_result.tasks_assigned_to(single_workers[w].id) > 0) {
+      single_winner = w;
+      break;
+    }
+  }
+  if (single_winner < single_workers.size()) {
+    sweep_cost(single_workers, single_tasks, single_config, single_winner,
+               "single-task winner", csv.get());
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Fig. 7 — Long-term truthfulness check.
+//
+// Following Section 7.5: one randomly chosen worker misreports with a given
+// cheating probability over a 100-run horizon; the experiment is repeated
+// many times and his average total-utility *gain* relative to the fully
+// truthful case is reported, for three misreport styles (always higher /
+// always lower / random) and for both cost and frequency cheating. The
+// paper's claim: the gain is non-positive and declines with the cheating
+// probability.
+//
+// Scaled down from the paper's 1000 repetitions x (N=300, M=500) to keep
+// the bench run in seconds; the shape is unchanged.
+#include <cstdio>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "estimators/melody_estimator.h"
+#include "sim/platform.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+constexpr int kRepetitions = 40;
+constexpr int kRuns = 100;
+constexpr auction::WorkerId kTarget = 0;
+
+sim::LongTermScenario scenario_small() {
+  sim::LongTermScenario s;
+  s.num_workers = 60;
+  s.num_tasks = 40;
+  s.runs = kRuns;
+  // Slack budget, mirroring the paper's Fig. 6/7 setting (B = 2000 on the
+  // N = 300 instance): stage 2 rarely drops tasks, so frequency misreports
+  // change nothing for a worker who already wins his full frequency.
+  s.budget = 700.0;
+  return s;
+}
+
+double total_utility(const sim::BidPolicy& policy, std::uint64_t seed) {
+  const auto scenario = scenario_small();
+  estimators::MelodyEstimatorConfig tracker;
+  tracker.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+  // EM re-estimation is disabled inside this bench: the experiment probes
+  // bidding strategy, and pure-Kalman tracking keeps the 4k platform
+  // replays tractable without changing the auction's incentives.
+  tracker.reestimation_period = 0;
+  estimators::MelodyEstimator estimator(tracker);
+  auction::MelodyAuction mechanism;
+  util::Rng rng(seed);
+  sim::Platform platform(scenario, mechanism, estimator,
+                         sim::sample_population(scenario.population_config(),
+                                                rng),
+                         seed * 2654435761ULL + 1);
+  platform.set_policy(kTarget, policy);
+  platform.run_all();
+  return platform.worker_total_utility(kTarget);
+}
+
+/// Truthful baselines are policy-independent: compute once per seed.
+const std::vector<double>& truthful_baselines() {
+  static const std::vector<double> baselines = [] {
+    std::vector<double> out;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      out.push_back(total_utility(sim::BidPolicy::truthful(),
+                                  static_cast<std::uint64_t>(rep + 1)));
+    }
+    return out;
+  }();
+  return baselines;
+}
+
+double mean_gain(const sim::BidPolicy& policy) {
+  double gain = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto seed = static_cast<std::uint64_t>(rep + 1);
+    gain += total_utility(policy, seed) - truthful_baselines()[rep];
+  }
+  return gain / kRepetitions;
+}
+
+void sweep(const char* title, bool cheat_cost, util::CsvWriter* csv) {
+  bench::banner(title);
+  util::TablePrinter table({"cheating probability", "higher", "lower",
+                            "random"});
+  for (double probability : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<double> gains;
+    for (auto direction :
+         {sim::MisreportDirection::kHigher, sim::MisreportDirection::kLower,
+          sim::MisreportDirection::kRandom}) {
+      sim::BidPolicy policy;
+      policy.cheat_probability = probability;
+      policy.direction = direction;
+      policy.cheat_cost = cheat_cost;
+      policy.cheat_frequency = !cheat_cost;
+      gains.push_back(mean_gain(policy));
+    }
+    table.add_row(util::TablePrinter::format(probability, 1), gains, 4);
+    if (csv != nullptr) {
+      csv->write_row({cheat_cost ? "cost" : "frequency",
+                      std::to_string(probability), std::to_string(gains[0]),
+                      std::to_string(gains[1]), std::to_string(gains[2])});
+    }
+  }
+  table.print();
+  std::printf(
+      "(average total-utility gain vs always-truthful; the paper claims all\n"
+      " entries are <= 0 and decline. Reproduction finding: underbidding and\n"
+      " random misreports do lose as claimed, but a persistent mild cost\n"
+      " OVERBIDDER can gain — the frequency-portfolio channel documented in\n"
+      " DESIGN.md shifts his assignments toward better-paying tasks. The\n"
+      " paper's proof assumes per-run utilities cannot improve, which fails\n"
+      " at multi-task scale.)\n");
+}
+
+}  // namespace
+
+int main() {
+  auto csv = bench::open_csv("fig7_long_term_truthfulness.csv");
+  if (csv) {
+    csv->write_row(
+        {"dimension", "cheat_probability", "higher", "lower", "random"});
+  }
+  sweep("Fig. 7a — long-term cost-truthfulness", /*cheat_cost=*/true,
+        csv.get());
+  sweep("Fig. 7b — long-term frequency-truthfulness", /*cheat_cost=*/false,
+        csv.get());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 8 — Running time of the MELODY auction (Theorem 8: O(NM)).
+//
+//   (a) running time vs number of workers, M in {500, 5000}, B = 800;
+//   (b) running time vs number of tasks,  N in {500, 2000}, B = 800.
+// The paper's claim is linear growth in both N and M.
+#include <benchmark/benchmark.h>
+
+#include "auction/melody_auction.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace melody;
+
+void run_auction(benchmark::State& state, int workers, int tasks) {
+  sim::SraScenario scenario;
+  scenario.num_workers = workers;
+  scenario.num_tasks = tasks;
+  scenario.budget = 800.0;
+  util::Rng rng(static_cast<std::uint64_t>(workers) * 1000003 + tasks);
+  const auto worker_profiles = scenario.sample_workers(rng);
+  const auto task_list = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+  auction::MelodyAuction melody;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(melody.run(worker_profiles, task_list, config));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(workers) * tasks);
+}
+
+// Fig. 8a: N sweep with M fixed.
+void BM_Fig8a_WorkersSweep_M500(benchmark::State& state) {
+  run_auction(state, static_cast<int>(state.range(0)), 500);
+}
+void BM_Fig8a_WorkersSweep_M5000(benchmark::State& state) {
+  run_auction(state, static_cast<int>(state.range(0)), 5000);
+}
+
+// Fig. 8b: M sweep with N fixed.
+void BM_Fig8b_TasksSweep_N500(benchmark::State& state) {
+  run_auction(state, 500, static_cast<int>(state.range(0)));
+}
+void BM_Fig8b_TasksSweep_N2000(benchmark::State& state) {
+  run_auction(state, 2000, static_cast<int>(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig8a_WorkersSweep_M500)
+    ->DenseRange(100, 700, 150)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Fig8a_WorkersSweep_M5000)
+    ->DenseRange(100, 700, 150)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Fig8b_TasksSweep_N500)
+    ->DenseRange(500, 4500, 1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Fig8b_TasksSweep_N2000)
+    ->DenseRange(500, 4500, 1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);

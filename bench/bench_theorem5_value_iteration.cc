@@ -1,0 +1,124 @@
+// Theorem 5 — long-term truthfulness via the Bellman recursion.
+//
+// The paper's proof compares V^T(mu) (expected total utility under
+// always-truthful bidding) with V^U(mu) (under some untruthful policy) by
+// value iteration on Eq. (20). This bench instantiates the recursion with
+// assignment probabilities and per-run utilities measured from the actual
+// auction — truthful vs an always-overbid-10% policy — and prints both
+// value functions across the quality grid.
+#include <cstdio>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "bench_common.h"
+#include "core/bellman.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace melody;
+
+/// Empirically measure, for a probe worker of quality mu inserted into
+/// random Table-3 instances, his assignment probability and mean utility
+/// when assigned, under a bid of (true cost * factor).
+struct Measured {
+  double assignment_probability = 0.0;
+  double utility_when_assigned = 0.0;
+};
+
+Measured measure(double mu, double bid_factor) {
+  Measured out;
+  int assigned_trials = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    sim::SraScenario scenario;
+    scenario.num_workers = 49;
+    scenario.num_tasks = 30;
+    scenario.budget = 70.0;
+    util::Rng rng(static_cast<std::uint64_t>(mu * 1000 + t));
+    auto workers = scenario.sample_workers(rng);
+    const double true_cost = rng.uniform(1.0, 2.0);
+    workers.push_back({999, {true_cost * bid_factor, 3}, mu});
+    const auto tasks = scenario.sample_tasks(rng);
+    auction::MelodyAuction auction;
+    const auto result = auction.run(workers, tasks, scenario.auction_config());
+    const int count = result.tasks_assigned_to(999);
+    if (count > 0) {
+      ++assigned_trials;
+      out.utility_when_assigned +=
+          result.payment_to(999) - true_cost * count;
+    }
+  }
+  out.assignment_probability = static_cast<double>(assigned_trials) / trials;
+  if (assigned_trials > 0) out.utility_when_assigned /= assigned_trials;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Theorem 5 — V^T vs V^U by value iteration (Eq. 20)");
+
+  core::BellmanConfig config;
+  config.grid.quality_min = 2.0;
+  config.grid.quality_max = 4.0;
+  config.grid.points = 9;
+  config.iterations = 80;
+  config.transition_a = 1.0;
+  config.transition_stddev = 0.25;
+
+  // Tabulate the measured stage models on the grid, then interpolate by
+  // nearest grid point inside the Bellman callbacks.
+  std::vector<Measured> truthful_table(config.grid.points);
+  std::vector<Measured> overbid_table(config.grid.points);
+  for (std::size_t s = 0; s < config.grid.points; ++s) {
+    const double mu = config.grid.value(s);
+    truthful_table[s] = measure(mu, 1.0);
+    overbid_table[s] = measure(mu, 1.35);
+  }
+  auto lookup = [&](const std::vector<Measured>& table, double mu) {
+    const double step = config.grid.step();
+    auto index = static_cast<std::size_t>(
+        (mu - config.grid.quality_min) / step + 0.5);
+    index = std::min(index, table.size() - 1);
+    return table[index];
+  };
+
+  core::StageModel truthful;
+  truthful.assignment_probability = [&](double mu) {
+    return lookup(truthful_table, mu).assignment_probability;
+  };
+  truthful.utility_when_assigned = [&](double mu) {
+    return lookup(truthful_table, mu).utility_when_assigned;
+  };
+  core::StageModel overbid;
+  overbid.assignment_probability = [&](double mu) {
+    return lookup(overbid_table, mu).assignment_probability;
+  };
+  overbid.utility_when_assigned = [&](double mu) {
+    return lookup(overbid_table, mu).utility_when_assigned;
+  };
+
+  const auto v_truthful = core::value_iteration(config, truthful);
+  const auto v_overbid = core::value_iteration(config, overbid);
+
+  auto csv = bench::open_csv("theorem5_value_iteration.csv");
+  if (csv) csv->write_row({"mu", "V_truthful", "V_overbid"});
+  util::TablePrinter table({"initial quality mu", "V^T (truthful)",
+                            "V^U (overbid 35%)"});
+  int dominated = 0;
+  for (std::size_t s = 0; s < config.grid.points; ++s) {
+    const double mu = config.grid.value(s);
+    table.add_row(util::TablePrinter::format(mu, 2),
+                  {v_truthful[s], v_overbid[s]}, 3);
+    if (v_truthful[s] >= v_overbid[s] - 1e-9) ++dominated;
+    if (csv) csv->write_numeric_row({mu, v_truthful[s], v_overbid[s]});
+  }
+  table.print();
+  std::printf("\nV^T >= V^U at %d of %zu grid states (the paper claims all; "
+              "states where the overbid wins reflect the portfolio channel "
+              "measured in bench_ablation_truthfulness_gap)\n",
+              dominated, config.grid.points);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Image-labeling campaign: a requester outsources weekly batches of image
+// labels for a year (52 runs) to a pool of annotators whose skill drifts —
+// some are learning the ontology (rising), some burn out (declining).
+//
+// Demonstrates the long-term value of the LDS tracker through the public
+// facade: the platform's estimates follow each annotator's drift, and the
+// weekly number of satisfied label batches stays high even as the
+// population changes underneath.
+//
+//   ./image_labeling
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/melody.h"
+#include "sim/score_gen.h"
+#include "sim/trajectory.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace melody;
+
+  constexpr int kWeeks = 52;
+  constexpr int kAnnotators = 24;
+  constexpr int kBatchesPerWeek = 10;
+
+  util::Rng rng(7);
+
+  // Ground truth: each annotator has a true per-label cost, a weekly
+  // capacity, and a latent skill trajectory the platform never sees.
+  struct Annotator {
+    auction::WorkerId id;
+    auction::Bid bid;
+    std::vector<double> skill;
+  };
+  std::vector<Annotator> annotators;
+  for (int i = 0; i < kAnnotators; ++i) {
+    const auto kind = sim::sample_kind({}, rng);
+    const auto trajectory = sim::sample_config(kind, kWeeks, rng);
+    annotators.push_back({static_cast<auction::WorkerId>(i),
+                          {rng.uniform(1.0, 2.0),
+                           static_cast<int>(rng.uniform_int(2, 4))},
+                          sim::generate_trajectory(trajectory, kWeeks, rng)});
+  }
+
+  core::MelodyOptions options;
+  options.theta_min = 1.0;
+  options.theta_max = 10.0;
+  options.cost_min = 0.5;
+  options.cost_max = 3.0;
+  options.tracker.reestimation_period = 8;  // re-fit LDS every 8 weeks
+  core::Melody platform(options);
+
+  const sim::ScoreModel score_model{2.0, 1.0, 10.0};
+
+  std::printf("week | batches satisfied | total paid | tracking error\n");
+  std::printf("-----+-------------------+------------+---------------\n");
+  for (int week = 1; week <= kWeeks; ++week) {
+    // Annotators bid truthfully (the mechanism gives them no reason not
+    // to in this competitive pool).
+    std::vector<core::BidSubmission> bids;
+    for (const auto& a : annotators) bids.push_back({a.id, a.bid});
+
+    // Ten label batches; each needs about three competent annotators.
+    std::vector<auction::Task> batches;
+    for (int b = 0; b < kBatchesPerWeek; ++b) {
+      batches.push_back({b, rng.uniform(14.0, 20.0)});
+    }
+    const auto result = platform.run_auction(bids, batches, /*budget=*/40.0);
+
+    // The requester spot-checks labels and scores each annotator's batch.
+    for (const auto& a : annotators) {
+      const int assigned = result.tasks_assigned_to(a.id);
+      if (assigned > 0) {
+        platform.submit_scores(
+            a.id, sim::generate_scores(score_model,
+                                       a.skill[static_cast<std::size_t>(
+                                           week - 1)],
+                                       assigned, rng));
+      }
+    }
+    platform.end_run();
+
+    // How well does the platform track true skill?
+    double error = 0.0;
+    for (const auto& a : annotators) {
+      error += std::abs(platform.estimated_quality(a.id) -
+                        a.skill[static_cast<std::size_t>(week - 1)]);
+    }
+    error /= kAnnotators;
+    if (week % 4 == 0) {
+      std::printf("%4d | %17zu | %10.2f | %13.3f\n", week,
+                  result.requester_utility(), result.total_payment(), error);
+    }
+  }
+
+  std::printf("\nfinal skill estimates vs truth (week %d):\n", kWeeks);
+  for (int i = 0; i < 6; ++i) {
+    const auto& a = annotators[static_cast<std::size_t>(i)];
+    std::printf("  annotator %2d: estimated %.2f, true %.2f\n", a.id,
+                platform.estimated_quality(a.id), a.skill.back());
+  }
+  return 0;
+}

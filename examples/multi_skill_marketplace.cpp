@@ -1,0 +1,90 @@
+// Multi-skill marketplace: one worker pool, two task types (Section 3.1).
+//
+// Image labeling and audio transcription run as independent MELODY markets
+// with per-type quality tracking. Workers have different skills per type —
+// a great labeler can be a poor transcriber — and the per-type trackers
+// discover this from scores alone.
+//
+//   ./multi_skill_marketplace
+#include <cstdio>
+#include <vector>
+
+#include "core/multi_type.h"
+#include "sim/score_gen.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace melody;
+
+  constexpr int kRuns = 60;
+  constexpr int kWorkers = 20;
+  util::Rng rng(33);
+
+  core::MelodyOptions options;
+  options.theta_min = 1.0;
+  options.theta_max = 10.0;
+  options.cost_min = 0.5;
+  options.cost_max = 3.0;
+  // Budget is scarce here, so turn on the exploration bonus: workers whose
+  // estimate collapsed early get re-tried instead of starving.
+  options.tracker.exploration_beta = 0.5;
+  core::MultiTypeMarket marketplace(options);
+  marketplace.add_type("labeling");
+  marketplace.add_type("transcription");
+
+  // Ground truth: independent per-type skills and a shared cost.
+  struct Worker {
+    auction::Bid bid;
+    double labeling_skill;
+    double transcription_skill;
+  };
+  std::vector<Worker> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.push_back({{rng.uniform(1.0, 2.0), 2},
+                       rng.uniform(2.0, 9.5),
+                       rng.uniform(2.0, 9.5)});
+  }
+
+  const sim::ScoreModel scores{1.5, 1.0, 10.0};
+  for (int run = 1; run <= kRuns; ++run) {
+    for (const char* type : {"labeling", "transcription"}) {
+      auto& market = marketplace.market(type);
+      std::vector<core::BidSubmission> bids;
+      for (int i = 0; i < kWorkers; ++i) {
+        bids.push_back({static_cast<auction::WorkerId>(i), workers[i].bid});
+      }
+      std::vector<auction::Task> tasks;
+      for (int t = 0; t < 6; ++t) tasks.push_back({t, 14.0});
+      const auto result = market.run_auction(bids, tasks, /*budget=*/30.0);
+      for (int i = 0; i < kWorkers; ++i) {
+        const int assigned = result.tasks_assigned_to(i);
+        if (assigned == 0) continue;
+        const auto& w = workers[static_cast<std::size_t>(i)];
+        const double skill = std::string(type) == "labeling"
+                                 ? w.labeling_skill
+                                 : w.transcription_skill;
+        market.submit_scores(i, sim::generate_scores(scores, skill, assigned,
+                                                     rng));
+      }
+    }
+    marketplace.end_run();
+  }
+
+  std::printf("per-type quality profiles after %d runs:\n", kRuns);
+  std::printf("worker | labeling est/true | transcription est/true\n");
+  std::printf("-------+-------------------+-----------------------\n");
+  for (int i = 0; i < 8; ++i) {
+    const auto profile = marketplace.quality_profile(i);
+    const auto& w = workers[static_cast<std::size_t>(i)];
+    std::printf("%6d | %8.2f / %5.2f | %12.2f / %5.2f\n", i,
+                profile.count("labeling") ? profile.at("labeling") : 0.0,
+                w.labeling_skill,
+                profile.count("transcription") ? profile.at("transcription")
+                                               : 0.0,
+                w.transcription_skill);
+  }
+  std::printf("\n(the two estimates for the same worker diverge to match "
+              "his type-specific skills — one market per type, as Section "
+              "3.1 prescribes)\n");
+  return 0;
+}

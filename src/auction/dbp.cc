@@ -1,0 +1,137 @@
+#include "auction/dbp.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace melody::auction {
+
+namespace {
+
+/// Coverage tolerance: mutate-and-restore accumulation drifts by a few ulps
+/// (e.g. 0.9 + 0.5 - 0.5 + 0.1 lands just below 1.0), so "covered" is
+/// decided up to a relative epsilon.
+constexpr double kCoverEps = 1e-9;
+
+bool covers(double fill, double capacity) noexcept {
+  return fill >= capacity * (1.0 - kCoverEps);
+}
+
+}  // namespace
+
+std::size_t dbp_greedy(std::span<const double> items, double capacity) {
+  if (capacity <= 0.0) throw std::invalid_argument("dbp: capacity must be > 0");
+  std::vector<double> sorted(items.begin(), items.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::size_t bins = 0;
+  double fill = 0.0;
+  for (double item : sorted) {
+    fill += item;
+    if (covers(fill, capacity)) {
+      ++bins;
+      fill = 0.0;
+    }
+  }
+  return bins;
+}
+
+std::size_t dbp_upper_bound(std::span<const double> items, double capacity) {
+  if (capacity <= 0.0) throw std::invalid_argument("dbp: capacity must be > 0");
+  double total = 0.0;
+  for (double item : items) total += item;
+  return static_cast<std::size_t>(total / capacity);
+}
+
+namespace {
+
+/// Branch and bound over "which bin does each item go into" (or nowhere).
+/// Bins are interchangeable, so an item may only open bin b if bins 0..b-1
+/// are already open — this kills the permutation symmetry.
+class DbpSearch {
+ public:
+  DbpSearch(std::vector<double> items, double capacity, std::size_t max_bins)
+      : items_(std::move(items)), capacity_(capacity) {
+    // Descending order makes the suffix-sum bound tight early.
+    std::sort(items_.begin(), items_.end(), std::greater<>());
+    suffix_sum_.assign(items_.size() + 1, 0.0);
+    for (std::size_t i = items_.size(); i > 0; --i) {
+      suffix_sum_[i - 1] = suffix_sum_[i] + items_[i - 1];
+    }
+    fill_.assign(max_bins, 0.0);
+  }
+
+  std::size_t solve() {
+    best_ = 0;
+    dfs(0, 0);
+    return best_;
+  }
+
+ private:
+  void dfs(std::size_t item, std::size_t open_bins) {
+    std::size_t covered = 0;
+    double deficit = 0.0;
+    for (std::size_t b = 0; b < open_bins; ++b) {
+      if (covers(fill_[b], capacity_)) {
+        ++covered;
+      } else {
+        deficit += capacity_ - fill_[b];
+      }
+    }
+    best_ = std::max(best_, covered);
+    if (item >= items_.size()) return;
+
+    // Bound: remaining mass can cover the open deficits and then at most
+    // floor(leftover / capacity) fresh bins.
+    const double remaining = suffix_sum_[item];
+    std::size_t bound = covered;
+    if (remaining >= deficit) {
+      bound = open_bins +
+              static_cast<std::size_t>((remaining - deficit) / capacity_);
+      bound = std::min(bound, fill_.size());
+    } else {
+      // Even filling greedily, some open bins stay uncovered; a safe bound
+      // is all open bins (we cannot exceed it without more mass).
+      bound = open_bins;
+    }
+    if (bound <= best_) return;
+
+    // Place the item in each open, still-uncovered bin (covered bins never
+    // benefit from more mass).
+    for (std::size_t b = 0; b < open_bins; ++b) {
+      if (covers(fill_[b], capacity_)) continue;
+      fill_[b] += items_[item];
+      dfs(item + 1, open_bins);
+      fill_[b] -= items_[item];
+    }
+    // Open a new bin with this item.
+    if (open_bins < fill_.size()) {
+      fill_[open_bins] = items_[item];
+      dfs(item + 1, open_bins + 1);
+      fill_[open_bins] = 0.0;
+    }
+    // Discard the item.
+    dfs(item + 1, open_bins);
+  }
+
+  std::vector<double> items_;
+  double capacity_;
+  std::vector<double> suffix_sum_;
+  std::vector<double> fill_;
+  std::size_t best_ = 0;
+};
+
+}  // namespace
+
+std::size_t dbp_exact(std::span<const double> items, double capacity) {
+  if (capacity <= 0.0) throw std::invalid_argument("dbp: capacity must be > 0");
+  if (items.size() > kDbpExactMaxItems) {
+    throw std::invalid_argument("dbp_exact: instance too large");
+  }
+  const std::size_t max_bins = dbp_upper_bound(items, capacity);
+  if (max_bins == 0) return 0;
+  return DbpSearch(std::vector<double>(items.begin(), items.end()), capacity,
+                   max_bins)
+      .solve();
+}
+
+}  // namespace melody::auction

@@ -1,0 +1,30 @@
+// Dual bin packing (bin covering): pack items into a maximum number of bins
+// so that each bin's content sums to at least the capacity C.
+//
+// The SRA problem's NP-hardness proof (Theorem 1) reduces from this problem,
+// and Lemma 4's constant beta comes from the classical greedy analyses of
+// Csirik et al. (1999). We implement:
+//   * next-fit-decreasing greedy (2/3-competitive on the number of bins),
+//   * an exact branch-and-bound for small instances (used in tests to
+//     measure the greedy's empirical ratio and to cross-check exact_sra).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace melody::auction {
+
+/// Greedy bin covering: sort items descending, fill the current bin until it
+/// reaches capacity, then open a new one. Returns the number of covered bins.
+std::size_t dbp_greedy(std::span<const double> items, double capacity);
+
+inline constexpr std::size_t kDbpExactMaxItems = 16;
+
+/// Exact maximum number of covered bins by branch and bound.
+/// Throws std::invalid_argument for more than kDbpExactMaxItems items.
+std::size_t dbp_exact(std::span<const double> items, double capacity);
+
+/// Trivial upper bound: floor(sum(items) / capacity).
+std::size_t dbp_upper_bound(std::span<const double> items, double capacity);
+
+}  // namespace melody::auction

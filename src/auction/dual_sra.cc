@@ -1,0 +1,25 @@
+#include "auction/dual_sra.h"
+
+#include "auction/greedy_core.h"
+
+namespace melody::auction {
+
+DualSraResult run_dual_sra(std::span<const WorkerProfile> workers,
+                           std::span<const Task> tasks,
+                           const AuctionConfig& config,
+                           std::size_t target_utility, PaymentRule rule) {
+  const auto queue = internal::build_ranking_queue(workers, config);
+  const auto pre = internal::pre_allocate(queue, tasks, rule);
+
+  DualSraResult result;
+  for (const auto& p : pre) {
+    if (result.allocation.requester_utility() >= target_utility) break;
+    result.required_budget += p.total_payment;
+    internal::commit(p, queue, tasks, result.allocation);
+  }
+  result.target_met =
+      result.allocation.requester_utility() >= target_utility;
+  return result;
+}
+
+}  // namespace melody::auction

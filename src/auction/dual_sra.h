@@ -1,0 +1,35 @@
+// The dual form of the SRA problem (paper footnote 6): instead of
+// maximizing the number of satisfied tasks under a budget, minimize the
+// requester's spend subject to a target utility (number of satisfied
+// tasks). Per the footnote, the greedy adapts by changing only the
+// stage-2 terminating condition: commit tasks in ascending pre-payment
+// order until the target is met.
+#pragma once
+
+#include <span>
+
+#include "auction/melody_auction.h"
+#include "auction/types.h"
+
+namespace melody::auction {
+
+struct DualSraResult {
+  AllocationResult allocation;
+  /// Total payment of the committed tasks: the minimum budget the greedy
+  /// needs to reach the target utility.
+  double required_budget = 0.0;
+  /// False when even committing every priceable task cannot reach the
+  /// target; the allocation then contains everything that could be served.
+  bool target_met = false;
+};
+
+/// Run the dual greedy: same qualification, ranking, pre-allocation and
+/// pricing as MelodyAuction (config.budget is ignored), committing the
+/// cheapest tasks until `target_utility` of them are satisfied.
+DualSraResult run_dual_sra(std::span<const WorkerProfile> workers,
+                           std::span<const Task> tasks,
+                           const AuctionConfig& config,
+                           std::size_t target_utility,
+                           PaymentRule rule = PaymentRule::kCriticalValue);
+
+}  // namespace melody::auction

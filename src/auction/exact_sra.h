@@ -1,0 +1,29 @@
+// Exact (exponential-time) solver for the SRA problem with full knowledge
+// of workers' true costs, used only in tests and ablation benches to measure
+// the greedy mechanism's empirical approximation factor on small instances.
+//
+// The optimum modeled here matches the paper's OPT: the requester pays each
+// selected worker exactly his cost, frequencies and quality thresholds are
+// hard constraints, and the objective is the number of satisfied tasks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "auction/types.h"
+
+namespace melody::auction {
+
+/// Limits beyond which the exact solver refuses to run (the search is
+/// exponential in both dimensions).
+inline constexpr std::size_t kExactSraMaxWorkers = 12;
+inline constexpr std::size_t kExactSraMaxTasks = 8;
+
+/// Maximum number of tasks satisfiable within the budget, by exhaustive
+/// branch-and-bound over minimal covering worker subsets per task.
+/// Throws std::invalid_argument if the instance exceeds the size limits.
+std::size_t exact_sra_optimum(std::span<const WorkerProfile> workers,
+                              std::span<const Task> tasks,
+                              const AuctionConfig& config);
+
+}  // namespace melody::auction

@@ -1,0 +1,140 @@
+#include "auction/greedy_core.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace melody::auction::internal {
+
+std::vector<const WorkerProfile*> build_ranking_queue(
+    std::span<const WorkerProfile> workers, const AuctionConfig& config) {
+  // Line 1: qualification filter W <- {i : Theta_m <= mu_i <= Theta_M,
+  // C_m <= c_i <= C_M}. Workers with non-positive cost, quality, or
+  // frequency can never participate meaningfully and are excluded.
+  std::vector<const WorkerProfile*> queue;
+  queue.reserve(workers.size());
+  for (const auto& w : workers) {
+    if (w.bid.cost > 0.0 && w.bid.frequency > 0 && w.estimated_quality > 0.0 &&
+        config.qualifies(w)) {
+      queue.push_back(&w);
+    }
+  }
+  // Line 2: ranking queue, descending estimated quality per unit cost.
+  // Ties broken by worker id for determinism.
+  std::sort(queue.begin(), queue.end(),
+            [](const WorkerProfile* a, const WorkerProfile* b) {
+              const double ra = a->estimated_quality / a->bid.cost;
+              const double rb = b->estimated_quality / b->bid.cost;
+              if (ra != rb) return ra > rb;
+              return a->id < b->id;
+            });
+  return queue;
+}
+
+std::vector<PreAllocation> pre_allocate(
+    const std::vector<const WorkerProfile*>& queue, std::span<const Task> tasks,
+    PaymentRule rule) {
+  auto ratio_of = [&](std::size_t pos) {
+    return queue[pos]->bid.cost / queue[pos]->estimated_quality;
+  };
+
+  // Line 3: tasks in ascending order of quality threshold.
+  std::vector<std::size_t> task_order(tasks.size());
+  std::iota(task_order.begin(), task_order.end(), std::size_t{0});
+  std::sort(task_order.begin(), task_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (tasks[a].quality_threshold != tasks[b].quality_threshold) {
+                return tasks[a].quality_threshold < tasks[b].quality_threshold;
+              }
+              return tasks[a].id < tasks[b].id;
+            });
+
+  std::vector<int> available(queue.size());
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    available[i] = queue[i]->bid.frequency;
+  }
+
+  // Lines 5-14: pre-allocation.
+  std::vector<PreAllocation> pre;
+  pre.reserve(tasks.size());
+  for (std::size_t task_index : task_order) {
+    const double required = tasks[task_index].quality_threshold;
+
+    // Line 6: smallest k such that available workers in the queue prefix
+    // [0, k) have total estimated quality >= Q_j.
+    PreAllocation p;
+    p.task_index = task_index;
+    double covered = 0.0;
+    std::size_t k = 0;  // one past the last prefix position scanned
+    while (k < queue.size() && covered < required) {
+      if (available[k] > 0) {
+        covered += queue[k]->estimated_quality;
+        p.winners.push_back(k);
+      }
+      ++k;
+    }
+    if (covered < required) continue;  // no k exists: task cannot be covered
+
+    // Lines 9-11: critical-value payments.
+    bool priceable = true;
+    p.payments.reserve(p.winners.size());
+    if (rule == PaymentRule::kPaperNextInQueue) {
+      // Paper-literal: every winner priced from the (k+1)-th queue worker.
+      if (k >= queue.size()) continue;  // no reference worker
+      const double ratio = ratio_of(k);
+      for (std::size_t widx : p.winners) {
+        p.payments.push_back(ratio * queue[widx]->estimated_quality);
+      }
+    } else {
+      // Critical value: winner i stays a winner of this task exactly while
+      // his ratio exceeds that of the worker at which coverage of Q_j
+      // completes in the queue *without* i (under the current availability
+      // state). Walk the queue skipping i to find that completion worker;
+      // its cost density is i's payment ratio.
+      for (std::size_t widx : p.winners) {
+        double cumulative = 0.0;
+        std::size_t pos = 0;
+        while (pos < queue.size()) {
+          if (pos != widx && available[pos] > 0) {
+            cumulative += queue[pos]->estimated_quality;
+            if (cumulative >= required) break;
+          }
+          ++pos;
+        }
+        if (pos >= queue.size()) {
+          priceable = false;  // no critical worker exists for this winner
+          break;
+        }
+        p.payments.push_back(ratio_of(pos) * queue[widx]->estimated_quality);
+      }
+    }
+    if (!priceable) continue;  // drop the task; frequencies untouched
+
+    for (std::size_t w = 0; w < p.winners.size(); ++w) {
+      p.total_payment += p.payments[w];
+      --available[p.winners[w]];
+    }
+    pre.push_back(std::move(p));
+  }
+
+  // Stage 2 prerequisite (line 16): ascending order of P_j, ties by id.
+  std::sort(pre.begin(), pre.end(),
+            [&](const PreAllocation& a, const PreAllocation& b) {
+              if (a.total_payment != b.total_payment) {
+                return a.total_payment < b.total_payment;
+              }
+              return tasks[a.task_index].id < tasks[b.task_index].id;
+            });
+  return pre;
+}
+
+void commit(const PreAllocation& pre,
+            const std::vector<const WorkerProfile*>& queue,
+            std::span<const Task> tasks, AllocationResult& result) {
+  result.selected_tasks.push_back(tasks[pre.task_index].id);
+  for (std::size_t w = 0; w < pre.winners.size(); ++w) {
+    result.assignments.push_back({queue[pre.winners[w]]->id,
+                                  tasks[pre.task_index].id, pre.payments[w]});
+  }
+}
+
+}  // namespace melody::auction::internal

@@ -1,0 +1,45 @@
+// Internal shared machinery of the MELODY greedy mechanism (Algorithm 1's
+// qualification, ranking, pre-allocation and pricing stages), used by both
+// the primal budgeted auction (melody_auction) and the dual
+// minimize-budget-for-target-utility form (dual_sra, paper footnote 6).
+//
+// Not part of the public API surface; include only from auction/*.cc.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "auction/types.h"
+
+namespace melody::auction::internal {
+
+/// One pre-allocated task: the winners chosen in stage 1 and the total
+/// pre-payment P_j the requester would owe if the task is committed.
+struct PreAllocation {
+  std::size_t task_index = 0;
+  std::vector<std::size_t> winners;  // indices into the ranking queue
+  std::vector<double> payments;      // parallel to winners
+  double total_payment = 0.0;        // P_j
+};
+
+/// Algorithm 1 lines 1-2: qualification filter + ranking queue (descending
+/// estimated quality per unit cost, ties by id).
+std::vector<const WorkerProfile*> build_ranking_queue(
+    std::span<const WorkerProfile> workers, const AuctionConfig& config);
+
+/// Algorithm 1 lines 3-14: pre-allocate every task over the ranking queue,
+/// consuming worker frequency, pricing winners per the payment rule, and
+/// dropping unpriceable tasks. The result is sorted by ascending P_j
+/// (ties by task id), ready for stage-2 commitment.
+std::vector<PreAllocation> pre_allocate(
+    const std::vector<const WorkerProfile*>& queue, std::span<const Task> tasks,
+    PaymentRule rule);
+
+/// Append one pre-allocation's assignments to a result.
+void commit(const PreAllocation& pre,
+            const std::vector<const WorkerProfile*>& queue,
+            std::span<const Task> tasks, AllocationResult& result);
+
+}  // namespace melody::auction::internal

@@ -1,0 +1,28 @@
+// Abstract interface for single-run task-allocation mechanisms so the
+// simulation platform and the benches can swap MELODY and the baselines.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "auction/types.h"
+
+namespace melody::auction {
+
+/// A mechanism maps (workers' bids + estimated qualities, tasks, config) to
+/// an allocation and payment scheme. Implementations must be deterministic
+/// given their construction-time RNG seed, and must never inspect anything
+/// beyond the WorkerProfile (latent quality is off limits).
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual AllocationResult run(std::span<const WorkerProfile> workers,
+                               std::span<const Task> tasks,
+                               const AuctionConfig& config) = 0;
+
+  /// Human-readable mechanism name for bench tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace melody::auction

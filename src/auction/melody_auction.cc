@@ -1,0 +1,25 @@
+#include "auction/melody_auction.h"
+
+#include "auction/greedy_core.h"
+
+namespace melody::auction {
+
+AllocationResult MelodyAuction::run(std::span<const WorkerProfile> workers,
+                                    std::span<const Task> tasks,
+                                    const AuctionConfig& config) {
+  const auto queue = internal::build_ranking_queue(workers, config);
+  const auto pre = internal::pre_allocate(queue, tasks, rule_);
+
+  // Stage 2 (lines 15-21): commit tasks in ascending order of P_j while the
+  // budget lasts.
+  AllocationResult result;
+  double remaining = config.budget;
+  for (const auto& p : pre) {
+    if (p.total_payment > remaining) break;
+    remaining -= p.total_payment;
+    internal::commit(p, queue, tasks, result);
+  }
+  return result;
+}
+
+}  // namespace melody::auction

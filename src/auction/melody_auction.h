@@ -1,0 +1,55 @@
+// MELODY's greedy mechanism for the Single Run Auction problem
+// (Algorithm 1 of the paper): truthful, individually rational,
+// budget-feasible, O(1)-competitive.
+#pragma once
+
+#include "auction/mechanism.h"
+
+namespace melody::auction {
+
+/// How a winner's critical-value payment ratio is chosen.
+enum class PaymentRule {
+  /// Myerson-style critical value (default): winner i of task j is paid
+  /// mu_i * (c/mu) of the worker at which coverage of Q_j would complete
+  /// if i were removed from the ranking queue. This is the exact bid
+  /// threshold at which i stops winning the task, so no cost misreport can
+  /// profit. It reduces to kPaperNextInQueue when removing i requires
+  /// exactly one replacement worker (e.g. homogeneous qualities).
+  kCriticalValue,
+  /// The paper's literal rule: every winner is paid using the (k+1)-th
+  /// ranking-queue worker's ratio. NOT exactly truthful once a misreport
+  /// re-ranks the queue (a winner who inflates his cost slides down, drags
+  /// the reference deeper, and is paid more); kept for the ablation bench.
+  kPaperNextInQueue,
+};
+
+/// Algorithm 1. Two stages:
+///   1. Pre-allocation: qualified workers are ranked by estimated quality
+///      per unit cost mu_i / c_i; tasks are processed in ascending order of
+///      Q_j; each task greedily takes the shortest prefix of still-available
+///      workers whose qualities cover Q_j, and each winner is paid his
+///      critical-value price (see PaymentRule).
+///   2. Scheme determination: tasks are committed in ascending order of
+///      their pre-payment P_j while the budget lasts.
+///
+/// A task whose critical price does not exist (pricing a winner would need
+/// workers beyond the end of the queue) cannot be truthfully priced; such
+/// tasks are dropped in pre-allocation without consuming any frequency.
+class MelodyAuction final : public Mechanism {
+ public:
+  explicit MelodyAuction(PaymentRule rule = PaymentRule::kCriticalValue)
+      : rule_(rule) {}
+
+  AllocationResult run(std::span<const WorkerProfile> workers,
+                       std::span<const Task> tasks,
+                       const AuctionConfig& config) override;
+
+  std::string name() const override { return "MELODY"; }
+
+  PaymentRule payment_rule() const noexcept { return rule_; }
+
+ private:
+  PaymentRule rule_;
+};
+
+}  // namespace melody::auction

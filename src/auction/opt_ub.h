@@ -1,0 +1,29 @@
+// OPT-UB: an efficiently computable upper bound on the optimal SRA solution
+// (the paper's Appendix C benchmark, used in Fig. 4).
+//
+// The bound relaxes the true optimum in three ways, each of which can only
+// increase the achievable requester utility:
+//   1. The omniscient requester pays each worker exactly his true cost
+//      (no information rent), as in the paper's OPT definition.
+//   2. Worker supply is pooled fractionally: worker i contributes up to
+//      n_i * mu_i units of quality at cost density c_i / mu_i, divisible
+//      across tasks in arbitrary fractions.
+//   3. Tasks are filled cheapest-threshold-first from the cheapest-density
+//      supply, which is optimal for the fractional relaxation (choosing any
+//      other task set or supply order can only satisfy fewer tasks).
+#pragma once
+
+#include <span>
+
+#include "auction/types.h"
+
+namespace melody::auction {
+
+/// Upper bound on the number of tasks the optimal (full-knowledge) solution
+/// can satisfy within the budget. Applies the same qualification filter as
+/// the mechanisms so the comparison is like-for-like.
+std::size_t opt_upper_bound(std::span<const WorkerProfile> workers,
+                            std::span<const Task> tasks,
+                            const AuctionConfig& config);
+
+}  // namespace melody::auction

@@ -1,0 +1,90 @@
+#include "auction/random_auction.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace melody::auction {
+
+AllocationResult RandomAuction::run(std::span<const WorkerProfile> workers,
+                                    std::span<const Task> tasks,
+                                    const AuctionConfig& config) {
+  std::vector<const WorkerProfile*> qualified;
+  for (const auto& w : workers) {
+    if (w.bid.cost > 0.0 && w.bid.frequency > 0 && w.estimated_quality > 0.0 &&
+        config.qualifies(w)) {
+      qualified.push_back(&w);
+    }
+  }
+
+  std::vector<int> available(qualified.size());
+  for (std::size_t i = 0; i < qualified.size(); ++i) {
+    available[i] = qualified[i]->bid.frequency;
+  }
+  auto ratio = [&](std::size_t i) {
+    return qualified[i]->estimated_quality / qualified[i]->bid.cost;
+  };
+
+  std::vector<std::size_t> task_order(tasks.size());
+  std::iota(task_order.begin(), task_order.end(), std::size_t{0});
+  rng_.shuffle(task_order);
+
+  AllocationResult result;
+  double remaining = config.budget;
+  for (std::size_t task_index : task_order) {
+    const double required = tasks[task_index].quality_threshold;
+
+    // Draw workers uniformly (without replacement among those with spare
+    // frequency) until the drawn set minus its lowest-ratio member covers Q.
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < qualified.size(); ++i) {
+      if (available[i] > 0) pool.push_back(i);
+    }
+    std::vector<std::size_t> drawn;
+    double drawn_quality = 0.0;
+    std::size_t loser = 0;  // index into `drawn` of lowest-ratio member
+    bool covered = false;
+    while (!pool.empty()) {
+      const std::size_t pick = rng_.bounded(pool.size());
+      const std::size_t widx = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+      drawn.push_back(widx);
+      drawn_quality += qualified[widx]->estimated_quality;
+      if (drawn.size() < 2) continue;
+      loser = 0;
+      for (std::size_t d = 1; d < drawn.size(); ++d) {
+        if (ratio(drawn[d]) < ratio(drawn[loser])) loser = d;
+      }
+      if (drawn_quality - qualified[drawn[loser]]->estimated_quality >=
+          required) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) continue;
+
+    const std::size_t loser_widx = drawn[loser];
+    const double price_ratio =
+        qualified[loser_widx]->bid.cost / qualified[loser_widx]->estimated_quality;
+    double total_payment = 0.0;
+    for (std::size_t d = 0; d < drawn.size(); ++d) {
+      if (d == loser) continue;
+      total_payment += price_ratio * qualified[drawn[d]]->estimated_quality;
+    }
+    if (total_payment > remaining) break;  // budget exhausted: stop selecting
+
+    remaining -= total_payment;
+    result.selected_tasks.push_back(tasks[task_index].id);
+    for (std::size_t d = 0; d < drawn.size(); ++d) {
+      if (d == loser) continue;
+      const std::size_t widx = drawn[d];
+      --available[widx];
+      result.assignments.push_back(
+          {qualified[widx]->id, tasks[task_index].id,
+           price_ratio * qualified[widx]->estimated_quality});
+    }
+  }
+  return result;
+}
+
+}  // namespace melody::auction

@@ -1,0 +1,34 @@
+// RANDOM baseline mechanism from Section 7.1 of the paper: tasks are taken
+// in random order and workers are drawn uniformly at random per task, with
+// the lowest-ranked drawn worker acting as the critical-payment loser.
+#pragma once
+
+#include "auction/mechanism.h"
+#include "util/rng.h"
+
+namespace melody::auction {
+
+/// For each task (visited in random order) RANDOM draws qualified workers
+/// uniformly without replacement until the drawn set, minus its member with
+/// the lowest quality-per-cost ratio, covers Q_j. Those k workers win and
+/// each is paid mu_i * c_{k+1} / mu_{k+1}, where (k+1) denotes the excluded
+/// lowest-ratio draw; tasks are committed in the random order until the
+/// first task the remaining budget cannot cover (a naive baseline makes no
+/// attempt to skip expensive tasks). The
+/// mechanism is truthful (Appendix D of the paper) because a worker's
+/// payment never depends on his own bid.
+class RandomAuction final : public Mechanism {
+ public:
+  explicit RandomAuction(std::uint64_t seed = 1) : rng_(seed) {}
+
+  AllocationResult run(std::span<const WorkerProfile> workers,
+                       std::span<const Task> tasks,
+                       const AuctionConfig& config) override;
+
+  std::string name() const override { return "RANDOM"; }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace melody::auction

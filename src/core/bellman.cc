@@ -1,0 +1,66 @@
+#include "core/bellman.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace melody::core {
+
+double QualityGrid::value(std::size_t index) const {
+  if (points < 2) return quality_min;
+  return quality_min + (quality_max - quality_min) *
+                           static_cast<double>(index) /
+                           static_cast<double>(points - 1);
+}
+
+double QualityGrid::step() const {
+  if (points < 2) return 0.0;
+  return (quality_max - quality_min) / static_cast<double>(points - 1);
+}
+
+std::vector<double> value_iteration(const BellmanConfig& config,
+                                    const StageModel& model) {
+  if (!model.assignment_probability || !model.utility_when_assigned) {
+    throw std::invalid_argument("value_iteration: model callbacks required");
+  }
+  const std::size_t n = config.grid.points;
+  const double h = config.grid.step();
+
+  // Precompute the transition matrix row-by-row: P[s][s'] is the
+  // probability mass of moving from grid state s to s', with boundary mass
+  // folded into the edge states (the quality range is clamped, as in the
+  // score model).
+  std::vector<std::vector<double>> transition(n, std::vector<double>(n, 0.0));
+  const double var =
+      config.transition_stddev * config.transition_stddev;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double center = config.transition_a * config.grid.value(s);
+    double total = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double d = config.grid.value(t) - center;
+      transition[s][t] = std::exp(-d * d / (2.0 * var));
+      total += transition[s][t];
+    }
+    for (std::size_t t = 0; t < n; ++t) transition[s][t] /= total;
+  }
+  (void)h;
+
+  std::vector<double> value(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mu = config.grid.value(s);
+      const double p = model.assignment_probability(mu);
+      const double u = model.utility_when_assigned(mu);
+      double expectation = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        expectation += transition[s][t] * value[t];
+      }
+      next[s] = p * (u + expectation) + (1.0 - p) * value[s];
+    }
+    value.swap(next);
+  }
+  return value;
+}
+
+}  // namespace melody::core

@@ -1,0 +1,46 @@
+// Value iteration over a worker's expected long-term utility (the Bellman
+// recursion of Theorem 5): V(mu) = u(mu) + E_{mu'}[V(mu')], where mu' is
+// drawn from the quality transition kernel. Used to demonstrate long-term
+// truthfulness numerically: V under truthful per-run utilities dominates V
+// under any untruthful per-run utilities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace melody::core {
+
+/// Discretization of worker quality over [quality_min, quality_max].
+struct QualityGrid {
+  double quality_min = 1.0;
+  double quality_max = 10.0;
+  std::size_t points = 101;
+
+  double value(std::size_t index) const;
+  double step() const;
+};
+
+struct BellmanConfig {
+  QualityGrid grid;
+  /// Number of synchronous value-iteration sweeps (the paper initializes
+  /// all values at zero and updates "for given times").
+  int iterations = 100;
+  /// Gaussian quality transition kernel N(a*mu, sigma^2), matching the LDS.
+  double transition_a = 1.0;
+  double transition_stddev = 0.5;
+};
+
+/// Per-state inputs: the probability of being assigned tasks at quality mu
+/// and the expected per-run utility when assigned.
+struct StageModel {
+  std::function<double(double /*mu*/)> assignment_probability;
+  std::function<double(double /*mu*/)> utility_when_assigned;
+};
+
+/// Run value iteration; returns V(mu) on the grid after `iterations`
+/// sweeps of Eq. (20):
+///   V_{k+1}(mu) = p(mu) * (u(mu) + E[V_k(mu')]) + (1 - p(mu)) * V_k(mu).
+std::vector<double> value_iteration(const BellmanConfig& config,
+                                    const StageModel& model);
+
+}  // namespace melody::core

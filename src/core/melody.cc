@@ -1,0 +1,114 @@
+#include "core/melody.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace melody::core {
+
+Melody::Melody(MelodyOptions options)
+    : options_(std::move(options)), tracker_(options_.tracker) {}
+
+void Melody::register_worker(auction::WorkerId id) {
+  if (is_registered(id)) return;
+  tracker_.register_worker(id);
+  registered_.push_back(id);
+}
+
+bool Melody::is_registered(auction::WorkerId id) const {
+  return std::find(registered_.begin(), registered_.end(), id) !=
+         registered_.end();
+}
+
+double Melody::estimated_quality(auction::WorkerId id) const {
+  return tracker_.estimate(id);
+}
+
+auction::AllocationResult Melody::run_auction(
+    const std::vector<BidSubmission>& bids,
+    const std::vector<auction::Task>& tasks, double budget) {
+  auction::AuctionConfig config;
+  config.budget = budget;
+  config.theta_min = options_.theta_min;
+  config.theta_max = options_.theta_max;
+  config.cost_min = options_.cost_min;
+  config.cost_max = options_.cost_max;
+
+  std::vector<auction::WorkerProfile> profiles;
+  profiles.reserve(bids.size());
+  for (const BidSubmission& b : bids) {
+    register_worker(b.worker);
+    profiles.push_back({b.worker, b.bid, tracker_.estimate(b.worker)});
+  }
+  return auction_.run(profiles, tasks, config);
+}
+
+void Melody::submit_scores(auction::WorkerId id, const lds::ScoreSet& scores) {
+  if (!is_registered(id)) {
+    throw std::invalid_argument("submit_scores: unregistered worker");
+  }
+  lds::ScoreSet& pending = pending_scores_[id];
+  pending.count += scores.count;
+  pending.sum += scores.sum;
+  pending.sum_squares += scores.sum_squares;
+}
+
+int Melody::end_run() {
+  for (auction::WorkerId id : registered_) {
+    const auto it = pending_scores_.find(id);
+    tracker_.observe(id, it == pending_scores_.end() ? lds::ScoreSet{}
+                                                     : it->second);
+  }
+  pending_scores_.clear();
+  return ++completed_runs_;
+}
+
+namespace {
+constexpr char kPlatformHeader[] = "MELODY_PLATFORM v1";
+}
+
+void Melody::save(std::ostream& out) const {
+  if (!pending_scores_.empty()) {
+    throw std::runtime_error(
+        "Melody::save: scores pending in an open run; call end_run() first");
+  }
+  out << kPlatformHeader << '\n'
+      << completed_runs_ << ' ' << registered_.size() << '\n';
+  for (auction::WorkerId id : registered_) out << id << ' ';
+  out << '\n';
+  tracker_.save(out);
+  if (!out) throw std::runtime_error("Melody::save: write failed");
+}
+
+void Melody::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kPlatformHeader) {
+    throw std::runtime_error("Melody::load: bad snapshot header");
+  }
+  int completed = 0;
+  std::size_t registered_count = 0;
+  if (!(in >> completed >> registered_count) || completed < 0) {
+    throw std::runtime_error("Melody::load: malformed counters");
+  }
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  std::string registry_line;
+  std::getline(in, registry_line);
+  std::istringstream registry(registry_line);
+  std::vector<auction::WorkerId> registered(registered_count);
+  for (auction::WorkerId& id : registered) {
+    if (!(registry >> id)) {
+      throw std::runtime_error("Melody::load: truncated worker registry");
+    }
+  }
+  tracker_.load(in);
+  registered_ = std::move(registered);
+  completed_runs_ = completed;
+  pending_scores_.clear();
+}
+
+}  // namespace melody::core

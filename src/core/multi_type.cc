@@ -1,0 +1,59 @@
+#include "core/multi_type.h"
+
+#include <stdexcept>
+
+namespace melody::core {
+
+void MultiTypeMarket::add_type(const std::string& type) {
+  add_type(type, defaults_);
+}
+
+void MultiTypeMarket::add_type(const std::string& type,
+                               const MelodyOptions& options) {
+  markets_.try_emplace(type, options);
+}
+
+bool MultiTypeMarket::has_type(const std::string& type) const {
+  return markets_.count(type) > 0;
+}
+
+std::vector<std::string> MultiTypeMarket::types() const {
+  std::vector<std::string> names;
+  names.reserve(markets_.size());
+  for (const auto& [name, market] : markets_) names.push_back(name);
+  return names;
+}
+
+Melody& MultiTypeMarket::market(const std::string& type) {
+  const auto it = markets_.find(type);
+  if (it == markets_.end()) {
+    throw std::out_of_range("MultiTypeMarket: unknown type " + type);
+  }
+  return it->second;
+}
+
+const Melody& MultiTypeMarket::market(const std::string& type) const {
+  const auto it = markets_.find(type);
+  if (it == markets_.end()) {
+    throw std::out_of_range("MultiTypeMarket: unknown type " + type);
+  }
+  return it->second;
+}
+
+int MultiTypeMarket::end_run() {
+  for (auto& [name, market] : markets_) market.end_run();
+  return ++completed_runs_;
+}
+
+std::map<std::string, double> MultiTypeMarket::quality_profile(
+    auction::WorkerId id) const {
+  std::map<std::string, double> profile;
+  for (const auto& [name, market] : markets_) {
+    if (market.is_registered(id)) {
+      profile[name] = market.estimated_quality(id);
+    }
+  }
+  return profile;
+}
+
+}  // namespace melody::core

@@ -1,0 +1,53 @@
+// Multi-type crowdsourcing market (Section 3.1): the paper assumes
+// homogeneous tasks and notes the model "can be easily extended to the
+// scenario with multiple types of tasks by designing the incentive
+// mechanism for each individual type respectively". This wrapper does
+// exactly that: one independent MELODY market — auction plus quality
+// tracker — per task type, with a synchronized run clock. A worker's
+// proofreading skill says nothing about his audio-transcription skill, so
+// per-type tracking is the correct granularity.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/melody.h"
+
+namespace melody::core {
+
+class MultiTypeMarket {
+ public:
+  /// `defaults` configures every market created without explicit options.
+  explicit MultiTypeMarket(MelodyOptions defaults = {})
+      : defaults_(std::move(defaults)) {}
+
+  /// Create a market for a new task type (idempotent; existing markets
+  /// keep their state and options).
+  void add_type(const std::string& type);
+  void add_type(const std::string& type, const MelodyOptions& options);
+
+  bool has_type(const std::string& type) const;
+  std::vector<std::string> types() const;
+
+  /// Access one type's market; throws std::out_of_range for unknown types.
+  Melody& market(const std::string& type);
+  const Melody& market(const std::string& type) const;
+
+  /// Close the current run across every type at once (markets added later
+  /// join at the shared clock's current value). Returns the run number.
+  int end_run();
+
+  int completed_runs() const noexcept { return completed_runs_; }
+
+  /// A worker's estimated quality per type (only for types where he is
+  /// registered).
+  std::map<std::string, double> quality_profile(auction::WorkerId id) const;
+
+ private:
+  MelodyOptions defaults_;
+  std::map<std::string, Melody> markets_;
+  int completed_runs_ = 0;
+};
+
+}  // namespace melody::core

@@ -1,0 +1,35 @@
+// Interface for the long-term quality estimators compared in Section 7.7:
+// STATIC, ML-CR, ML-AR, and MELODY's LDS tracker.
+//
+// Protocol: the platform calls observe() exactly once per registered worker
+// per run — with an empty ScoreSet when the worker received no tasks — so
+// estimators see the full timeline and can model time explicitly. estimate()
+// returns the quality mu_i to use in the *next* run's auction.
+#pragma once
+
+#include <string>
+
+#include "auction/types.h"
+#include "lds/gaussian.h"
+
+namespace melody::estimators {
+
+class QualityEstimator {
+ public:
+  virtual ~QualityEstimator() = default;
+
+  /// Introduce a new worker; estimate() must be valid immediately after
+  /// (newcomers get the platform's initial estimate).
+  virtual void register_worker(auction::WorkerId id) = 0;
+
+  /// Record the scores the worker received in the run that just ended.
+  virtual void observe(auction::WorkerId id, const lds::ScoreSet& scores) = 0;
+
+  /// Estimated quality for the next run. Throws std::out_of_range for an
+  /// unregistered worker.
+  virtual double estimate(auction::WorkerId id) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace melody::estimators

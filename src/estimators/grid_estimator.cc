@@ -1,0 +1,54 @@
+#include "estimators/grid_estimator.h"
+
+#include <vector>
+
+namespace melody::estimators {
+
+GridEstimator::GridEstimator(GridEstimatorConfig config)
+    : config_(std::move(config)) {
+  config_.params.validate();
+  if (!config_.emission) {
+    config_.emission = lds::gaussian_emission(config_.params.eta);
+  }
+}
+
+void GridEstimator::register_worker(auction::WorkerId id) {
+  if (filters_.count(id) > 0) return;
+  filters_.emplace(
+      id, std::make_unique<lds::GridFilter>(
+              lds::GridDensity(config_.quality_min, config_.quality_max,
+                               config_.grid_points),
+              config_.initial_posterior, config_.params, config_.emission));
+}
+
+void GridEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores) {
+  // Sufficient-statistics path: re-expand the set as `count` observations
+  // at its mean. For Gaussian emissions this changes only the (unused)
+  // marginal-likelihood constant; the posterior is identical because the
+  // Gaussian likelihood depends on the scores only through (N, sum).
+  std::vector<double> expanded(static_cast<std::size_t>(scores.count),
+                               scores.mean());
+  observe_scores(id, expanded);
+}
+
+void GridEstimator::observe_scores(auction::WorkerId id,
+                                   std::span<const double> scores) {
+  auto& filter = filters_.at(id);
+  if (scores.empty() && !config_.advance_on_empty_runs) return;
+  filter->step(scores);
+}
+
+double GridEstimator::estimate(auction::WorkerId id) const {
+  // Eq. (19) analogue: one transition applied to the posterior mean.
+  return config_.params.a * filters_.at(id)->mean();
+}
+
+double GridEstimator::posterior_mean(auction::WorkerId id) const {
+  return filters_.at(id)->mean();
+}
+
+double GridEstimator::posterior_variance(auction::WorkerId id) const {
+  return filters_.at(id)->variance();
+}
+
+}  // namespace melody::estimators

@@ -1,0 +1,149 @@
+#include "estimators/melody_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace melody::estimators {
+
+void MelodyEstimator::register_worker(auction::WorkerId id) {
+  State state;
+  state.posterior = config_.initial_posterior;  // newcomer: Alg. 3 line 2
+  state.params = config_.initial_params;
+  state.window_anchor = config_.initial_posterior;
+  states_.try_emplace(id, std::move(state));
+}
+
+void MelodyEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores) {
+  State& state = states_.at(id);
+  ++state.runs_seen;
+  if (scores.empty() && !config_.advance_on_empty_runs) {
+    return;  // participation-indexed chain: idle runs change nothing
+  }
+  state.history.push_back(scores);
+  if (!scores.empty()) ++state.observed_runs;
+  if (config_.max_history > 0 &&
+      static_cast<int>(state.history.size()) > config_.max_history) {
+    // Slide the window: fold the oldest run into the anchor posterior.
+    state.window_anchor =
+        lds::filter_step(state.window_anchor, state.history.front(),
+                         state.params);
+    state.history.erase(state.history.begin());
+  }
+
+  // Theorem 3 update (empty score sets propagate the prior only).
+  state.posterior = lds::filter_step(state.posterior, scores, state.params);
+
+  // Algorithm 3 lines 6-8: periodic EM re-estimation of theta.
+  ++state.runs_since_em;
+  if (config_.reestimation_period > 0 &&
+      state.runs_since_em >= config_.reestimation_period &&
+      state.observed_runs >= config_.min_history_for_em) {
+    const lds::EmResult em = lds::fit_lds(state.window_anchor, state.history,
+                                          state.params, config_.em_options);
+    state.params = em.params;
+    state.runs_since_em = 0;
+    ++state.em_count;
+    if (config_.refilter_after_em) {
+      state.posterior =
+          lds::filter(state.window_anchor, state.history, state.params)
+              .posteriors.back();
+    }
+  }
+  state.posterior.mean = std::clamp(state.posterior.mean,
+                                    config_.estimate_min, config_.estimate_max);
+}
+
+double MelodyEstimator::estimate(auction::WorkerId id) const {
+  const State& state = states_.at(id);
+  // Eq. (19): mu^{r+1} = a * mu-hat^r, clamped to the score range.
+  double estimate = state.params.a * state.posterior.mean;
+  if (config_.exploration_beta > 0.0) {
+    estimate += config_.exploration_beta *
+                std::sqrt(std::log(state.runs_seen + 1.0) /
+                          (state.observed_runs + 1.0));
+  }
+  return std::clamp(estimate, config_.estimate_min, config_.estimate_max);
+}
+
+const lds::Gaussian& MelodyEstimator::posterior(auction::WorkerId id) const {
+  return states_.at(id).posterior;
+}
+
+const lds::LdsParams& MelodyEstimator::params(auction::WorkerId id) const {
+  return states_.at(id).params;
+}
+
+int MelodyEstimator::reestimation_count(auction::WorkerId id) const {
+  return states_.at(id).em_count;
+}
+
+namespace {
+constexpr char kSnapshotHeader[] = "MELODY_TRACKER v2";
+}
+
+void MelodyEstimator::save(std::ostream& out) const {
+  // Sort by id so snapshots are byte-identical across runs.
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, state] : states_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << kSnapshotHeader << '\n' << ids.size() << '\n';
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    const State& s = states_.at(id);
+    out << id << ' ' << s.posterior.mean << ' ' << s.posterior.var << ' '
+        << s.window_anchor.mean << ' ' << s.window_anchor.var << ' '
+        << s.params.a << ' ' << s.params.gamma << ' ' << s.params.eta << ' '
+        << s.runs_since_em << ' ' << s.runs_seen << ' ' << s.observed_runs
+        << ' ' << s.em_count << ' ' << s.history.size() << '\n';
+    for (const lds::ScoreSet& set : s.history) {
+      out << set.count << ' ' << set.sum << ' ' << set.sum_squares << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("MelodyEstimator::save: write failed");
+}
+
+void MelodyEstimator::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kSnapshotHeader) {
+    throw std::runtime_error("MelodyEstimator::load: bad snapshot header");
+  }
+  std::size_t worker_count = 0;
+  if (!(in >> worker_count)) {
+    throw std::runtime_error("MelodyEstimator::load: missing worker count");
+  }
+  std::unordered_map<auction::WorkerId, State> loaded;
+  loaded.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auction::WorkerId id = -1;
+    State s;
+    std::size_t history_size = 0;
+    if (!(in >> id >> s.posterior.mean >> s.posterior.var >>
+          s.window_anchor.mean >> s.window_anchor.var >> s.params.a >>
+          s.params.gamma >> s.params.eta >> s.runs_since_em >> s.runs_seen >>
+          s.observed_runs >> s.em_count >> history_size)) {
+      throw std::runtime_error("MelodyEstimator::load: truncated worker record");
+    }
+    s.params.validate();
+    if (s.posterior.var <= 0.0 || s.window_anchor.var <= 0.0) {
+      throw std::runtime_error("MelodyEstimator::load: invalid posterior");
+    }
+    s.history.resize(history_size);
+    for (lds::ScoreSet& set : s.history) {
+      if (!(in >> set.count >> set.sum >> set.sum_squares)) {
+        throw std::runtime_error("MelodyEstimator::load: truncated history");
+      }
+    }
+    loaded.emplace(id, std::move(s));
+  }
+  states_ = std::move(loaded);
+}
+
+}  // namespace melody::estimators

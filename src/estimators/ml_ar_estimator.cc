@@ -1,0 +1,22 @@
+#include "estimators/ml_ar_estimator.h"
+
+namespace melody::estimators {
+
+void MlAllRunsEstimator::register_worker(auction::WorkerId id) {
+  states_.try_emplace(id);
+}
+
+void MlAllRunsEstimator::observe(auction::WorkerId id,
+                                 const lds::ScoreSet& scores) {
+  State& state = states_.at(id);
+  state.score_sum += scores.sum;
+  state.score_count += scores.count;
+}
+
+double MlAllRunsEstimator::estimate(auction::WorkerId id) const {
+  const State& state = states_.at(id);
+  if (state.score_count == 0) return initial_estimate_;
+  return state.score_sum / state.score_count;
+}
+
+}  // namespace melody::estimators

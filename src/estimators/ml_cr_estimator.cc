@@ -1,0 +1,19 @@
+#include "estimators/ml_cr_estimator.h"
+
+namespace melody::estimators {
+
+void MlCurrentRunEstimator::register_worker(auction::WorkerId id) {
+  estimates_.try_emplace(id, initial_estimate_);
+}
+
+void MlCurrentRunEstimator::observe(auction::WorkerId id,
+                                    const lds::ScoreSet& scores) {
+  if (scores.empty()) return;
+  estimates_.at(id) = scores.mean();
+}
+
+double MlCurrentRunEstimator::estimate(auction::WorkerId id) const {
+  return estimates_.at(id);
+}
+
+}  // namespace melody::estimators

@@ -1,0 +1,25 @@
+#include "estimators/static_estimator.h"
+
+#include <stdexcept>
+
+namespace melody::estimators {
+
+void StaticEstimator::register_worker(auction::WorkerId id) {
+  states_.try_emplace(id);
+}
+
+void StaticEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores) {
+  State& state = states_.at(id);
+  if (state.runs_seen >= warmup_runs_) return;  // frozen after warm-up
+  ++state.runs_seen;
+  state.score_sum += scores.sum;
+  state.score_count += scores.count;
+}
+
+double StaticEstimator::estimate(auction::WorkerId id) const {
+  const State& state = states_.at(id);
+  if (state.score_count == 0) return initial_estimate_;
+  return state.score_sum / state.score_count;
+}
+
+}  // namespace melody::estimators

@@ -1,0 +1,28 @@
+#include "lds/gaussian.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace melody::lds {
+
+double Gaussian::stddev() const noexcept { return std::sqrt(var); }
+
+double Gaussian::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double Gaussian::log_pdf(double x) const {
+  if (var <= 0.0) throw std::domain_error("Gaussian::log_pdf: var must be > 0");
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * std::numbers::pi * var) + d * d / var);
+}
+
+Gaussian product(const Gaussian& a, const Gaussian& b) {
+  if (a.var <= 0.0 || b.var <= 0.0) {
+    throw std::domain_error("Gaussian product: variances must be > 0");
+  }
+  const double precision = 1.0 / a.var + 1.0 / b.var;
+  const double var = 1.0 / precision;
+  return {var * (a.mean / a.var + b.mean / b.var), var};
+}
+
+}  // namespace melody::lds

@@ -1,0 +1,55 @@
+// Scalar Gaussian distribution and the sufficient statistics of a run's
+// score set — the two primitives of the paper's Linear Dynamical System
+// quality model (Section 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace melody::lds {
+
+/// N(mean, var). Variance must be strictly positive for pdf evaluation;
+/// the default-constructed value is the standard normal.
+struct Gaussian {
+  double mean = 0.0;
+  double var = 1.0;
+
+  double stddev() const noexcept;
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+
+  bool operator==(const Gaussian&) const = default;
+};
+
+/// Pointwise product of two Gaussian densities, renormalized (the posterior
+/// of combining two independent Gaussian beliefs).
+Gaussian product(const Gaussian& a, const Gaussian& b);
+
+/// Sufficient statistics (N, S, SS) of the set of scores S_i^r a worker
+/// received in one run. Everything downstream — Kalman update, smoother,
+/// EM, log-likelihood — only needs these three numbers per run.
+struct ScoreSet {
+  int count = 0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  void add(double score) noexcept {
+    ++count;
+    sum += score;
+    sum_squares += score * score;
+  }
+
+  double mean() const noexcept { return count > 0 ? sum / count : 0.0; }
+  bool empty() const noexcept { return count == 0; }
+
+  static ScoreSet from(std::span<const double> scores) noexcept {
+    ScoreSet s;
+    for (double score : scores) s.add(score);
+    return s;
+  }
+};
+
+/// A worker's full observation history: one ScoreSet per run, oldest first.
+using ScoreHistory = std::vector<ScoreSet>;
+
+}  // namespace melody::lds

@@ -1,0 +1,165 @@
+#include "lds/grid_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace melody::lds {
+
+EmissionLogDensity gaussian_emission(double variance) {
+  if (variance <= 0.0) {
+    throw std::invalid_argument("gaussian_emission: variance must be > 0");
+  }
+  return [variance](double score, double quality) {
+    const double d = score - quality;
+    return -0.5 * (std::log(2.0 * std::numbers::pi * variance) +
+                   d * d / variance);
+  };
+}
+
+EmissionLogDensity poisson_emission() {
+  return [](double score, double quality) {
+    if (quality <= 0.0) return -1e300;  // mean must be positive
+    const double k = std::round(score);
+    if (k < 0.0) return -1e300;
+    return k * std::log(quality) - quality - std::lgamma(k + 1.0);
+  };
+}
+
+EmissionLogDensity gamma_emission(double shape) {
+  if (shape <= 0.0) {
+    throw std::invalid_argument("gamma_emission: shape must be > 0");
+  }
+  return [shape](double score, double quality) {
+    if (quality <= 0.0 || score <= 0.0) return -1e300;
+    // Gamma(k, theta) with mean q => theta = q / k.
+    const double scale = quality / shape;
+    return (shape - 1.0) * std::log(score) - score / scale -
+           std::lgamma(shape) - shape * std::log(scale);
+  };
+}
+
+EmissionLogDensity beta_emission(double concentration) {
+  if (concentration <= 0.0) {
+    throw std::invalid_argument("beta_emission: concentration must be > 0");
+  }
+  return [concentration](double score, double quality) {
+    if (quality <= 0.0 || quality >= 1.0 || score <= 0.0 || score >= 1.0) {
+      return -1e300;
+    }
+    const double a = quality * concentration;
+    const double b = (1.0 - quality) * concentration;
+    return (a - 1.0) * std::log(score) + (b - 1.0) * std::log(1.0 - score) +
+           std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  };
+}
+
+GridDensity::GridDensity(double lo, double hi, std::size_t points)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("GridDensity: lo must be < hi");
+  if (points < 2) throw std::invalid_argument("GridDensity: need >= 2 points");
+  weights_.assign(points, 1.0);
+  normalize();
+}
+
+double GridDensity::point(std::size_t index) const {
+  if (index >= weights_.size()) throw std::out_of_range("GridDensity::point");
+  // Cell centers of a uniform partition of [lo, hi].
+  const double width = cell_width();
+  return lo_ + (static_cast<double>(index) + 0.5) * width;
+}
+
+double GridDensity::cell_width() const {
+  return (hi_ - lo_) / static_cast<double>(weights_.size());
+}
+
+void GridDensity::assign(const std::function<double(double)>& density) {
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = std::max(0.0, density(point(i)));
+  }
+  normalize();
+}
+
+void GridDensity::normalize() {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  total *= cell_width();
+  if (total <= 0.0) {
+    throw std::domain_error("GridDensity: density vanished on the grid");
+  }
+  for (double& w : weights_) w /= total;
+}
+
+double GridDensity::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    m += point(i) * weights_[i];
+  }
+  return m * cell_width();
+}
+
+double GridDensity::variance() const {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const double d = point(i) - m;
+    v += d * d * weights_[i];
+  }
+  return v * cell_width();
+}
+
+GridFilter::GridFilter(GridDensity prior_support,
+                       const Gaussian& initial_posterior, LdsParams params,
+                       EmissionLogDensity emission)
+    : posterior_(std::move(prior_support)),
+      params_(params),
+      emission_(std::move(emission)) {
+  params_.validate();
+  if (!emission_) throw std::invalid_argument("GridFilter: emission required");
+  posterior_.assign([&](double q) { return initial_posterior.pdf(q); });
+}
+
+double GridFilter::step(std::span<const double> scores) {
+  const std::size_t n = posterior_.size();
+  const double width = posterior_.cell_width();
+
+  // Predict: alpha(q') = integral alpha-hat(q) N(q'; a q, gamma) dq.
+  std::vector<double> predicted(n, 0.0);
+  const double norm = 1.0 / std::sqrt(2.0 * std::numbers::pi * params_.gamma);
+  for (std::size_t from = 0; from < n; ++from) {
+    const double mass = posterior_.weight(from) * width;
+    if (mass <= 0.0) continue;
+    const double center = params_.a * posterior_.point(from);
+    for (std::size_t to = 0; to < n; ++to) {
+      const double d = posterior_.point(to) - center;
+      predicted[to] +=
+          mass * norm * std::exp(-d * d / (2.0 * params_.gamma));
+    }
+  }
+
+  // Correct: multiply by the emission likelihood of every score. Work in
+  // log space with a running maximum for numerical stability.
+  std::vector<double> log_post(n);
+  double peak = -1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    double lp = predicted[i] > 0.0 ? std::log(predicted[i]) : -1e300;
+    for (double s : scores) lp += emission_(s, posterior_.point(i));
+    log_post[i] = lp;
+    peak = std::max(peak, lp);
+  }
+  if (peak <= -1e299) {
+    throw std::domain_error("GridFilter::step: zero likelihood everywhere");
+  }
+  double evidence = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    posterior_.weights_[i] = std::exp(log_post[i] - peak);
+    evidence += posterior_.weights_[i];
+  }
+  evidence *= width;
+  posterior_.normalize();
+  // log p(S^r | S^{1..r-1}) = log integral of the unnormalized posterior.
+  return std::log(evidence) + peak;
+}
+
+}  // namespace melody::lds

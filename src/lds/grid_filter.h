@@ -1,0 +1,94 @@
+// Grid-based Bayes filter implementing Theorem 2 (quality inference in
+// general form):
+//
+//   p(S^r | S^{1..r-1}) alpha-hat(q^r)
+//       = p(S^r | q^r) * integral alpha-hat(q^{r-1}) p(q^r | q^{r-1}) dq^{r-1}
+//
+// The posterior is represented as a density on a fixed quality grid, so any
+// emission family mentioned in Section 5 (Gaussian, Gamma, Poisson, Beta,
+// ...) can be plugged in as a log-density callback. Used
+//   * to support non-Gaussian score models end to end, and
+//   * as an independent numerical oracle for the closed-form Gaussian
+//     filter (Theorem 3) in tests.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lds/gaussian.h"
+#include "lds/kalman.h"
+
+namespace melody::lds {
+
+/// log p(score | q): the per-score emission log-density.
+using EmissionLogDensity = std::function<double(double score, double quality)>;
+
+/// Standard emission families from Section 5 (all parameterized so that the
+/// latent quality q is the distribution's mean, keeping quality and score
+/// on the same scale as in Eq. 13).
+EmissionLogDensity gaussian_emission(double variance);
+/// Poisson with mean q (> 0); scores are non-negative counts.
+EmissionLogDensity poisson_emission();
+/// Gamma with mean q (> 0) and the given shape k (variance = q^2 / k).
+EmissionLogDensity gamma_emission(double shape);
+/// Beta on (0, 1) with mean q in (0, 1) and the given concentration
+/// (alpha = q * concentration, beta = (1 - q) * concentration).
+EmissionLogDensity beta_emission(double concentration);
+
+/// A discretized posterior over worker quality.
+class GridDensity {
+ public:
+  /// Uniform grid of `points` cells spanning [lo, hi].
+  GridDensity(double lo, double hi, std::size_t points);
+
+  /// Initialize from a (possibly unnormalized) density callback.
+  void assign(const std::function<double(double)>& density);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t size() const noexcept { return weights_.size(); }
+  double point(std::size_t index) const;
+  double weight(std::size_t index) const { return weights_.at(index); }
+
+  double mean() const;
+  double variance() const;
+
+  /// Density values, normalized to sum * cell_width == 1.
+  std::span<const double> weights() const noexcept { return weights_; }
+  double cell_width() const;
+
+ private:
+  friend class GridFilter;
+  void normalize();
+
+  double lo_;
+  double hi_;
+  std::vector<double> weights_;
+};
+
+/// Sequential filter: transition with N(a q, gamma) (Eq. 12) and correct
+/// with an arbitrary emission family.
+class GridFilter {
+ public:
+  /// The posterior starts as the platform's initial Gaussian, truncated to
+  /// the grid support.
+  GridFilter(GridDensity prior_support, const Gaussian& initial_posterior,
+             LdsParams params, EmissionLogDensity emission);
+
+  /// One Theorem-2 step: predict through the transition, then multiply in
+  /// the scores' joint emission likelihood. Empty score lists perform the
+  /// prediction only. Returns the log marginal likelihood of the scores.
+  double step(std::span<const double> scores);
+
+  const GridDensity& posterior() const noexcept { return posterior_; }
+  double mean() const { return posterior_.mean(); }
+  double variance() const { return posterior_.variance(); }
+
+ private:
+  GridDensity posterior_;
+  LdsParams params_;
+  EmissionLogDensity emission_;
+};
+
+}  // namespace melody::lds

@@ -1,0 +1,63 @@
+// Forward inference for the scalar LDS quality model:
+//   transition  q^r ~ N(a q^{r-1}, gamma)        (Eq. 12)
+//   emission    s_j ~ N(q^r, eta), i.i.d. in-run (Eq. 13)
+//
+// The per-run posterior update is exactly Theorem 3 (Eqs. 17-18); the
+// next-run estimated quality is Eq. 19 (mu^{r+1} = a * mu-hat^r).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lds/gaussian.h"
+
+namespace melody::lds {
+
+/// Per-worker LDS hyper-parameters theta = {a, gamma, eta}.
+struct LdsParams {
+  double a = 1.0;       // transition coefficient
+  double gamma = 1.0;   // transition variance (> 0)
+  double eta = 1.0;     // emission variance (> 0)
+
+  bool operator==(const LdsParams&) const = default;
+  /// Throws std::domain_error if a variance is not strictly positive.
+  void validate() const;
+};
+
+/// Transition step: posterior alpha-hat(q^{r-1}) -> prior alpha(q^r)
+/// via Eq. (3) with the Gaussian transition (Eq. 12):
+/// N(a*mu, a^2*sigma + gamma).
+Gaussian predict(const Gaussian& posterior, const LdsParams& params);
+
+/// Measurement step: prior alpha(q^r) + scores -> posterior alpha-hat(q^r).
+/// With an empty score set the prior is returned unchanged (the worker was
+/// not observed this run).
+Gaussian correct(const Gaussian& prior, const ScoreSet& scores,
+                 const LdsParams& params);
+
+/// One full Theorem-3 step: previous posterior -> this run's posterior.
+Gaussian filter_step(const Gaussian& previous_posterior, const ScoreSet& scores,
+                     const LdsParams& params);
+
+/// Log marginal likelihood log p(S^r | S^{1..r-1}) of one run's score set
+/// under the prior alpha(q^r). Zero for an empty set.
+double log_marginal(const Gaussian& prior, const ScoreSet& scores,
+                    const LdsParams& params);
+
+/// Results of filtering a whole history.
+struct FilterResult {
+  std::vector<Gaussian> priors;      // alpha(q^r), one per run
+  std::vector<Gaussian> posteriors;  // alpha-hat(q^r), one per run
+  double log_likelihood = 0.0;       // sum of per-run log marginals
+};
+
+/// Run the filter over a history, starting from the platform-preset initial
+/// posterior alpha-hat(q^0) = N(mu0, sigma0).
+FilterResult filter(const Gaussian& initial_posterior,
+                    std::span<const ScoreSet> history, const LdsParams& params);
+
+/// Total log-likelihood of a history (convenience wrapper around filter()).
+double log_likelihood(const Gaussian& initial_posterior,
+                      std::span<const ScoreSet> history, const LdsParams& params);
+
+}  // namespace melody::lds

@@ -1,0 +1,44 @@
+#include "lds/smoother.h"
+
+namespace melody::lds {
+
+SmootherResult smooth(const Gaussian& initial_posterior,
+                      std::span<const ScoreSet> history,
+                      const LdsParams& params) {
+  params.validate();
+  const std::size_t r = history.size();
+
+  // Forward pass over the augmented sequence q^0..q^r. q^0 carries no
+  // observation: its filtered posterior is the preset initial distribution.
+  std::vector<Gaussian> filtered(r + 1);
+  std::vector<Gaussian> predicted(r + 1);  // predicted[t] = p(q^t | S^1..t-1)
+  filtered[0] = initial_posterior;
+  predicted[0] = initial_posterior;  // unused; kept for index symmetry
+  for (std::size_t t = 1; t <= r; ++t) {
+    predicted[t] = predict(filtered[t - 1], params);
+    filtered[t] = correct(predicted[t], history[t - 1], params);
+  }
+
+  // Backward (RTS) pass. With smoothing gain
+  //   J_t = a * Var(q^t | S^1..t) / Var(q^{t+1} | S^1..t):
+  //   mean:  m~_t = m_t + J_t (m~_{t+1} - a m_t)
+  //   var:   v~_t = v_t + J_t^2 (v~_{t+1} - P_{t+1})
+  //   cross: Cov(q^t, q^{t+1} | all) = J_t * v~_{t+1}
+  SmootherResult result;
+  result.smoothed.assign(r + 1, Gaussian{});
+  result.cross_covariance.assign(r + 1, 0.0);
+  result.smoothed[r] = filtered[r];
+  for (std::size_t t = r; t > 0; --t) {
+    const Gaussian& f = filtered[t - 1];
+    const double p_next = predicted[t].var;  // P_{t} = a^2 v_{t-1} + gamma
+    const double gain = params.a * f.var / p_next;
+    const Gaussian& next = result.smoothed[t];
+    result.smoothed[t - 1] = {
+        f.mean + gain * (next.mean - params.a * f.mean),
+        f.var + gain * gain * (next.var - p_next)};
+    result.cross_covariance[t] = gain * next.var;
+  }
+  return result;
+}
+
+}  // namespace melody::lds

@@ -1,0 +1,74 @@
+#include "sim/analytics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace melody::sim {
+
+TrajectoryKind classify_trajectory(std::span<const double> quality,
+                                   const ClassificationCriteria& c) {
+  if (quality.size() < c.min_points) return TrajectoryKind::kStable;
+  const util::LinearFit fit = util::linear_trend(quality);
+  if (fit.slope > c.trend_slope) return TrajectoryKind::kRising;
+  if (fit.slope < -c.trend_slope) return TrajectoryKind::kDeclining;
+  if (util::variance(quality) >= c.fluctuation_variance) {
+    return TrajectoryKind::kFluctuating;
+  }
+  return TrajectoryKind::kStable;
+}
+
+double PopulationReport::fraction(TrajectoryKind kind) const {
+  if (total == 0) return 0.0;
+  std::size_t count = 0;
+  switch (kind) {
+    case TrajectoryKind::kRising: count = rising; break;
+    case TrajectoryKind::kDeclining: count = declining; break;
+    case TrajectoryKind::kFluctuating: count = fluctuating; break;
+    case TrajectoryKind::kStable: count = stable; break;
+  }
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+PopulationReport analyze_population(
+    const std::vector<std::vector<double>>& quality_histories,
+    const ClassificationCriteria& c) {
+  PopulationReport report;
+  double final_sum = 0.0;
+  double change_sum = 0.0;
+  for (const auto& history : quality_histories) {
+    ++report.total;
+    switch (classify_trajectory(history, c)) {
+      case TrajectoryKind::kRising: ++report.rising; break;
+      case TrajectoryKind::kDeclining: ++report.declining; break;
+      case TrajectoryKind::kFluctuating: ++report.fluctuating; break;
+      case TrajectoryKind::kStable: ++report.stable; break;
+    }
+    if (!history.empty()) {
+      final_sum += history.back();
+      change_sum += history.back() - history.front();
+    }
+  }
+  if (report.total > 0) {
+    report.mean_final_quality = final_sum / static_cast<double>(report.total);
+    report.mean_change = change_sum / static_cast<double>(report.total);
+  }
+  return report;
+}
+
+std::string to_string(const PopulationReport& report) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%zu workers: rising %.1f%%, declining %.1f%%, fluctuating "
+                "%.1f%%, stable %.1f%%; mean final quality %.2f "
+                "(mean change %+.2f)",
+                report.total, 100.0 * report.fraction(TrajectoryKind::kRising),
+                100.0 * report.fraction(TrajectoryKind::kDeclining),
+                100.0 * report.fraction(TrajectoryKind::kFluctuating),
+                100.0 * report.fraction(TrajectoryKind::kStable),
+                report.mean_final_quality, report.mean_change);
+  return buf;
+}
+
+}  // namespace melody::sim

@@ -1,0 +1,52 @@
+// Worker-pool analytics: classify quality histories into the paper's four
+// Fig. 1 patterns and summarize a population — the reporting a platform
+// operator runs over tracked estimates (or, in simulation, ground truth).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/trajectory.h"
+
+namespace melody::sim {
+
+/// Thresholds for trend classification on the [1, 10] score scale.
+struct ClassificationCriteria {
+  /// Minimum |slope| per run to call a curve rising/declining; curves
+  /// flatter than this are stable or fluctuating depending on variance.
+  double trend_slope = 0.002;
+  /// Variance above which a flat-trend curve is "fluctuating" rather than
+  /// "stable" (matches StabilityCriteria::max_variance).
+  double fluctuation_variance = 1.0;
+  /// Minimum points for a meaningful classification.
+  std::size_t min_points = 10;
+};
+
+/// Classify one quality curve. Curves shorter than min_points, and exactly
+/// flat short curves, classify as kStable (no evidence of dynamics).
+TrajectoryKind classify_trajectory(std::span<const double> quality,
+                                   const ClassificationCriteria& c = {});
+
+/// Per-kind population counts plus summary statistics.
+struct PopulationReport {
+  std::size_t total = 0;
+  std::size_t rising = 0;
+  std::size_t declining = 0;
+  std::size_t fluctuating = 0;
+  std::size_t stable = 0;
+  double mean_final_quality = 0.0;
+  double mean_change = 0.0;  // mean (last - first) across workers
+
+  double fraction(TrajectoryKind kind) const;
+};
+
+/// Classify every worker's curve and aggregate.
+PopulationReport analyze_population(
+    const std::vector<std::vector<double>>& quality_histories,
+    const ClassificationCriteria& c = {});
+
+/// Human-readable one-line summary ("rising 31%, declining 28%, ...").
+std::string to_string(const PopulationReport& report);
+
+}  // namespace melody::sim

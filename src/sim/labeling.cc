@@ -1,0 +1,98 @@
+#include "sim/labeling.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace melody::sim {
+
+double label_accuracy(const LabelingModel& model, double latent_quality,
+                      int classes) {
+  if (classes < 2) throw std::invalid_argument("label_accuracy: classes >= 2");
+  const double chance = 1.0 / classes;
+  const double span = model.quality_ceiling - model.quality_floor;
+  const double t = span > 0.0
+                       ? std::clamp((latent_quality - model.quality_floor) /
+                                        span,
+                                    0.0, 1.0)
+                       : 0.0;
+  return chance + t * (model.max_accuracy - chance);
+}
+
+Label sample_label(const LabelingModel& model, const LabelingTask& task,
+                   auction::WorkerId worker, double latent_quality,
+                   util::Rng& rng) {
+  Label label;
+  label.worker = worker;
+  label.task = task.id;
+  const double accuracy = label_accuracy(model, latent_quality, task.classes);
+  if (rng.bernoulli(accuracy)) {
+    label.value = task.truth;
+  } else {
+    // Uniform over the wrong classes.
+    const auto offset =
+        static_cast<int>(rng.uniform_int(1, task.classes - 1));
+    label.value = (task.truth + offset) % task.classes;
+  }
+  return label;
+}
+
+int aggregate_labels(const std::vector<Label>& labels,
+                     const std::vector<double>& weights) {
+  if (labels.empty()) return -1;
+  if (weights.size() != labels.size()) {
+    throw std::invalid_argument("aggregate_labels: weights size mismatch");
+  }
+  bool use_weights = false;
+  for (double w : weights) {
+    if (w > 0.0) use_weights = true;
+    if (w < 0.0) throw std::invalid_argument("aggregate_labels: negative weight");
+  }
+  int max_class = 0;
+  for (const Label& label : labels) max_class = std::max(max_class, label.value);
+  std::vector<double> votes(static_cast<std::size_t>(max_class) + 1, 0.0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    votes[static_cast<std::size_t>(labels[i].value)] +=
+        use_weights ? weights[i] : 1.0;
+  }
+  int best = 0;
+  for (int c = 1; c <= max_class; ++c) {
+    if (votes[static_cast<std::size_t>(c)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+double agreement_score(const LabelingModel& model, const Label& label,
+                       int aggregated_answer) {
+  return label.value == aggregated_answer ? model.max_score : model.min_score;
+}
+
+TaskOutcome run_labeling_task(const LabelingModel& model,
+                              const LabelingTask& task,
+                              const std::vector<auction::WorkerId>& workers,
+                              const std::vector<double>& latent_qualities,
+                              const std::vector<double>& estimate_weights,
+                              util::Rng& rng) {
+  if (workers.size() != latent_qualities.size() ||
+      workers.size() != estimate_weights.size()) {
+    throw std::invalid_argument("run_labeling_task: size mismatch");
+  }
+  TaskOutcome outcome;
+  outcome.labels.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    outcome.labels.push_back(
+        sample_label(model, task, workers[i], latent_qualities[i], rng));
+  }
+  outcome.aggregated_answer = aggregate_labels(outcome.labels, estimate_weights);
+  outcome.aggregate_correct = outcome.aggregated_answer == task.truth;
+  outcome.scores.reserve(outcome.labels.size());
+  for (const Label& label : outcome.labels) {
+    outcome.scores.push_back(
+        agreement_score(model, label, outcome.aggregated_answer));
+  }
+  return outcome;
+}
+
+}  // namespace melody::sim

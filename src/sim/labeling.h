@@ -1,0 +1,88 @@
+// Label-aggregation scoring substrate (paper footnote 5): in a real
+// deployment the requester does not hand out oracle scores — scores come
+// from unsupervised aggregation such as majority voting over redundant
+// labels. This module provides that pipeline:
+//
+//   * multiclass labeling tasks with hidden ground truth,
+//   * workers whose per-label accuracy is a calibrated function of their
+//     latent quality (so the LDS quality model still drives behaviour),
+//   * weighted-majority aggregation of the collected labels,
+//   * agreement-based scores on the platform's score scale, suitable for
+//     feeding straight into the quality estimators.
+#pragma once
+
+#include <vector>
+
+#include "auction/types.h"
+#include "lds/gaussian.h"
+#include "util/rng.h"
+
+namespace melody::sim {
+
+/// One labeling task instance: `classes` possible answers, one correct.
+struct LabelingTask {
+  auction::TaskId id = -1;
+  int classes = 2;
+  int truth = 0;  // hidden from workers and platform
+};
+
+/// A submitted label for one task by one worker.
+struct Label {
+  auction::WorkerId worker = -1;
+  auction::TaskId task = -1;
+  int value = 0;
+};
+
+struct LabelingModel {
+  /// Quality -> accuracy calibration: quality at `quality_floor` maps to
+  /// chance level (1/classes) and at `quality_ceiling` to `max_accuracy`,
+  /// linearly in between. Matches the paper's [1, 10] score scale.
+  double quality_floor = 1.0;
+  double quality_ceiling = 10.0;
+  double max_accuracy = 0.97;
+  /// Score scale for agreement-based scoring.
+  double min_score = 1.0;
+  double max_score = 10.0;
+};
+
+/// Per-label accuracy of a worker with the given latent quality.
+double label_accuracy(const LabelingModel& model, double latent_quality,
+                      int classes);
+
+/// Sample the label a worker produces for a task: correct with probability
+/// label_accuracy, otherwise uniform over the wrong classes.
+Label sample_label(const LabelingModel& model, const LabelingTask& task,
+                   auction::WorkerId worker, double latent_quality,
+                   util::Rng& rng);
+
+/// Aggregated answer for one task by weighted majority voting; weights are
+/// the platform's current quality estimates (uniform if all non-positive).
+/// Returns -1 for an empty label set. Ties break toward the smaller class
+/// index (deterministic).
+int aggregate_labels(const std::vector<Label>& labels,
+                     const std::vector<double>& weights);
+
+/// Agreement-based scoring: a worker's score for a task is max_score when
+/// his label matches the aggregated answer and min_score otherwise —
+/// exactly the information a platform has without ground truth.
+double agreement_score(const LabelingModel& model, const Label& label,
+                       int aggregated_answer);
+
+/// Full per-task pipeline: collect one label per assigned worker, aggregate
+/// by weighted majority, and return each worker's agreement score alongside
+/// whether the aggregate matched the hidden truth.
+struct TaskOutcome {
+  int aggregated_answer = -1;
+  bool aggregate_correct = false;
+  std::vector<Label> labels;
+  std::vector<double> scores;  // parallel to labels
+};
+
+TaskOutcome run_labeling_task(const LabelingModel& model,
+                              const LabelingTask& task,
+                              const std::vector<auction::WorkerId>& workers,
+                              const std::vector<double>& latent_qualities,
+                              const std::vector<double>& estimate_weights,
+                              util::Rng& rng);
+
+}  // namespace melody::sim

@@ -1,0 +1,30 @@
+#include "sim/metrics.h"
+
+namespace melody::sim {
+
+MetricSummary summarize(std::span<const RunRecord> records) {
+  return summarize_after(records, 0);
+}
+
+MetricSummary summarize_after(std::span<const RunRecord> records,
+                              std::size_t skip) {
+  MetricSummary summary;
+  if (records.size() <= skip) return summary;
+  const auto window = records.subspan(skip);
+  for (const RunRecord& r : window) {
+    summary.mean_estimated_utility += static_cast<double>(r.estimated_utility);
+    summary.mean_true_utility += static_cast<double>(r.true_utility);
+    summary.mean_estimation_error += r.estimation_error;
+    summary.mean_total_payment += r.total_payment;
+    summary.mean_assignments += static_cast<double>(r.assignments);
+  }
+  const auto n = static_cast<double>(window.size());
+  summary.mean_estimated_utility /= n;
+  summary.mean_true_utility /= n;
+  summary.mean_estimation_error /= n;
+  summary.mean_total_payment /= n;
+  summary.mean_assignments /= n;
+  return summary;
+}
+
+}  // namespace melody::sim

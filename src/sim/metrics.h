@@ -1,0 +1,44 @@
+// Per-run metric records and aggregation for the long-term experiments
+// (Fig. 9: average estimation error of quality and requester utility).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace melody::sim {
+
+/// Everything the evaluation section measures about one run.
+struct RunRecord {
+  int run = 0;
+  /// Utility by estimated quality: tasks whose received estimated quality
+  /// meets Q_j (this is what the mechanism optimizes).
+  std::size_t estimated_utility = 0;
+  /// True utility: tasks whose received *latent* quality meets Q_j
+  /// (Section 7.7's "requester's real utility").
+  std::size_t true_utility = 0;
+  /// Mean |q_i^r - mu_i^r| over the qualified workers W^r.
+  double estimation_error = 0.0;
+  double total_payment = 0.0;
+  std::size_t assignments = 0;
+  std::size_t qualified_workers = 0;
+};
+
+/// Averages over a window of runs.
+struct MetricSummary {
+  double mean_estimated_utility = 0.0;
+  double mean_true_utility = 0.0;
+  double mean_estimation_error = 0.0;
+  double mean_total_payment = 0.0;
+  double mean_assignments = 0.0;
+};
+
+MetricSummary summarize(std::span<const RunRecord> records);
+
+/// Summary over records[skip..] — used to drop the warm-up window when
+/// comparing estimators (all estimators share initial settings, so early
+/// runs are identical by construction).
+MetricSummary summarize_after(std::span<const RunRecord> records,
+                              std::size_t skip);
+
+}  // namespace melody::sim

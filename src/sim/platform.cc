@@ -1,0 +1,110 @@
+#include "sim/platform.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/score_gen.h"
+
+namespace melody::sim {
+
+Platform::Platform(const LongTermScenario& scenario,
+                   auction::Mechanism& mechanism,
+                   estimators::QualityEstimator& estimator,
+                   std::vector<SimWorker> workers, std::uint64_t seed)
+    : scenario_(scenario),
+      mechanism_(mechanism),
+      estimator_(estimator),
+      workers_(std::move(workers)),
+      rng_(seed) {
+  for (const SimWorker& w : workers_) estimator_.register_worker(w.id());
+}
+
+void Platform::set_policy(auction::WorkerId id, BidPolicy policy) {
+  policies_[id] = policy;
+}
+
+void Platform::add_worker(SimWorker worker) {
+  estimator_.register_worker(worker.id());
+  workers_.push_back(std::move(worker));
+}
+
+RunRecord Platform::step() {
+  ++run_;
+  RunRecord record;
+  record.run = run_;
+
+  const auction::AuctionConfig config = scenario_.auction_config();
+
+  // 1) Collect bids and the platform's quality estimates.
+  std::vector<auction::WorkerProfile> profiles;
+  profiles.reserve(workers_.size());
+  for (const SimWorker& w : workers_) {
+    auction::WorkerProfile p;
+    p.id = w.id();
+    const auto policy = policies_.find(w.id());
+    p.bid = policy == policies_.end()
+                ? w.true_bid()
+                : w.submitted_bid(policy->second, rng_);
+    p.estimated_quality = estimator_.estimate(w.id());
+    profiles.push_back(p);
+  }
+
+  // 2) Publish this run's tasks and run the reverse auction.
+  const std::vector<auction::Task> tasks = scenario_.sample_tasks(rng_);
+  last_result_ = mechanism_.run(profiles, tasks, config);
+  record.estimated_utility = last_result_.requester_utility();
+  record.total_payment = last_result_.total_payment();
+  record.assignments = last_result_.assignments.size();
+
+  // 3) Ground-truth bookkeeping: true utility and estimation error.
+  std::unordered_map<auction::TaskId, double> latent_received;
+  std::unordered_map<auction::WorkerId, int> assigned_count;
+  std::unordered_map<auction::WorkerId, const SimWorker*> by_id;
+  for (const SimWorker& w : workers_) by_id[w.id()] = &w;
+  for (const auto& a : last_result_.assignments) {
+    latent_received[a.task] += by_id.at(a.worker)->latent_quality(run_);
+    ++assigned_count[a.worker];
+  }
+  for (const auto& t : tasks) {
+    const auto it = latent_received.find(t.id);
+    if (it != latent_received.end() && it->second >= t.quality_threshold) {
+      ++record.true_utility;
+    }
+  }
+  double error_sum = 0.0;
+  std::size_t qualified = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!config.qualifies(profiles[i])) continue;
+    ++qualified;
+    error_sum += std::abs(workers_[i].latent_quality(run_) -
+                          profiles[i].estimated_quality);
+  }
+  record.qualified_workers = qualified;
+  record.estimation_error = qualified > 0 ? error_sum / qualified : 0.0;
+
+  // 4) Workers complete tasks, the requester scores the answers, and the
+  //    estimator digests the scores (empty sets for idle workers).
+  for (const SimWorker& w : workers_) {
+    const auto it = assigned_count.find(w.id());
+    const int count = it == assigned_count.end() ? 0 : it->second;
+    const lds::ScoreSet scores = generate_scores(
+        scenario_.score_model, w.latent_quality(run_), count, rng_);
+    estimator_.observe(w.id(), scores);
+    total_utility_[w.id()] += w.utility(last_result_);
+  }
+  return record;
+}
+
+std::vector<RunRecord> Platform::run_all() {
+  std::vector<RunRecord> records;
+  records.reserve(static_cast<std::size_t>(scenario_.runs));
+  while (run_ < scenario_.runs) records.push_back(step());
+  return records;
+}
+
+double Platform::worker_total_utility(auction::WorkerId id) const {
+  const auto it = total_utility_.find(id);
+  return it == total_utility_.end() ? 0.0 : it->second;
+}
+
+}  // namespace melody::sim

@@ -1,0 +1,68 @@
+// The multi-run crowdsourcing platform simulator implementing the system
+// workflow of Fig. 2: auction -> task completion -> scoring -> quality
+// update, repeated over runs.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "estimators/estimator.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/worker_model.h"
+#include "util/rng.h"
+
+namespace melody::sim {
+
+/// Orchestrates one population + one mechanism + one quality estimator over
+/// many runs, generating tasks and scores from ground truth and feeding the
+/// estimator only what a real platform would see.
+class Platform {
+ public:
+  /// The mechanism and estimator are borrowed and must outlive the
+  /// platform. Workers are copied in; all randomness derives from `seed`.
+  Platform(const LongTermScenario& scenario, auction::Mechanism& mechanism,
+           estimators::QualityEstimator& estimator,
+           std::vector<SimWorker> workers, std::uint64_t seed);
+
+  /// Override the bidding policy of a single worker (Figs. 6-7 strategic
+  /// experiments). All other workers bid truthfully.
+  void set_policy(auction::WorkerId id, BidPolicy policy);
+
+  /// Add a newcomer mid-simulation (registered with the estimator).
+  void add_worker(SimWorker worker);
+
+  /// Execute one run: auction, scoring, estimator update. Returns metrics.
+  RunRecord step();
+
+  /// Execute all remaining runs of the scenario.
+  std::vector<RunRecord> run_all();
+
+  /// 1-based index of the next run to execute.
+  int current_run() const noexcept { return run_ + 1; }
+
+  /// Cumulative true utility a worker has accrued so far (Definition 1).
+  double worker_total_utility(auction::WorkerId id) const;
+
+  /// The allocation produced by the most recent step() (empty before).
+  const auction::AllocationResult& last_result() const noexcept {
+    return last_result_;
+  }
+
+  const std::vector<SimWorker>& workers() const noexcept { return workers_; }
+
+ private:
+  LongTermScenario scenario_;
+  auction::Mechanism& mechanism_;
+  estimators::QualityEstimator& estimator_;
+  std::vector<SimWorker> workers_;
+  std::unordered_map<auction::WorkerId, BidPolicy> policies_;
+  std::unordered_map<auction::WorkerId, double> total_utility_;
+  auction::AllocationResult last_result_;
+  util::Rng rng_;
+  int run_ = 0;
+};
+
+}  // namespace melody::sim

@@ -1,0 +1,100 @@
+#include "sim/scenario.h"
+
+namespace melody::sim {
+
+auction::AuctionConfig SraScenario::auction_config() const {
+  auction::AuctionConfig config;
+  config.budget = budget;
+  config.theta_min = quality.lo;
+  config.theta_max = quality.hi;
+  config.cost_min = cost.lo;
+  config.cost_max = cost.hi;
+  return config;
+}
+
+std::vector<auction::WorkerProfile> SraScenario::sample_workers(
+    util::Rng& rng) const {
+  std::vector<auction::WorkerProfile> workers;
+  workers.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    auction::WorkerProfile w;
+    w.id = static_cast<auction::WorkerId>(i);
+    w.estimated_quality = rng.uniform(quality.lo, quality.hi);
+    w.bid.cost = rng.uniform(cost.lo, cost.hi);
+    w.bid.frequency =
+        static_cast<int>(rng.uniform_int(frequency.lo, frequency.hi));
+    workers.push_back(w);
+  }
+  return workers;
+}
+
+std::vector<auction::Task> SraScenario::sample_tasks(util::Rng& rng) const {
+  std::vector<auction::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_tasks));
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back({static_cast<auction::TaskId>(j),
+                     rng.uniform(threshold.lo, threshold.hi)});
+  }
+  return tasks;
+}
+
+SraScenario table3_setting_i(int num_workers, double budget) {
+  SraScenario s;
+  s.num_workers = num_workers;
+  s.num_tasks = 500;
+  s.budget = budget;
+  return s;
+}
+
+SraScenario table3_setting_ii(double budget, int num_workers) {
+  SraScenario s;
+  s.num_workers = num_workers;
+  s.num_tasks = 500;
+  s.budget = budget;
+  return s;
+}
+
+SraScenario table3_setting_iii(int num_tasks, int num_workers) {
+  SraScenario s;
+  s.num_workers = num_workers;
+  s.num_tasks = num_tasks;
+  s.budget = 2000.0;
+  return s;
+}
+
+auction::AuctionConfig LongTermScenario::auction_config() const {
+  auction::AuctionConfig config;
+  config.budget = budget;
+  // Theta_M is implied by the maximum achievable score; Theta_m by the
+  // minimum. Estimates that drift outside the score range are disqualified,
+  // exactly as Algorithm 1 line 1 intends.
+  config.theta_min = score_model.min_score;
+  config.theta_max = score_model.max_score;
+  config.cost_min = cost.lo;
+  config.cost_max = cost.hi;
+  return config;
+}
+
+WorkerPopulationConfig LongTermScenario::population_config() const {
+  WorkerPopulationConfig config;
+  config.count = num_workers;
+  config.cost_min = cost.lo;
+  config.cost_max = cost.hi;
+  config.frequency_min = frequency.lo;
+  config.frequency_max = frequency.hi;
+  config.mix = mix;
+  config.horizon = runs;
+  return config;
+}
+
+std::vector<auction::Task> LongTermScenario::sample_tasks(util::Rng& rng) const {
+  std::vector<auction::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_tasks));
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back({static_cast<auction::TaskId>(j),
+                     rng.uniform(threshold.lo, threshold.hi)});
+  }
+  return tasks;
+}
+
+}  // namespace melody::sim

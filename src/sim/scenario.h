@@ -1,0 +1,70 @@
+// Experiment scenario definitions mirroring the paper's Table 3 (single-run
+// auction settings I-III) and Table 4 (long-term quality updating).
+#pragma once
+
+#include <vector>
+
+#include "auction/types.h"
+#include "sim/score_gen.h"
+#include "sim/worker_model.h"
+#include "util/rng.h"
+
+namespace melody::sim {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct IntRange {
+  int lo = 0;
+  int hi = 0;
+};
+
+/// A single-run SRA instance family (Table 3): parameter ranges from which
+/// workers and tasks are drawn uniformly at random.
+struct SraScenario {
+  Range quality{2.0, 4.0};     // mu_i
+  Range cost{1.0, 2.0};        // c_i
+  IntRange frequency{1, 5};    // n_i
+  Range threshold{6.0, 12.0};  // Q_j
+  int num_workers = 100;
+  int num_tasks = 500;
+  double budget = 800.0;
+
+  /// Auction config whose qualification intervals match the sampling
+  /// ranges (so no sampled worker is filtered out, as in the paper).
+  auction::AuctionConfig auction_config() const;
+
+  std::vector<auction::WorkerProfile> sample_workers(util::Rng& rng) const;
+  std::vector<auction::Task> sample_tasks(util::Rng& rng) const;
+};
+
+/// Table 3 setting I: vary the number of workers; M = 500, B in {600, 800}.
+SraScenario table3_setting_i(int num_workers, double budget);
+/// Table 3 setting II: vary the budget; M = 500, N in {100, 250}.
+SraScenario table3_setting_ii(double budget, int num_workers);
+/// Table 3 setting III: vary the number of tasks; B = 2000, N in {100, 400}.
+SraScenario table3_setting_iii(int num_tasks, int num_workers);
+
+/// The long-term experiment of Table 4 / Fig. 9.
+struct LongTermScenario {
+  int num_workers = 300;     // N
+  int num_tasks = 500;       // M^r, fixed per run
+  int runs = 1000;
+  double budget = 800.0;     // B^r
+  Range cost{1.0, 2.0};      // c_i^r (true, fixed per worker)
+  IntRange frequency{1, 5};  // n_i^r (true, fixed per worker)
+  Range threshold{20.0, 40.0};  // Q_j^r, resampled every run
+  ScoreModel score_model{3.0, 1.0, 10.0};  // sigma_S = 3, scores in [1,10]
+  double initial_mu = 5.5;      // mu-hat^0
+  double initial_sigma = 2.25;  // sigma-hat^0
+  int reestimation_period = 10; // T
+  PopulationMix mix;
+
+  auction::AuctionConfig auction_config() const;
+  WorkerPopulationConfig population_config() const;
+  std::vector<auction::Task> sample_tasks(util::Rng& rng) const;
+};
+
+}  // namespace melody::sim

@@ -1,0 +1,22 @@
+#include "sim/score_gen.h"
+
+#include <algorithm>
+
+namespace melody::sim {
+
+double generate_score(const ScoreModel& model, double latent_quality,
+                      util::Rng& rng) {
+  return std::clamp(rng.normal(latent_quality, model.noise_stddev),
+                    model.min_score, model.max_score);
+}
+
+lds::ScoreSet generate_scores(const ScoreModel& model, double latent_quality,
+                              int task_count, util::Rng& rng) {
+  lds::ScoreSet scores;
+  for (int t = 0; t < task_count; ++t) {
+    scores.add(generate_score(model, latent_quality, rng));
+  }
+  return scores;
+}
+
+}  // namespace melody::sim

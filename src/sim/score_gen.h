@@ -1,0 +1,25 @@
+// Score generation per the emission model (Eq. 13): each completed task
+// yields a score s ~ N(q^r, sigma_S^2), clamped into the platform's score
+// range (Table 4: scores in [1, 10], sigma_S = 3).
+#pragma once
+
+#include "lds/gaussian.h"
+#include "util/rng.h"
+
+namespace melody::sim {
+
+struct ScoreModel {
+  double noise_stddev = 3.0;  // sigma_S
+  double min_score = 1.0;
+  double max_score = 10.0;
+};
+
+/// One score for one completed task given the worker's latent quality.
+double generate_score(const ScoreModel& model, double latent_quality,
+                      util::Rng& rng);
+
+/// The full score set for a worker who completed `task_count` tasks.
+lds::ScoreSet generate_scores(const ScoreModel& model, double latent_quality,
+                              int task_count, util::Rng& rng);
+
+}  // namespace melody::sim

@@ -1,0 +1,99 @@
+#include "sim/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.h"
+
+namespace melody::sim {
+
+std::string to_string(TrajectoryKind kind) {
+  switch (kind) {
+    case TrajectoryKind::kRising: return "rising";
+    case TrajectoryKind::kDeclining: return "declining";
+    case TrajectoryKind::kFluctuating: return "fluctuating";
+    case TrajectoryKind::kStable: return "stable";
+  }
+  return "unknown";
+}
+
+std::vector<double> generate_trajectory(const TrajectoryConfig& config, int runs,
+                                        util::Rng& rng) {
+  std::vector<double> quality;
+  quality.reserve(static_cast<std::size_t>(std::max(runs, 0)));
+  double drift = 0.0;  // integrated noise: a slow random walk
+  for (int r = 1; r <= runs; ++r) {
+    const double progress =
+        std::min(1.0, static_cast<double>(r) / std::max(1, config.horizon));
+    double shape = config.start_level;
+    switch (config.kind) {
+      case TrajectoryKind::kRising:
+        shape += config.swing * progress;
+        break;
+      case TrajectoryKind::kDeclining:
+        shape -= config.swing * progress;
+        break;
+      case TrajectoryKind::kFluctuating:
+        shape += config.swing *
+                 std::sin(2.0 * std::numbers::pi * r / config.period +
+                          config.phase);
+        break;
+      case TrajectoryKind::kStable:
+        break;
+    }
+    drift += rng.normal(0.0, config.noise_stddev);
+    // Pull the walk gently back toward the deterministic shape so the noise
+    // stays a perturbation rather than dominating the pattern.
+    drift *= 0.98;
+    quality.push_back(
+        std::clamp(shape + drift, config.min_quality, config.max_quality));
+  }
+  return quality;
+}
+
+bool is_stable(std::span<const double> quality, const StabilityCriteria& c) {
+  if (quality.size() < 2) return true;
+  const util::LinearFit fit = util::linear_trend(quality);
+  return std::abs(fit.slope) <= c.max_abs_slope &&
+         util::variance(quality) < c.max_variance;
+}
+
+TrajectoryKind sample_kind(const PopulationMix& mix, util::Rng& rng) {
+  const double total = mix.rising + mix.declining + mix.fluctuating + mix.stable;
+  double draw = rng.uniform01() * total;
+  if ((draw -= mix.rising) < 0.0) return TrajectoryKind::kRising;
+  if ((draw -= mix.declining) < 0.0) return TrajectoryKind::kDeclining;
+  if ((draw -= mix.fluctuating) < 0.0) return TrajectoryKind::kFluctuating;
+  return TrajectoryKind::kStable;
+}
+
+TrajectoryConfig sample_config(TrajectoryKind kind, int horizon, util::Rng& rng) {
+  TrajectoryConfig config;
+  config.kind = kind;
+  config.horizon = horizon;
+  switch (kind) {
+    case TrajectoryKind::kRising:
+      config.start_level = rng.uniform(2.0, 5.0);
+      config.swing = rng.uniform(2.5, 4.5);
+      break;
+    case TrajectoryKind::kDeclining:
+      config.start_level = rng.uniform(6.0, 9.0);
+      config.swing = rng.uniform(2.5, 4.5);
+      break;
+    case TrajectoryKind::kFluctuating:
+      config.start_level = rng.uniform(4.5, 6.5);
+      config.swing = rng.uniform(1.5, 3.0);
+      config.period = rng.uniform(120.0, 400.0);
+      config.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      break;
+    case TrajectoryKind::kStable:
+      config.start_level = rng.uniform(3.5, 7.5);
+      config.swing = 0.0;
+      config.noise_stddev = 0.05;
+      break;
+  }
+  return config;
+}
+
+}  // namespace melody::sim

@@ -1,0 +1,68 @@
+// Latent-quality trajectory generators for the four long-term patterns of
+// Fig. 1 (rising, declining, fluctuating, stable), plus the paper's
+// stability classifier (footnote 4) rescaled to the score range.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace melody::sim {
+
+enum class TrajectoryKind { kRising, kDeclining, kFluctuating, kStable };
+
+std::string to_string(TrajectoryKind kind);
+
+/// Shape parameters for one worker's latent quality curve on the score
+/// scale (the paper's Table 4 uses scores in [1, 10]).
+struct TrajectoryConfig {
+  TrajectoryKind kind = TrajectoryKind::kStable;
+  double start_level = 5.5;   // quality at run 0
+  double swing = 3.0;         // total rise/decline, or fluctuation amplitude
+  double period = 200.0;      // fluctuation period in runs
+  double phase = 0.0;         // fluctuation phase offset in radians
+  double noise_stddev = 0.15; // per-run random-walk jitter on the latent state
+  double min_quality = 1.0;   // clamp range (mirrors the score range)
+  double max_quality = 10.0;
+  int horizon = 1000;         // runs over which the rise/decline completes
+};
+
+/// Generate `runs` latent quality values q^1..q^runs. The deterministic
+/// shape is perturbed by an integrated (random-walk) noise term so curves
+/// resemble Fig. 1 rather than a noisy parametric line.
+std::vector<double> generate_trajectory(const TrajectoryConfig& config, int runs,
+                                        util::Rng& rng);
+
+/// Stability thresholds (paper footnote 4: slope within [-0.05, 0.05] and
+/// variance below 100 on a 0-100 quality scale over ~100-run curves).
+/// Rescaled to our [1, 10] score scale (x10) and the 1000-run simulation
+/// horizon: a worker who drifts by >= 2 quality points across the horizon
+/// (slope 0.002/run) is not stable. With these defaults the sampled
+/// population classifies to roughly the paper's 8.5% stable fraction.
+struct StabilityCriteria {
+  double max_abs_slope = 0.002;
+  double max_variance = 1.0;
+};
+
+/// True iff the quality curve is "stable" per the paper's definition.
+bool is_stable(std::span<const double> quality, const StabilityCriteria& c = {});
+
+/// Population mix used by the long-term experiments. The paper reports
+/// 8.5% stable workers; the remainder is split across the dynamic patterns.
+struct PopulationMix {
+  double rising = 0.305;
+  double declining = 0.305;
+  double fluctuating = 0.305;
+  double stable = 0.085;
+};
+
+/// Sample a trajectory kind according to the mix.
+TrajectoryKind sample_kind(const PopulationMix& mix, util::Rng& rng);
+
+/// Sample a full TrajectoryConfig of the given kind with randomized shape
+/// parameters (start level, swing, period, phase) appropriate for the kind.
+TrajectoryConfig sample_config(TrajectoryKind kind, int horizon, util::Rng& rng);
+
+}  // namespace melody::sim

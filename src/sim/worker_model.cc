@@ -1,0 +1,76 @@
+#include "sim/worker_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace melody::sim {
+
+double SimWorker::latent_quality(int run) const {
+  if (latent_.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      std::clamp(run - 1, 0, static_cast<int>(latent_.size()) - 1));
+  return latent_[index];
+}
+
+auction::Bid SimWorker::submitted_bid(const BidPolicy& policy,
+                                      util::Rng& rng) const {
+  auction::Bid bid = true_bid_;
+  if (policy.cheat_probability <= 0.0 || !rng.bernoulli(policy.cheat_probability)) {
+    return bid;
+  }
+  auto signed_magnitude = [&](double magnitude) {
+    switch (policy.direction) {
+      case MisreportDirection::kHigher:
+        return rng.uniform(0.0, magnitude);
+      case MisreportDirection::kLower:
+        return -rng.uniform(0.0, magnitude);
+      case MisreportDirection::kRandom:
+        return rng.uniform(-magnitude, magnitude);
+    }
+    return 0.0;
+  };
+  if (policy.cheat_cost) {
+    bid.cost = std::max(0.01, bid.cost * (1.0 + signed_magnitude(policy.cost_magnitude)));
+  }
+  if (policy.cheat_frequency) {
+    const double delta =
+        signed_magnitude(static_cast<double>(policy.frequency_magnitude));
+    bid.frequency = std::max(
+        1, bid.frequency + static_cast<int>(std::lround(delta)));
+  }
+  return bid;
+}
+
+double SimWorker::utility(const auction::AllocationResult& result) const {
+  // A worker can complete at most his true frequency of tasks; payments for
+  // assignments beyond it are forfeited (Section 7.5: an overbid frequency
+  // cannot raise utility because "the worker's true frequency value remains
+  // unchanged").
+  int remaining = true_bid_.frequency;
+  double utility = 0.0;
+  for (const auto& a : result.assignments) {
+    if (a.worker != id_ || remaining == 0) continue;
+    --remaining;
+    utility += a.payment - true_bid_.cost;
+  }
+  return utility;
+}
+
+std::vector<SimWorker> sample_population(const WorkerPopulationConfig& config,
+                                         util::Rng& rng) {
+  std::vector<SimWorker> workers;
+  workers.reserve(static_cast<std::size_t>(config.count));
+  for (int i = 0; i < config.count; ++i) {
+    const auction::Bid bid{
+        rng.uniform(config.cost_min, config.cost_max),
+        static_cast<int>(rng.uniform_int(config.frequency_min,
+                                         config.frequency_max))};
+    const TrajectoryKind kind = sample_kind(config.mix, rng);
+    const TrajectoryConfig traj = sample_config(kind, config.horizon, rng);
+    workers.emplace_back(static_cast<auction::WorkerId>(i), bid,
+                         generate_trajectory(traj, config.horizon, rng));
+  }
+  return workers;
+}
+
+}  // namespace melody::sim

@@ -1,0 +1,132 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <iterator>
+#include <stdexcept>
+
+namespace melody::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+template <typename Range>
+void CsvWriter::write_cells(const Range& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(cell);
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> cells) {
+  write_cells(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+}
+
+void CsvWriter::write_numeric_row(std::initializer_list<double> cells) {
+  write_numeric_row(std::vector<double>(cells));
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    formatted.emplace_back(buf);
+  }
+  write_cells(formatted);
+}
+
+CsvRows parse_csv(std::string_view text) {
+  CsvRows rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // doubled quote inside a quoted cell
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty() || cell_was_quoted) {
+          throw std::invalid_argument(
+              "parse_csv: quote inside unquoted cell");
+        }
+        in_quotes = true;
+        cell_was_quoted = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;  // swallow CR
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += c;
+    }
+  }
+  if (in_quotes) {
+    throw std::invalid_argument("parse_csv: unterminated quoted cell");
+  }
+  if (!cell.empty() || cell_was_quoted || !row.empty()) end_row();
+  return rows;
+}
+
+CsvRows read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse_csv(text);
+}
+
+}  // namespace melody::util

@@ -1,0 +1,53 @@
+// Minimal CSV writer for bench output (one file per reproduced figure),
+// with RFC 4180-style quoting for string cells.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace melody::util {
+
+/// Streams rows to a CSV file. The file is created on construction and
+/// flushed/closed by the destructor (RAII); write failures throw.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row of raw (string) cells.
+  void write_row(std::initializer_list<std::string_view> cells);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: format a numeric row with full double precision.
+  void write_numeric_row(std::initializer_list<double> cells);
+  void write_numeric_row(const std::vector<double>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Escape a single cell per RFC 4180 (quote when it contains , " or \n).
+  static std::string escape(std::string_view cell);
+
+ private:
+  template <typename Range>
+  void write_cells(const Range& cells);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Parsed CSV contents: rows of string cells.
+using CsvRows = std::vector<std::vector<std::string>>;
+
+/// Parse RFC 4180-style CSV text: quoted cells may contain commas,
+/// doubled quotes, and newlines; both \n and \r\n row endings are
+/// accepted; a trailing newline does not produce an empty row.
+/// Throws std::invalid_argument on an unterminated quoted cell or stray
+/// quote inside an unquoted cell.
+CsvRows parse_csv(std::string_view text);
+
+/// Read and parse a CSV file; throws std::runtime_error if unreadable.
+CsvRows read_csv_file(const std::string& path);
+
+}  // namespace melody::util

@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the tools/ binaries.
+// Supports --key=value, --key value, and bare --switch (value "true");
+// positional arguments are collected in order. No registration step: the
+// caller queries typed getters with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace melody::util {
+
+class Flags {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws std::invalid_argument on a
+  /// malformed flag (e.g. "---x" or empty flag name).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names of flags that were set but never queried — call after all
+  /// getters to reject typos. (Queries are tracked per Flags instance.)
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace melody::util

@@ -1,0 +1,45 @@
+// Fixed-width histogram with CDF extraction and ASCII rendering.
+// Used to reproduce Fig. 5b (distribution of worker utilities).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace melody::util {
+
+/// Equal-width histogram over [lo, hi). Values outside the range are
+/// clamped into the first/last bin so no observation is silently dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+
+  /// Inclusive lower edge of the given bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of the given bin.
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of observations in the given bin (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+  /// Cumulative distribution evaluated at each bin's upper edge.
+  std::vector<double> cdf() const;
+
+  /// Multi-line ASCII bar rendering (for bench output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace melody::util

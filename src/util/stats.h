@@ -1,0 +1,71 @@
+// Small statistics toolkit used by the metrics layer, the trajectory
+// classifier (Fig. 1 stability definition), and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace melody::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long runs; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n). Zero for fewer than two samples.
+  double variance() const noexcept;
+  /// Sample variance (divide by n-1). Zero for fewer than two samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination; zero when variance of y is zero.
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit over (x, y) pairs. Requires xs.size() == ys.size();
+/// returns a flat fit for fewer than two points.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares fit of ys against x = 0, 1, 2, ... (time series trend).
+LinearFit linear_trend(std::span<const double> ys);
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double median(std::vector<double> xs);        // by-value: sorts a copy
+
+/// q-th quantile (0 <= q <= 1) with linear interpolation; sorts a copy.
+double quantile(std::vector<double> xs, double q);
+
+/// Mean absolute difference between two equal-length series.
+double mean_absolute_error(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square difference between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient; zero if either series is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace melody::util

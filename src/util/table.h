@@ -1,0 +1,36 @@
+// Console table printer used by the bench harness to emit the same rows
+// the paper's tables/figures report, aligned for human reading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace melody::util {
+
+/// Accumulates rows of string cells and renders them with per-column
+/// alignment, a header separator, and an optional title banner.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: the first cell is a label, the rest are
+  /// formatted with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render the table; if title is nonempty it is printed as a banner.
+  std::string render(const std::string& title = {}) const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = {}) const;
+
+  static std::string format(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace melody::util

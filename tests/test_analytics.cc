@@ -1,0 +1,96 @@
+// Worker-pool analytics: trajectory classification and population reports.
+#include "sim/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace melody::sim {
+namespace {
+
+std::vector<double> line(double start, double slope, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(start + slope * i);
+  return out;
+}
+
+TEST(Classify, RisingDecliningStable) {
+  EXPECT_EQ(classify_trajectory(line(3.0, 0.01, 200)), TrajectoryKind::kRising);
+  EXPECT_EQ(classify_trajectory(line(8.0, -0.01, 200)),
+            TrajectoryKind::kDeclining);
+  EXPECT_EQ(classify_trajectory(line(5.0, 0.0, 200)), TrajectoryKind::kStable);
+}
+
+TEST(Classify, FluctuatingNeedsVarianceWithoutTrend) {
+  std::vector<double> zigzag;
+  for (int i = 0; i < 200; ++i) zigzag.push_back(i % 2 == 0 ? 3.0 : 8.0);
+  EXPECT_EQ(classify_trajectory(zigzag), TrajectoryKind::kFluctuating);
+}
+
+TEST(Classify, ShortCurvesDefaultToStable) {
+  EXPECT_EQ(classify_trajectory(line(1.0, 1.0, 5)), TrajectoryKind::kStable);
+  EXPECT_EQ(classify_trajectory({}), TrajectoryKind::kStable);
+}
+
+TEST(Classify, CustomCriteria) {
+  ClassificationCriteria strict;
+  strict.trend_slope = 0.05;
+  // Slope 0.01 is "flat" under the strict criteria; low variance -> stable.
+  EXPECT_EQ(classify_trajectory(line(5.0, 0.002, 100), strict),
+            TrajectoryKind::kStable);
+}
+
+TEST(Classify, AgreesWithGeneratorsOnSampledCurves) {
+  util::Rng rng(3);
+  int agreements = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const auto kind = sample_kind({}, rng);
+    const auto config = sample_config(kind, 1000, rng);
+    const auto curve = generate_trajectory(config, 1000, rng);
+    if (classify_trajectory(curve) == kind) ++agreements;
+  }
+  // Noise makes perfect agreement impossible; most curves must classify
+  // back to the generating pattern.
+  EXPECT_GT(agreements, trials * 2 / 3);
+}
+
+TEST(Report, CountsAndFractions) {
+  std::vector<std::vector<double>> histories{
+      line(3.0, 0.01, 200),   // rising
+      line(8.0, -0.01, 200),  // declining
+      line(5.0, 0.0, 200),    // stable
+      line(5.0, 0.0, 200),    // stable
+  };
+  const PopulationReport report = analyze_population(histories);
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.rising, 1u);
+  EXPECT_EQ(report.declining, 1u);
+  EXPECT_EQ(report.stable, 2u);
+  EXPECT_DOUBLE_EQ(report.fraction(TrajectoryKind::kStable), 0.5);
+  EXPECT_DOUBLE_EQ(report.fraction(TrajectoryKind::kFluctuating), 0.0);
+  // mean change: (+1.99 - 1.99 + 0 + 0) / 4 = 0.
+  EXPECT_NEAR(report.mean_change, 0.0, 1e-9);
+  EXPECT_NEAR(report.mean_final_quality, (4.99 + 6.01 + 5.0 + 5.0) / 4.0,
+              1e-9);
+}
+
+TEST(Report, EmptyPopulation) {
+  const PopulationReport report = analyze_population({});
+  EXPECT_EQ(report.total, 0u);
+  EXPECT_EQ(report.fraction(TrajectoryKind::kRising), 0.0);
+  EXPECT_EQ(report.mean_final_quality, 0.0);
+}
+
+TEST(Report, ToStringContainsAllParts) {
+  std::vector<std::vector<double>> histories{line(3.0, 0.01, 200)};
+  const std::string text = to_string(analyze_population(histories));
+  EXPECT_NE(text.find("1 workers"), std::string::npos);
+  EXPECT_NE(text.find("rising 100.0%"), std::string::npos);
+  EXPECT_NE(text.find("mean final quality"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace melody::sim

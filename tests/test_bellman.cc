@@ -1,0 +1,143 @@
+// Value-iteration tests for the Theorem-5 long-term utility recursion.
+#include "core/bellman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace melody::core {
+namespace {
+
+TEST(QualityGridTest, ValuesAndStep) {
+  QualityGrid grid;
+  grid.quality_min = 0.0;
+  grid.quality_max = 10.0;
+  grid.points = 11;
+  EXPECT_DOUBLE_EQ(grid.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.value(10), 10.0);
+  EXPECT_DOUBLE_EQ(grid.value(5), 5.0);
+  EXPECT_DOUBLE_EQ(grid.step(), 1.0);
+}
+
+TEST(QualityGridTest, DegenerateSinglePoint) {
+  QualityGrid grid;
+  grid.points = 1;
+  EXPECT_DOUBLE_EQ(grid.value(0), grid.quality_min);
+  EXPECT_DOUBLE_EQ(grid.step(), 0.0);
+}
+
+TEST(ValueIteration, MissingCallbacksThrow) {
+  BellmanConfig config;
+  EXPECT_THROW(value_iteration(config, {}), std::invalid_argument);
+}
+
+TEST(ValueIteration, ZeroUtilityGivesZeroValue) {
+  BellmanConfig config;
+  config.iterations = 20;
+  StageModel model;
+  model.assignment_probability = [](double) { return 0.5; };
+  model.utility_when_assigned = [](double) { return 0.0; };
+  for (double v : value_iteration(config, model)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ValueIteration, ValueGrowsWithIterations) {
+  BellmanConfig config;
+  StageModel model;
+  model.assignment_probability = [](double) { return 1.0; };
+  model.utility_when_assigned = [](double) { return 1.0; };
+  config.iterations = 10;
+  const auto v10 = value_iteration(config, model);
+  config.iterations = 20;
+  const auto v20 = value_iteration(config, model);
+  for (std::size_t s = 0; s < v10.size(); ++s) EXPECT_GT(v20[s], v10[s]);
+}
+
+TEST(ValueIteration, ConstantModelAccumulatesExactly) {
+  // p = 1, u = 1, any transition: V after k iterations is exactly k.
+  BellmanConfig config;
+  config.iterations = 15;
+  StageModel model;
+  model.assignment_probability = [](double) { return 1.0; };
+  model.utility_when_assigned = [](double) { return 1.0; };
+  for (double v : value_iteration(config, model)) EXPECT_NEAR(v, 15.0, 1e-9);
+}
+
+TEST(ValueIteration, DominanceHigherPerRunUtility) {
+  // The induction step of Theorem 5: pointwise-higher per-run utility
+  // (truthful, by Theorem 4) implies pointwise-higher long-term value.
+  BellmanConfig config;
+  config.iterations = 60;
+  StageModel truthful;
+  truthful.assignment_probability = [](double mu) {
+    return std::min(1.0, mu / 10.0);
+  };
+  truthful.utility_when_assigned = [](double mu) { return 0.1 + 0.02 * mu; };
+  StageModel untruthful = truthful;
+  untruthful.utility_when_assigned = [](double mu) {
+    return 0.08 + 0.02 * mu;  // strictly dominated per-run utility
+  };
+  const auto v_truthful = value_iteration(config, truthful);
+  const auto v_untruthful = value_iteration(config, untruthful);
+  for (std::size_t s = 0; s < v_truthful.size(); ++s) {
+    EXPECT_GE(v_truthful[s], v_untruthful[s] - 1e-12);
+  }
+}
+
+TEST(ValueIteration, DominanceWithDifferentAssignmentProbability) {
+  // Untruthful bidding may change the assignment probability too; the
+  // value under dominated per-run utility still cannot win when utilities
+  // are non-negative and truthful utility is pointwise maximal.
+  BellmanConfig config;
+  config.iterations = 60;
+  StageModel truthful;
+  truthful.assignment_probability = [](double mu) {
+    return std::min(1.0, 0.2 + mu / 15.0);
+  };
+  truthful.utility_when_assigned = [](double mu) { return 0.05 * mu; };
+  StageModel cheat = truthful;
+  cheat.assignment_probability = [](double mu) {
+    return std::min(1.0, 0.1 + mu / 20.0);  // loses rank by overbidding
+  };
+  cheat.utility_when_assigned = [](double mu) { return 0.04 * mu; };
+  const auto v_truthful = value_iteration(config, truthful);
+  const auto v_cheat = value_iteration(config, cheat);
+  for (std::size_t s = 0; s < v_truthful.size(); ++s) {
+    EXPECT_GE(v_truthful[s], v_cheat[s] - 1e-12);
+  }
+}
+
+TEST(ValueIteration, HigherQualityStatesEarnMore) {
+  BellmanConfig config;
+  config.iterations = 80;
+  config.transition_stddev = 0.3;
+  StageModel model;
+  model.assignment_probability = [](double mu) {
+    return std::min(1.0, mu / 10.0);
+  };
+  model.utility_when_assigned = [](double) { return 0.5; };
+  const auto v = value_iteration(config, model);
+  // Compare the bottom and top of the grid.
+  EXPECT_GT(v.back(), v.front());
+}
+
+TEST(ValueIteration, TransitionPullsValueAcrossStates) {
+  // With a = 1 and large stddev, even zero-probability states inherit
+  // value through neighbours; with tiny stddev they stay near zero.
+  BellmanConfig wide;
+  wide.iterations = 40;
+  wide.transition_stddev = 3.0;
+  BellmanConfig narrow = wide;
+  narrow.transition_stddev = 0.05;
+  StageModel model;
+  // Only high-quality states are ever assigned.
+  model.assignment_probability = [](double mu) { return mu > 8.0 ? 1.0 : 0.5; };
+  model.utility_when_assigned = [](double mu) { return mu > 8.0 ? 1.0 : 0.0; };
+  const auto v_wide = value_iteration(wide, model);
+  const auto v_narrow = value_iteration(narrow, model);
+  // At the low end of the grid, wide diffusion carries more value down.
+  EXPECT_GT(v_wide.front(), v_narrow.front());
+}
+
+}  // namespace
+}  // namespace melody::core

@@ -1,0 +1,89 @@
+// Dual bin packing (bin covering) substrate tests: greedy vs exact vs the
+// trivial upper bound, on hand instances and random sweeps.
+#include "auction/dbp.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace melody::auction {
+namespace {
+
+TEST(DbpGreedy, HandInstances) {
+  // Items that pair up exactly: 6 items of size 0.5, capacity 1 -> 3 bins.
+  const std::vector<double> halves(6, 0.5);
+  EXPECT_EQ(dbp_greedy(halves, 1.0), 3u);
+
+  // Greedy next-fit-decreasing on {0.6, 0.6, 0.4, 0.4}: sorted descending,
+  // bin1 = {0.6, 0.6} covers; bin2 = {0.4, 0.4} does not -> 1 bin.
+  const std::vector<double> mixed{0.6, 0.6, 0.4, 0.4};
+  EXPECT_EQ(dbp_greedy(mixed, 1.0), 1u);
+  // Exact pairs them better: {0.6, 0.4} x 2 -> 2 bins.
+  EXPECT_EQ(dbp_exact(mixed, 1.0), 2u);
+}
+
+TEST(DbpGreedy, NoItemsNoBins) {
+  EXPECT_EQ(dbp_greedy({}, 1.0), 0u);
+  EXPECT_EQ(dbp_exact({}, 1.0), 0u);
+  EXPECT_EQ(dbp_upper_bound({}, 1.0), 0u);
+}
+
+TEST(DbpGreedy, SingleLargeItem) {
+  const std::vector<double> items{5.0};
+  EXPECT_EQ(dbp_greedy(items, 1.0), 1u);
+  EXPECT_EQ(dbp_exact(items, 1.0), 1u);
+  // The trivial bound over-counts: 5 bins.
+  EXPECT_EQ(dbp_upper_bound(items, 1.0), 5u);
+}
+
+TEST(DbpGreedy, InsufficientMass) {
+  const std::vector<double> items{0.3, 0.3};
+  EXPECT_EQ(dbp_greedy(items, 1.0), 0u);
+  EXPECT_EQ(dbp_exact(items, 1.0), 0u);
+}
+
+TEST(Dbp, InvalidCapacityThrows) {
+  const std::vector<double> items{1.0};
+  EXPECT_THROW(dbp_greedy(items, 0.0), std::invalid_argument);
+  EXPECT_THROW(dbp_exact(items, -1.0), std::invalid_argument);
+  EXPECT_THROW(dbp_upper_bound(items, 0.0), std::invalid_argument);
+}
+
+TEST(DbpExact, RejectsOversizedInstances) {
+  const std::vector<double> items(kDbpExactMaxItems + 1, 1.0);
+  EXPECT_THROW(dbp_exact(items, 1.0), std::invalid_argument);
+}
+
+TEST(DbpExact, KnownOptimal) {
+  // {0.9, 0.9, 0.1, 0.1, 0.5, 0.5}: optimal pairs (0.9, 0.1) x 2 + (0.5,
+  // 0.5) = 3 bins.
+  const std::vector<double> items{0.9, 0.9, 0.1, 0.1, 0.5, 0.5};
+  EXPECT_EQ(dbp_exact(items, 1.0), 3u);
+}
+
+class DbpRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbpRandomSweep, GreedyLeqExactLeqUpperBound) {
+  util::Rng rng(GetParam());
+  std::vector<double> items(static_cast<std::size_t>(rng.uniform_int(3, 12)));
+  for (double& item : items) item = rng.uniform(0.1, 1.2);
+  const double capacity = rng.uniform(0.8, 2.0);
+
+  const std::size_t greedy = dbp_greedy(items, capacity);
+  const std::size_t exact = dbp_exact(items, capacity);
+  const std::size_t bound = dbp_upper_bound(items, capacity);
+  EXPECT_LE(greedy, exact);
+  EXPECT_LE(exact, bound);
+  // Csirik et al.: simple greedy covers at least half as many bins as the
+  // mass bound allows minus one; in particular exact <= 2*greedy + 1.
+  EXPECT_LE(exact, 2 * greedy + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbpRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace melody::auction

@@ -1,0 +1,139 @@
+// Dual SRA (footnote 6): minimize spend for a target utility.
+#include "auction/dual_sra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace melody::auction {
+namespace {
+
+AuctionConfig open_config() {
+  AuctionConfig config;  // budget ignored by the dual form
+  return config;
+}
+
+// Ranking queue (mu/c): w0 (4/1), w1 (3/1), w2 (4/2), w3 (2/2).
+std::vector<WorkerProfile> four_workers() {
+  return {{0, {1.0, 5}, 4.0},
+          {1, {1.0, 5}, 3.0},
+          {2, {2.0, 5}, 4.0},
+          {3, {2.0, 5}, 2.0}};
+}
+
+TEST(DualSra, HandComputedMinimumBudget) {
+  // Tasks Q = 6 and Q = 7: P(6) = 3.5 (w0 + w1 at ratio 0.5) and
+  // P(7) = 3.5 as well; target one task -> the cheaper one only.
+  const auto workers = four_workers();
+  const std::vector<Task> tasks{{0, 6.0}, {1, 7.0}};
+  const auto result = run_dual_sra(workers, tasks, open_config(), 1);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_EQ(result.allocation.requester_utility(), 1u);
+  EXPECT_DOUBLE_EQ(result.required_budget, 3.5);
+  const auto both = run_dual_sra(workers, tasks, open_config(), 2);
+  EXPECT_TRUE(both.target_met);
+  EXPECT_EQ(both.allocation.requester_utility(), 2u);
+  EXPECT_DOUBLE_EQ(both.required_budget, 7.0);
+}
+
+TEST(DualSra, TargetZeroCommitsNothing) {
+  const auto workers = four_workers();
+  const std::vector<Task> tasks{{0, 6.0}};
+  const auto result = run_dual_sra(workers, tasks, open_config(), 0);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_EQ(result.required_budget, 0.0);
+  EXPECT_TRUE(result.allocation.assignments.empty());
+}
+
+TEST(DualSra, UnreachableTargetReported) {
+  const auto workers = four_workers();
+  const std::vector<Task> tasks{{0, 6.0}};
+  const auto result = run_dual_sra(workers, tasks, open_config(), 5);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.allocation.requester_utility(), 1u);  // best effort
+}
+
+TEST(DualSra, AgreesWithPrimalAtItsOwnBudget) {
+  // Running the primal auction with exactly the dual's required budget must
+  // reach the same utility — the two forms are stage-2 duals of the same
+  // pre-allocation.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::SraScenario scenario;
+    scenario.num_workers = 80;
+    scenario.num_tasks = 50;
+    util::Rng rng(seed);
+    const auto workers = scenario.sample_workers(rng);
+    const auto tasks = scenario.sample_tasks(rng);
+    auto config = scenario.auction_config();
+
+    for (std::size_t target : {5u, 15u, 30u}) {
+      const auto dual = run_dual_sra(workers, tasks, config, target);
+      if (!dual.target_met) continue;
+      EXPECT_EQ(dual.allocation.requester_utility(), target);
+      // Tiny headroom guards against accumulation-order rounding between
+      // the dual's running sum and the primal's running subtraction.
+      config.budget = dual.required_budget + 1e-9;
+      MelodyAuction primal;
+      const auto primal_result = primal.run(workers, tasks, config);
+      EXPECT_GE(primal_result.requester_utility(), target)
+          << "seed " << seed << " target " << target;
+    }
+  }
+}
+
+TEST(DualSra, RequiredBudgetMonotoneInTarget) {
+  sim::SraScenario scenario;
+  scenario.num_workers = 60;
+  scenario.num_tasks = 40;
+  util::Rng rng(9);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+  double previous = 0.0;
+  for (std::size_t target = 1; target <= 20; ++target) {
+    const auto result = run_dual_sra(workers, tasks, config, target);
+    if (!result.target_met) break;
+    EXPECT_GE(result.required_budget, previous);
+    previous = result.required_budget;
+  }
+}
+
+TEST(DualSra, RequiredBudgetEqualsAllocationPayment) {
+  sim::SraScenario scenario;
+  scenario.num_workers = 60;
+  scenario.num_tasks = 40;
+  util::Rng rng(10);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto result = run_dual_sra(workers, tasks, scenario.auction_config(), 10);
+  EXPECT_NEAR(result.required_budget, result.allocation.total_payment(), 1e-9);
+}
+
+TEST(DualSra, FeasibilityValidatorsPass) {
+  sim::SraScenario scenario;
+  scenario.num_workers = 70;
+  scenario.num_tasks = 30;
+  util::Rng rng(11);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto result = run_dual_sra(workers, tasks, scenario.auction_config(), 12);
+  EXPECT_EQ(check_frequency_feasibility(result.allocation, workers), "");
+  EXPECT_EQ(check_task_satisfaction(result.allocation, workers, tasks), "");
+}
+
+TEST(DualSra, PaperRuleVariantRuns) {
+  const auto workers = four_workers();
+  const std::vector<Task> tasks{{0, 6.0}};
+  const auto result = run_dual_sra(workers, tasks, open_config(), 1,
+                                   PaymentRule::kPaperNextInQueue);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_DOUBLE_EQ(result.required_budget, 3.5);
+}
+
+}  // namespace
+}  // namespace melody::auction

@@ -1,0 +1,207 @@
+// EM learner (Algorithm 2) tests: likelihood monotonicity, parameter
+// recovery on synthetic LDS data, M-step properties, and degenerate-input
+// guards.
+#include "lds/em.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lds/smoother.h"
+#include "util/rng.h"
+
+namespace melody::lds {
+namespace {
+
+/// Generate a synthetic worker history from ground-truth LDS parameters.
+ScoreHistory synthesize(const LdsParams& truth, const Gaussian& init, int runs,
+                        int scores_per_run, util::Rng& rng) {
+  ScoreHistory history;
+  double q = rng.normal(init.mean, init.stddev());
+  for (int r = 0; r < runs; ++r) {
+    q = truth.a * q + rng.normal(0.0, std::sqrt(truth.gamma));
+    ScoreSet set;
+    for (int s = 0; s < scores_per_run; ++s) {
+      set.add(q + rng.normal(0.0, std::sqrt(truth.eta)));
+    }
+    history.push_back(set);
+  }
+  return history;
+}
+
+TEST(EmFit, EmptyHistoryReturnsInitialParams) {
+  const LdsParams init_params{0.9, 0.5, 2.0};
+  const EmResult result = fit_lds({5.5, 2.25}, {}, init_params);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.params, init_params);
+}
+
+TEST(EmFit, LogLikelihoodMonotoneNonDecreasing) {
+  util::Rng rng(17);
+  const LdsParams truth{0.99, 0.3, 4.0};
+  const Gaussian init{5.5, 2.25};
+  const ScoreHistory history = synthesize(truth, init, 80, 3, rng);
+
+  EmOptions options;
+  options.max_iterations = 40;
+  options.tolerance = 0.0;  // force all iterations
+  const EmResult result =
+      fit_lds(init, history, LdsParams{1.0, 1.0, 1.0}, options);
+  ASSERT_GE(result.log_likelihood_trace.size(), 2u);
+  for (std::size_t i = 1; i < result.log_likelihood_trace.size(); ++i) {
+    EXPECT_GE(result.log_likelihood_trace[i],
+              result.log_likelihood_trace[i - 1] - 1e-6)
+        << "EM likelihood decreased at iteration " << i;
+  }
+}
+
+TEST(EmFit, ImprovesLikelihoodOverInitialGuess) {
+  util::Rng rng(23);
+  const LdsParams truth{0.98, 0.5, 2.0};
+  const Gaussian init{5.5, 2.25};
+  const ScoreHistory history = synthesize(truth, init, 120, 4, rng);
+  const LdsParams guess{1.0, 5.0, 10.0};
+  const double before = log_likelihood(init, history, guess);
+  const EmResult result = fit_lds(init, history, guess);
+  const double after = log_likelihood(init, history, result.params);
+  EXPECT_GT(after, before);
+}
+
+TEST(EmFit, RecoversEmissionVariance) {
+  // eta is the best-identified parameter (many scores per run).
+  util::Rng rng(31);
+  const LdsParams truth{1.0, 0.05, 4.0};
+  const Gaussian init{5.5, 1.0};
+  const ScoreHistory history = synthesize(truth, init, 300, 8, rng);
+  const EmResult result = fit_lds(init, history, LdsParams{1.0, 1.0, 1.0});
+  EXPECT_NEAR(result.params.eta, truth.eta, 1.0);
+}
+
+TEST(EmFit, RecoversTransitionCoefficientSign) {
+  util::Rng rng(37);
+  const LdsParams truth{0.95, 0.2, 1.0};
+  const Gaussian init{5.0, 1.0};
+  const ScoreHistory history = synthesize(truth, init, 400, 5, rng);
+  const EmResult result = fit_lds(init, history, LdsParams{1.0, 1.0, 1.0});
+  EXPECT_GT(result.params.a, 0.8);
+  EXPECT_LT(result.params.a, 1.1);
+}
+
+TEST(EmFit, VarianceFloorsAreRespected) {
+  // Constant scores in every run: the unconstrained eta MLE is ~0; the
+  // floor must keep the model proper.
+  ScoreHistory history;
+  for (int r = 0; r < 20; ++r) {
+    ScoreSet set;
+    for (int i = 0; i < 3; ++i) set.add(5.0);
+    history.push_back(set);
+  }
+  EmOptions options;
+  options.min_variance = 1e-4;
+  const EmResult result =
+      fit_lds({5.0, 1.0}, history, LdsParams{1.0, 1.0, 1.0}, options);
+  EXPECT_GE(result.params.eta, options.min_variance);
+  EXPECT_GE(result.params.gamma, options.min_variance);
+}
+
+TEST(EmFit, TransitionClampApplies) {
+  // A history that rises explosively would push a above the clamp.
+  ScoreHistory history;
+  double level = 1.0;
+  for (int r = 0; r < 15; ++r) {
+    level *= 6.0;
+    ScoreSet set;
+    set.add(level);
+    history.push_back(set);
+  }
+  EmOptions options;
+  options.max_abs_a = 2.0;
+  const EmResult result =
+      fit_lds({1.0, 1.0}, history, LdsParams{1.0, 1.0, 1.0}, options);
+  EXPECT_LE(std::abs(result.params.a), 2.0 + 1e-12);
+}
+
+TEST(EmFit, ConvergesBeforeMaxIterations) {
+  util::Rng rng(41);
+  const ScoreHistory history =
+      synthesize(LdsParams{1.0, 0.2, 1.0}, {5.0, 1.0}, 100, 3, rng);
+  EmOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-8;
+  const EmResult result =
+      fit_lds({5.0, 1.0}, history, LdsParams{1.0, 1.0, 1.0}, options);
+  EXPECT_LT(result.iterations, 200);
+}
+
+TEST(EmFit, SingleRunHistoryDoesNotCrash) {
+  ScoreHistory history;
+  history.push_back(ScoreSet::from(std::vector<double>{4.0, 6.0}));
+  const EmResult result = fit_lds({5.0, 1.0}, history, LdsParams{1.0, 1.0, 1.0});
+  EXPECT_GT(result.params.gamma, 0.0);
+  EXPECT_GT(result.params.eta, 0.0);
+}
+
+TEST(EmFit, HistoryWithEmptyRunsHandled) {
+  util::Rng rng(43);
+  ScoreHistory history = synthesize(LdsParams{1.0, 0.3, 2.0}, {5.0, 1.0}, 60,
+                                    2, rng);
+  for (std::size_t t = 0; t < history.size(); t += 3) history[t] = ScoreSet{};
+  const EmResult result = fit_lds({5.0, 1.0}, history, LdsParams{1.0, 1.0, 1.0});
+  EXPECT_GT(result.params.eta, 0.0);
+  EXPECT_TRUE(std::isfinite(result.log_likelihood_trace.back()));
+}
+
+TEST(MStep, ClosedFormOnDeterministicMoments) {
+  // Hand-crafted moments: q_t = 2, 4 with zero variances; one run with one
+  // score of 5 at t=1... use a 1-run history for full control.
+  ScoreHistory history;
+  history.push_back(ScoreSet::from(std::vector<double>{5.0}));
+  SmootherResult moments;
+  moments.smoothed = {Gaussian{2.0, 0.0}, Gaussian{4.0, 0.0}};
+  moments.cross_covariance = {0.0, 0.0};
+  EmOptions options;
+  options.min_variance = 1e-9;
+  options.max_abs_a = 10.0;
+  const LdsParams params = m_step({2.0, 1.0}, history, moments, options);
+  // a* = E[q1 q0] / E[q0^2] = 8 / 4 = 2.
+  EXPECT_NEAR(params.a, 2.0, 1e-12);
+  // gamma* = E[(q1 - a q0)^2] = (4 - 2*2)^2 = 0 -> floored.
+  EXPECT_NEAR(params.gamma, options.min_variance, 1e-12);
+  // eta* = (5 - q1)^2 = 1.
+  EXPECT_NEAR(params.eta, 1.0, 1e-12);
+}
+
+// Parameterized recovery sweep over ground-truth regimes.
+struct EmCase {
+  double a, gamma, eta;
+  std::uint64_t seed;
+};
+
+class EmRecovery : public ::testing::TestWithParam<EmCase> {};
+
+TEST_P(EmRecovery, FittedModelBeatsMispecifiedBaseline) {
+  const auto& c = GetParam();
+  util::Rng rng(c.seed);
+  const LdsParams truth{c.a, c.gamma, c.eta};
+  const Gaussian init{5.5, 2.25};
+  const ScoreHistory history = synthesize(truth, init, 200, 4, rng);
+  const EmResult fit = fit_lds(init, history, LdsParams{1.0, 1.0, 1.0});
+  const double fitted = log_likelihood(init, history, fit.params);
+  // A deliberately mis-specified model must not beat the EM fit.
+  const double mispecified =
+      log_likelihood(init, history, LdsParams{1.0, 10.0, 0.1});
+  EXPECT_GE(fitted, mispecified);
+  // And the fit should be close to the truth's likelihood.
+  const double oracle = log_likelihood(init, history, truth);
+  EXPECT_GE(fitted, oracle - 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, EmRecovery,
+    ::testing::Values(EmCase{1.0, 0.1, 1.0, 101}, EmCase{0.95, 0.5, 4.0, 102},
+                      EmCase{1.0, 0.02, 9.0, 103}, EmCase{0.9, 1.0, 0.5, 104},
+                      EmCase{1.01, 0.2, 2.0, 105}));
+
+}  // namespace
+}  // namespace melody::lds

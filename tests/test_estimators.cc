@@ -1,0 +1,347 @@
+// Unit tests for the four quality estimators, including the MELODY
+// tracker's newcomer handling and periodic EM re-estimation (Algorithm 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "estimators/melody_estimator.h"
+#include "estimators/ml_ar_estimator.h"
+#include "estimators/ml_cr_estimator.h"
+#include "estimators/static_estimator.h"
+#include "util/rng.h"
+
+namespace melody::estimators {
+namespace {
+
+lds::ScoreSet scores_of(std::initializer_list<double> values) {
+  return lds::ScoreSet::from(std::vector<double>(values));
+}
+
+TEST(StaticEstimatorTest, InitialEstimateBeforeScores) {
+  StaticEstimator e(5.5, 3);
+  e.register_worker(1);
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.5);
+}
+
+TEST(StaticEstimatorTest, AveragesWarmupThenFreezes) {
+  StaticEstimator e(5.5, 2);
+  e.register_worker(1);
+  e.observe(1, scores_of({4.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 4.0);
+  e.observe(1, scores_of({8.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 6.0);
+  // Warm-up over: further scores are ignored.
+  e.observe(1, scores_of({100.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 6.0);
+}
+
+TEST(StaticEstimatorTest, EmptyRunsCountTowardWarmup) {
+  StaticEstimator e(5.5, 2);
+  e.register_worker(1);
+  e.observe(1, {});
+  e.observe(1, {});
+  e.observe(1, scores_of({9.0}));  // arrives after warm-up: ignored
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.5);
+}
+
+TEST(StaticEstimatorTest, UnknownWorkerThrows) {
+  StaticEstimator e(5.5);
+  EXPECT_THROW(e.estimate(99), std::out_of_range);
+  EXPECT_THROW(e.observe(99, {}), std::out_of_range);
+}
+
+TEST(MlCrTest, TracksCurrentRunOnly) {
+  MlCurrentRunEstimator e(5.5);
+  e.register_worker(1);
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.5);
+  e.observe(1, scores_of({2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 3.0);
+  e.observe(1, scores_of({9.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 9.0);  // history forgotten
+}
+
+TEST(MlCrTest, EmptyRunKeepsPreviousEstimate) {
+  MlCurrentRunEstimator e(5.5);
+  e.register_worker(1);
+  e.observe(1, scores_of({7.0}));
+  e.observe(1, {});
+  EXPECT_DOUBLE_EQ(e.estimate(1), 7.0);
+}
+
+TEST(MlArTest, AveragesAllHistoryEqually) {
+  MlAllRunsEstimator e(5.5);
+  e.register_worker(1);
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.5);
+  e.observe(1, scores_of({2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 3.0);
+  e.observe(1, scores_of({9.0}));
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.0);  // (2+4+9)/3
+  e.observe(1, {});
+  EXPECT_DOUBLE_EQ(e.estimate(1), 5.0);
+}
+
+TEST(MlArTest, SlowToAdaptByConstruction) {
+  // After a long flat history, one run at a new level barely moves ML-AR
+  // but fully moves ML-CR — the paper's under- vs over-fitting contrast.
+  MlAllRunsEstimator ar(5.5);
+  MlCurrentRunEstimator cr(5.5);
+  ar.register_worker(1);
+  cr.register_worker(1);
+  for (int r = 0; r < 50; ++r) {
+    ar.observe(1, scores_of({4.0}));
+    cr.observe(1, scores_of({4.0}));
+  }
+  ar.observe(1, scores_of({9.0}));
+  cr.observe(1, scores_of({9.0}));
+  EXPECT_LT(ar.estimate(1), 4.5);
+  EXPECT_DOUBLE_EQ(cr.estimate(1), 9.0);
+}
+
+TEST(MelodyEstimatorTest, NewcomerUsesInitialPosterior) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.5, 2.25};
+  config.initial_params = {0.9, 1.0, 9.0};
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  // Eq. (19): estimate is a * mu-hat^0.
+  EXPECT_DOUBLE_EQ(e.estimate(1), 0.9 * 5.5);
+  EXPECT_EQ(e.posterior(1).mean, 5.5);
+}
+
+TEST(MelodyEstimatorTest, ObserveAppliesTheorem3) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.5, 2.25};
+  config.initial_params = {1.0, 0.5, 2.0};
+  config.reestimation_period = 0;  // isolate the Kalman path
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  const lds::ScoreSet set = scores_of({6.0, 7.0});
+  e.observe(1, set);
+  const lds::Gaussian expected =
+      lds::filter_step({5.5, 2.25}, set, {1.0, 0.5, 2.0});
+  EXPECT_NEAR(e.posterior(1).mean, expected.mean, 1e-12);
+  EXPECT_NEAR(e.posterior(1).var, expected.var, 1e-12);
+  EXPECT_NEAR(e.estimate(1), expected.mean, 1e-12);  // a = 1
+}
+
+TEST(MelodyEstimatorTest, EmptyObservationFreezesChainByDefault) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.0, 1.0};
+  config.initial_params = {1.0, 0.5, 2.0};
+  config.reestimation_period = 0;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  e.observe(1, {});
+  // Participation-indexed chain: an idle run changes nothing.
+  EXPECT_DOUBLE_EQ(e.posterior(1).mean, 5.0);
+  EXPECT_DOUBLE_EQ(e.posterior(1).var, 1.0);
+}
+
+TEST(MelodyEstimatorTest, EmptyObservationPropagatesPriorWhenConfigured) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.0, 1.0};
+  config.initial_params = {1.0, 0.5, 2.0};
+  config.reestimation_period = 0;
+  config.advance_on_empty_runs = true;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  e.observe(1, {});
+  EXPECT_DOUBLE_EQ(e.posterior(1).mean, 5.0);
+  EXPECT_DOUBLE_EQ(e.posterior(1).var, 1.5);  // variance grows by gamma
+}
+
+TEST(MelodyEstimatorTest, IdleDecayArtifactOnlyInPerRunMode) {
+  // With a < 1 and a long idle stretch, per-run propagation decays the
+  // estimate toward the clamp floor; the participation-indexed default
+  // keeps the last posterior.
+  for (bool advance : {false, true}) {
+    MelodyEstimatorConfig config;
+    config.initial_posterior = {6.0, 1.0};
+    config.initial_params = {0.9, 0.2, 2.0};
+    config.reestimation_period = 0;
+    config.advance_on_empty_runs = advance;
+    MelodyEstimator e(config);
+    e.register_worker(1);
+    for (int r = 0; r < 50; ++r) e.observe(1, {});
+    if (advance) {
+      EXPECT_NEAR(e.estimate(1), config.estimate_min, 1e-6);
+    } else {
+      EXPECT_NEAR(e.estimate(1), 0.9 * 6.0, 1e-12);
+    }
+  }
+}
+
+TEST(MelodyEstimatorTest, ConvergesToConstantSignal) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.5, 2.25};
+  config.initial_params = {1.0, 0.1, 4.0};
+  config.reestimation_period = 0;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  for (int r = 0; r < 100; ++r) e.observe(1, scores_of({8.0, 8.0, 8.0}));
+  EXPECT_NEAR(e.estimate(1), 8.0, 0.1);
+}
+
+TEST(MelodyEstimatorTest, EmTriggersEveryTRuns) {
+  MelodyEstimatorConfig config;
+  config.reestimation_period = 5;
+  config.min_history_for_em = 5;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  util::Rng rng(3);
+  for (int r = 1; r <= 20; ++r) {
+    lds::ScoreSet set;
+    for (int i = 0; i < 3; ++i) set.add(rng.uniform(4.0, 7.0));
+    e.observe(1, set);
+    EXPECT_EQ(e.reestimation_count(1), r / 5) << "run " << r;
+  }
+}
+
+TEST(MelodyEstimatorTest, EmDisabledWhenPeriodZero) {
+  MelodyEstimatorConfig config;
+  config.reestimation_period = 0;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  for (int r = 0; r < 30; ++r) e.observe(1, scores_of({5.0}));
+  EXPECT_EQ(e.reestimation_count(1), 0);
+}
+
+TEST(MelodyEstimatorTest, EmRespectsMinimumHistory) {
+  MelodyEstimatorConfig config;
+  config.reestimation_period = 2;
+  config.min_history_for_em = 10;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  for (int r = 0; r < 9; ++r) e.observe(1, scores_of({5.0}));
+  EXPECT_EQ(e.reestimation_count(1), 0);
+  e.observe(1, scores_of({5.0}));
+  EXPECT_EQ(e.reestimation_count(1), 1);
+}
+
+TEST(MelodyEstimatorTest, EmAdaptsParamsTowardData) {
+  // Feed noisy scores with high emission variance; EM should raise eta
+  // from a too-confident initial value.
+  MelodyEstimatorConfig config;
+  config.initial_params = {1.0, 0.5, 0.5};
+  config.reestimation_period = 10;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  util::Rng rng(7);
+  for (int r = 0; r < 60; ++r) {
+    lds::ScoreSet set;
+    for (int i = 0; i < 5; ++i) set.add(rng.normal(5.5, 3.0));
+    e.observe(1, set);
+  }
+  EXPECT_GT(e.params(1).eta, 2.0);
+}
+
+TEST(MelodyEstimatorTest, TracksDriftFasterThanMlAr) {
+  // A rising worker: MELODY's dynamic model must lag less than ML-AR.
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {3.0, 2.25};
+  MelodyEstimator melody(config);
+  MlAllRunsEstimator ar(3.0);
+  melody.register_worker(1);
+  ar.register_worker(1);
+  util::Rng rng(11);
+  double q = 3.0;
+  for (int r = 0; r < 200; ++r) {
+    q += 0.025;  // rises from 3 to 8
+    lds::ScoreSet set;
+    for (int i = 0; i < 3; ++i) set.add(rng.normal(q, 1.0));
+    melody.observe(1, set);
+    ar.observe(1, set);
+  }
+  EXPECT_LT(std::abs(melody.estimate(1) - q), std::abs(ar.estimate(1) - q));
+}
+
+TEST(MelodyEstimatorTest, RegisterIsIdempotentViaTryEmplace) {
+  MelodyEstimator e;
+  e.register_worker(1);
+  e.observe(1, scores_of({9.0}));
+  const double after = e.estimate(1);
+  e.register_worker(1);  // must not reset state
+  EXPECT_DOUBLE_EQ(e.estimate(1), after);
+}
+
+TEST(MelodyEstimatorTest, ExplorationBonusGrowsWhileStarved) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {2.0, 1.0};
+  config.reestimation_period = 0;
+  config.exploration_beta = 1.0;
+  MelodyEstimator explorer(config);
+  config.exploration_beta = 0.0;
+  MelodyEstimator plain(config);
+  explorer.register_worker(1);
+  plain.register_worker(1);
+  double previous = explorer.estimate(1);
+  for (int r = 0; r < 50; ++r) {
+    explorer.observe(1, {});
+    plain.observe(1, {});
+    EXPECT_GE(explorer.estimate(1), previous);  // bonus only grows while idle
+    previous = explorer.estimate(1);
+  }
+  EXPECT_GT(explorer.estimate(1), plain.estimate(1));
+  EXPECT_LE(explorer.estimate(1), config.estimate_max);
+}
+
+TEST(MelodyEstimatorTest, ExplorationBonusShrinksWithObservations) {
+  MelodyEstimatorConfig config;
+  config.initial_posterior = {5.0, 1.0};
+  config.reestimation_period = 0;
+  config.exploration_beta = 1.0;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  for (int r = 0; r < 100; ++r) e.observe(1, scores_of({5.0, 5.0, 5.0}));
+  // Constantly observed: the bonus ~ sqrt(log(n)/n) -> small.
+  EXPECT_NEAR(e.estimate(1), 5.0, 0.4);
+}
+
+TEST(MelodyEstimatorTest, WindowedHistoryMatchesUnboundedPosterior) {
+  // Without EM, the filter is exactly sequential, so the window bound must
+  // not change the posterior at all.
+  MelodyEstimatorConfig unbounded;
+  unbounded.reestimation_period = 0;
+  MelodyEstimatorConfig windowed = unbounded;
+  windowed.max_history = 5;
+  MelodyEstimator a(unbounded), b(windowed);
+  a.register_worker(1);
+  b.register_worker(1);
+  util::Rng rng(19);
+  for (int r = 0; r < 40; ++r) {
+    lds::ScoreSet set;
+    set.add(rng.uniform(2.0, 9.0));
+    a.observe(1, set);
+    b.observe(1, set);
+  }
+  EXPECT_NEAR(a.posterior(1).mean, b.posterior(1).mean, 1e-12);
+  EXPECT_NEAR(a.posterior(1).var, b.posterior(1).var, 1e-12);
+}
+
+TEST(MelodyEstimatorTest, WindowedHistoryStillRunsEm) {
+  MelodyEstimatorConfig config;
+  config.reestimation_period = 10;
+  config.max_history = 12;
+  MelodyEstimator e(config);
+  e.register_worker(1);
+  util::Rng rng(23);
+  for (int r = 0; r < 50; ++r) {
+    lds::ScoreSet set;
+    for (int s = 0; s < 3; ++s) set.add(rng.normal(6.0, 2.0));
+    e.observe(1, set);
+  }
+  EXPECT_GE(e.reestimation_count(1), 4);
+  // The windowed fit still converges near the data.
+  EXPECT_NEAR(e.estimate(1), 6.0, 1.0);
+}
+
+TEST(MelodyEstimatorTest, InvalidInitialParamsThrow) {
+  MelodyEstimatorConfig config;
+  config.initial_params = {1.0, -1.0, 1.0};
+  EXPECT_THROW(MelodyEstimator{config}, std::domain_error);
+}
+
+}  // namespace
+}  // namespace melody::estimators

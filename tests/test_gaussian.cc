@@ -1,0 +1,107 @@
+#include "lds/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace melody::lds {
+namespace {
+
+TEST(Gaussian, DefaultIsStandardNormal) {
+  const Gaussian g;
+  EXPECT_EQ(g.mean, 0.0);
+  EXPECT_EQ(g.var, 1.0);
+  EXPECT_NEAR(g.pdf(0.0), 1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-12);
+}
+
+TEST(Gaussian, PdfIntegratesToOne) {
+  const Gaussian g{2.0, 4.0};
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = -20.0; x < 24.0; x += dx) integral += g.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(Gaussian, LogPdfMatchesPdf) {
+  const Gaussian g{1.5, 0.25};
+  for (double x : {-1.0, 0.0, 1.5, 3.0}) {
+    EXPECT_NEAR(std::exp(g.log_pdf(x)), g.pdf(x), 1e-12);
+  }
+}
+
+TEST(Gaussian, PdfSymmetricAroundMean) {
+  const Gaussian g{5.0, 2.0};
+  EXPECT_NEAR(g.pdf(4.0), g.pdf(6.0), 1e-12);
+}
+
+TEST(Gaussian, NonPositiveVarianceThrows) {
+  const Gaussian g{0.0, 0.0};
+  EXPECT_THROW(g.log_pdf(0.0), std::domain_error);
+  const Gaussian neg{0.0, -1.0};
+  EXPECT_THROW(neg.pdf(0.0), std::domain_error);
+}
+
+TEST(Gaussian, StdDev) {
+  const Gaussian g{0.0, 9.0};
+  EXPECT_DOUBLE_EQ(g.stddev(), 3.0);
+}
+
+TEST(GaussianProduct, PrecisionWeightedMean) {
+  const Gaussian a{0.0, 1.0};
+  const Gaussian b{10.0, 1.0};
+  const Gaussian p = product(a, b);
+  EXPECT_NEAR(p.mean, 5.0, 1e-12);
+  EXPECT_NEAR(p.var, 0.5, 1e-12);
+}
+
+TEST(GaussianProduct, TighterComponentDominates) {
+  const Gaussian broad{0.0, 100.0};
+  const Gaussian tight{3.0, 0.01};
+  const Gaussian p = product(broad, tight);
+  EXPECT_NEAR(p.mean, 3.0, 0.01);
+  EXPECT_LT(p.var, tight.var);
+}
+
+TEST(GaussianProduct, Commutative) {
+  const Gaussian a{1.0, 2.0};
+  const Gaussian b{4.0, 3.0};
+  const Gaussian ab = product(a, b);
+  const Gaussian ba = product(b, a);
+  EXPECT_NEAR(ab.mean, ba.mean, 1e-12);
+  EXPECT_NEAR(ab.var, ba.var, 1e-12);
+}
+
+TEST(GaussianProduct, InvalidVarianceThrows) {
+  EXPECT_THROW(product({0.0, 0.0}, {0.0, 1.0}), std::domain_error);
+}
+
+TEST(ScoreSetTest, Accumulates) {
+  ScoreSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.sum_squares, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(ScoreSetTest, EmptyMeanIsZero) {
+  const ScoreSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(ScoreSetTest, FromSpan) {
+  const std::vector<double> scores{1.0, 2.0, 3.0};
+  const ScoreSet s = ScoreSet::from(scores);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.sum_squares, 14.0);
+}
+
+}  // namespace
+}  // namespace melody::lds

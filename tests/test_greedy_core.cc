@@ -1,0 +1,120 @@
+// Direct unit tests of the internal greedy machinery shared by the primal
+// and dual auctions.
+#include "auction/greedy_core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace melody::auction::internal {
+namespace {
+
+AuctionConfig open_config() { return AuctionConfig{}; }
+
+TEST(BuildRankingQueue, SortsByQualityPerCostDescending) {
+  const std::vector<WorkerProfile> workers{
+      {0, {2.0, 1}, 4.0},  // ratio 2
+      {1, {1.0, 1}, 4.0},  // ratio 4
+      {2, {1.0, 1}, 3.0},  // ratio 3
+  };
+  const auto queue = build_ranking_queue(workers, open_config());
+  ASSERT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue[0]->id, 1);
+  EXPECT_EQ(queue[1]->id, 2);
+  EXPECT_EQ(queue[2]->id, 0);
+}
+
+TEST(BuildRankingQueue, TiesBreakById) {
+  const std::vector<WorkerProfile> workers{
+      {5, {1.0, 1}, 3.0}, {2, {1.0, 1}, 3.0}, {9, {1.0, 1}, 3.0}};
+  const auto queue = build_ranking_queue(workers, open_config());
+  EXPECT_EQ(queue[0]->id, 2);
+  EXPECT_EQ(queue[1]->id, 5);
+  EXPECT_EQ(queue[2]->id, 9);
+}
+
+TEST(BuildRankingQueue, FiltersInvalidAndUnqualified) {
+  AuctionConfig config;
+  config.theta_min = 2.0;
+  const std::vector<WorkerProfile> workers{
+      {0, {1.0, 1}, 3.0},   // ok
+      {1, {0.0, 1}, 3.0},   // zero cost
+      {2, {1.0, 0}, 3.0},   // zero frequency
+      {3, {1.0, 1}, 0.0},   // zero quality
+      {4, {1.0, 1}, 1.5},   // below theta_min
+  };
+  const auto queue = build_ranking_queue(workers, config);
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0]->id, 0);
+}
+
+TEST(PreAllocate, ResultSortedByTotalPayment) {
+  const std::vector<WorkerProfile> workers{
+      {0, {1.0, 5}, 4.0}, {1, {1.0, 5}, 3.0}, {2, {2.0, 5}, 4.0},
+      {3, {2.0, 5}, 2.0}};
+  const auto queue = build_ranking_queue(workers, open_config());
+  const std::vector<Task> tasks{{0, 7.0}, {1, 3.0}, {2, 5.0}};
+  const auto pre =
+      pre_allocate(queue, tasks, PaymentRule::kCriticalValue);
+  ASSERT_GE(pre.size(), 2u);
+  for (std::size_t i = 1; i < pre.size(); ++i) {
+    EXPECT_LE(pre[i - 1].total_payment, pre[i].total_payment);
+  }
+}
+
+TEST(PreAllocate, PaymentsParallelWinners) {
+  const std::vector<WorkerProfile> workers{
+      {0, {1.0, 5}, 4.0}, {1, {1.0, 5}, 3.0}, {2, {2.0, 5}, 4.0},
+      {3, {2.0, 5}, 2.0}};
+  const auto queue = build_ranking_queue(workers, open_config());
+  const std::vector<Task> tasks{{0, 6.0}};
+  const auto pre = pre_allocate(queue, tasks, PaymentRule::kCriticalValue);
+  ASSERT_EQ(pre.size(), 1u);
+  EXPECT_EQ(pre[0].winners.size(), pre[0].payments.size());
+  double total = 0.0;
+  for (double p : pre[0].payments) total += p;
+  EXPECT_NEAR(pre[0].total_payment, total, 1e-12);
+}
+
+TEST(PreAllocate, EmptyQueueProducesNothing) {
+  const std::vector<const WorkerProfile*> queue;
+  const std::vector<Task> tasks{{0, 5.0}};
+  EXPECT_TRUE(pre_allocate(queue, tasks, PaymentRule::kCriticalValue).empty());
+}
+
+TEST(Commit, AppendsAssignmentsAndSelection) {
+  const std::vector<WorkerProfile> workers{{0, {1.0, 5}, 4.0},
+                                           {1, {1.0, 5}, 3.0},
+                                           {2, {2.0, 5}, 4.0}};
+  const auto queue = build_ranking_queue(workers, open_config());
+  const std::vector<Task> tasks{{7, 4.0}};
+  const auto pre = pre_allocate(queue, tasks, PaymentRule::kCriticalValue);
+  ASSERT_EQ(pre.size(), 1u);
+  AllocationResult result;
+  commit(pre[0], queue, tasks, result);
+  ASSERT_EQ(result.selected_tasks.size(), 1u);
+  EXPECT_EQ(result.selected_tasks[0], 7);
+  ASSERT_EQ(result.assignments.size(), pre[0].winners.size());
+  EXPECT_EQ(result.assignments[0].task, 7);
+}
+
+TEST(PreAllocate, PaperRuleUsesSingleReference) {
+  // All winners of a task share the same payment ratio under the paper
+  // rule; under the critical rule ratios may differ per winner.
+  const std::vector<WorkerProfile> workers{
+      {0, {1.0, 5}, 4.0}, {1, {1.2, 5}, 3.0}, {2, {2.0, 5}, 4.0},
+      {3, {2.0, 5}, 2.0}};
+  const auto queue = build_ranking_queue(workers, open_config());
+  const std::vector<Task> tasks{{0, 6.5}};
+  const auto paper = pre_allocate(queue, tasks, PaymentRule::kPaperNextInQueue);
+  ASSERT_EQ(paper.size(), 1u);
+  ASSERT_EQ(paper[0].winners.size(), 2u);
+  const double ratio0 =
+      paper[0].payments[0] / queue[paper[0].winners[0]]->estimated_quality;
+  const double ratio1 =
+      paper[0].payments[1] / queue[paper[0].winners[1]]->estimated_quality;
+  EXPECT_NEAR(ratio0, ratio1, 1e-12);
+}
+
+}  // namespace
+}  // namespace melody::auction::internal

@@ -1,0 +1,147 @@
+// Grid-filter-backed tracker: agreement with the Kalman tracker for
+// Gaussian emissions and end-to-end non-Gaussian tracking.
+#include "estimators/grid_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "estimators/melody_estimator.h"
+#include "util/rng.h"
+
+namespace melody::estimators {
+namespace {
+
+lds::ScoreSet scores_of(std::initializer_list<double> values) {
+  return lds::ScoreSet::from(std::vector<double>(values));
+}
+
+GridEstimatorConfig gaussian_config() {
+  GridEstimatorConfig config;
+  config.quality_min = -10.0;
+  config.quality_max = 20.0;
+  config.grid_points = 1200;
+  config.initial_posterior = {5.5, 2.25};
+  config.params = {1.0, 0.5, 4.0};
+  return config;
+}
+
+TEST(GridEstimatorTest, MatchesKalmanTrackerForGaussianEmissions) {
+  GridEstimator grid(gaussian_config());
+  MelodyEstimatorConfig kalman_config;
+  kalman_config.initial_posterior = {5.5, 2.25};
+  kalman_config.initial_params = {1.0, 0.5, 4.0};
+  kalman_config.reestimation_period = 0;  // fixed params, like the grid
+  kalman_config.estimate_min = -100.0;    // disable clamps for the compare
+  kalman_config.estimate_max = 100.0;
+  MelodyEstimator kalman(kalman_config);
+
+  grid.register_worker(1);
+  kalman.register_worker(1);
+  util::Rng rng(4);
+  for (int r = 0; r < 25; ++r) {
+    lds::ScoreSet set;
+    const int n = static_cast<int>(rng.uniform_int(0, 3));
+    for (int s = 0; s < n; ++s) set.add(rng.uniform(2.0, 9.0));
+    grid.observe(1, set);
+    kalman.observe(1, set);
+    EXPECT_NEAR(grid.posterior_mean(1), kalman.posterior(1).mean, 2e-3)
+        << "run " << r;
+    EXPECT_NEAR(grid.posterior_variance(1), kalman.posterior(1).var, 2e-2)
+        << "run " << r;
+  }
+  EXPECT_NEAR(grid.estimate(1), kalman.estimate(1), 2e-3);
+}
+
+TEST(GridEstimatorTest, RegisterIsIdempotent) {
+  GridEstimator e(gaussian_config());
+  e.register_worker(1);
+  e.observe(1, scores_of({8.0, 8.0}));
+  const double after = e.estimate(1);
+  e.register_worker(1);
+  EXPECT_DOUBLE_EQ(e.estimate(1), after);
+}
+
+TEST(GridEstimatorTest, EmptyRunFreezesByDefault) {
+  GridEstimator e(gaussian_config());
+  e.register_worker(1);
+  const double before_mean = e.posterior_mean(1);
+  const double before_var = e.posterior_variance(1);
+  e.observe(1, {});
+  EXPECT_NEAR(e.posterior_mean(1), before_mean, 1e-12);
+  EXPECT_NEAR(e.posterior_variance(1), before_var, 1e-12);
+}
+
+TEST(GridEstimatorTest, AdvanceOnEmptyGrowsVariance) {
+  auto config = gaussian_config();
+  config.advance_on_empty_runs = true;
+  GridEstimator e(config);
+  e.register_worker(1);
+  const double before = e.posterior_variance(1);
+  e.observe(1, {});
+  EXPECT_GT(e.posterior_variance(1), before);
+}
+
+TEST(GridEstimatorTest, PoissonCountTrackingEndToEnd) {
+  // Worker "quality" is a rate of useful annotations per task; the
+  // platform observes counts. No Gaussian anywhere in the emission.
+  GridEstimatorConfig config;
+  config.quality_min = 0.1;
+  config.quality_max = 25.0;
+  config.grid_points = 800;
+  config.initial_posterior = {5.0, 4.0};
+  config.params = {1.0, 0.05, 1.0};
+  config.emission = lds::poisson_emission();
+  GridEstimator e(config);
+  e.register_worker(1);
+  util::Rng rng(9);
+  // True rate 9: sample Poisson(9) by inversion.
+  auto sample_poisson = [&](double mean) {
+    double u = rng.uniform01();
+    int k = 0;
+    double p = std::exp(-mean);
+    double cdf = p;
+    while (u > cdf && k < 200) {
+      ++k;
+      p *= mean / (k);
+      cdf += p;
+    }
+    return static_cast<double>(k);
+  };
+  for (int r = 0; r < 60; ++r) {
+    std::vector<double> counts{sample_poisson(9.0), sample_poisson(9.0)};
+    e.observe_scores(1, counts);
+  }
+  EXPECT_NEAR(e.estimate(1), 9.0, 0.8);
+}
+
+TEST(GridEstimatorTest, BetaAccuracyTrackingEndToEnd) {
+  // Worker quality is an accuracy in (0, 1) observed as Beta samples.
+  GridEstimatorConfig config;
+  config.quality_min = 0.02;
+  config.quality_max = 0.98;
+  config.grid_points = 600;
+  config.initial_posterior = {0.5, 0.05};
+  config.params = {1.0, 0.0005, 1.0};
+  config.emission = lds::beta_emission(12.0);
+  GridEstimator e(config);
+  e.register_worker(1);
+  util::Rng rng(11);
+  for (int r = 0; r < 80; ++r) {
+    // Observations concentrated around true accuracy 0.85.
+    std::vector<double> obs{std::clamp(rng.normal(0.85, 0.08), 0.03, 0.97)};
+    e.observe_scores(1, obs);
+  }
+  EXPECT_NEAR(e.estimate(1), 0.85, 0.07);
+}
+
+TEST(GridEstimatorTest, NameAndConfigValidation) {
+  EXPECT_EQ(GridEstimator(gaussian_config()).name(), "GRID");
+  GridEstimatorConfig bad = gaussian_config();
+  bad.params.gamma = 0.0;
+  EXPECT_THROW(GridEstimator{bad}, std::domain_error);
+}
+
+}  // namespace
+}  // namespace melody::estimators

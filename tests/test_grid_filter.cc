@@ -1,0 +1,175 @@
+// Grid-based general-form filter (Theorem 2): agreement with the
+// closed-form Gaussian filter (Theorem 3), plus the non-Gaussian emission
+// families Section 5 mentions.
+#include "lds/grid_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace melody::lds {
+namespace {
+
+GridDensity wide_grid() { return GridDensity(-20.0, 30.0, 2000); }
+
+TEST(GridDensityTest, ConstructionValidation) {
+  EXPECT_THROW(GridDensity(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(GridDensity(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(GridDensityTest, UniformHasMidpointMean) {
+  GridDensity g(0.0, 10.0, 100);
+  EXPECT_NEAR(g.mean(), 5.0, 1e-9);
+  // Uniform on [0, 10]: variance 100/12.
+  EXPECT_NEAR(g.variance(), 100.0 / 12.0, 0.01);
+}
+
+TEST(GridDensityTest, AssignGaussianMoments) {
+  GridDensity g(-10.0, 20.0, 3000);
+  const Gaussian target{5.5, 2.25};
+  g.assign([&](double q) { return target.pdf(q); });
+  EXPECT_NEAR(g.mean(), 5.5, 1e-6);
+  EXPECT_NEAR(g.variance(), 2.25, 1e-4);
+}
+
+TEST(GridDensityTest, VanishingDensityThrows) {
+  GridDensity g(0.0, 1.0, 10);
+  EXPECT_THROW(g.assign([](double) { return 0.0; }), std::domain_error);
+}
+
+TEST(GridDensityTest, WeightsIntegrateToOne) {
+  GridDensity g(-5.0, 5.0, 500);
+  g.assign([](double q) { return std::exp(-q * q); });
+  double total = 0.0;
+  for (double w : g.weights()) total += w;
+  EXPECT_NEAR(total * g.cell_width(), 1.0, 1e-9);
+}
+
+TEST(GridFilterTest, MatchesClosedFormGaussianFilter) {
+  const LdsParams params{0.97, 0.4, 2.0};
+  const Gaussian init{5.5, 2.25};
+  GridFilter grid(wide_grid(), init, params, gaussian_emission(params.eta));
+
+  Gaussian closed_form = init;
+  util::Rng rng(3);
+  for (int r = 0; r < 15; ++r) {
+    std::vector<double> scores;
+    const int n = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) scores.push_back(rng.uniform(1.0, 10.0));
+    grid.step(scores);
+    closed_form = filter_step(closed_form, ScoreSet::from(scores), params);
+    EXPECT_NEAR(grid.mean(), closed_form.mean, 1e-3) << "run " << r;
+    EXPECT_NEAR(grid.variance(), closed_form.var, 1e-2) << "run " << r;
+  }
+}
+
+TEST(GridFilterTest, LogMarginalMatchesClosedForm) {
+  const LdsParams params{1.0, 0.5, 3.0};
+  const Gaussian init{5.0, 2.0};
+  GridFilter grid(wide_grid(), init, params, gaussian_emission(params.eta));
+  const std::vector<double> scores{4.0, 6.5, 5.2};
+
+  const double grid_logml = grid.step(scores);
+  const Gaussian prior = predict(init, params);
+  const double closed_logml =
+      log_marginal(prior, ScoreSet::from(scores), params);
+  EXPECT_NEAR(grid_logml, closed_logml, 1e-3);
+}
+
+TEST(GridFilterTest, EmptyStepOnlyPredicts) {
+  const LdsParams params{1.0, 0.5, 1.0};
+  const Gaussian init{5.0, 1.0};
+  GridFilter grid(wide_grid(), init, params, gaussian_emission(params.eta));
+  const double logml = grid.step({});
+  EXPECT_NEAR(logml, 0.0, 1e-6);  // no evidence consumed
+  EXPECT_NEAR(grid.mean(), 5.0, 1e-3);
+  EXPECT_NEAR(grid.variance(), 1.5, 1e-2);
+}
+
+TEST(GridFilterTest, PoissonEmissionTracksCountMean) {
+  // Scores are counts with mean q: feeding counts around 6 must pull the
+  // posterior toward 6.
+  const LdsParams params{1.0, 0.05, 1.0};  // eta unused by Poisson
+  const Gaussian init{3.0, 2.0};
+  GridFilter grid(GridDensity(0.1, 20.0, 1500), init, params,
+                  poisson_emission());
+  util::Rng rng(7);
+  for (int r = 0; r < 40; ++r) {
+    std::vector<double> counts;
+    for (int i = 0; i < 3; ++i) {
+      // Crude Poisson(6) sampler via inversion on small support.
+      double u = rng.uniform01();
+      int k = 0;
+      double p = std::exp(-6.0);
+      double cdf = p;
+      while (u > cdf && k < 40) {
+        ++k;
+        p *= 6.0 / k;
+        cdf += p;
+      }
+      counts.push_back(k);
+    }
+    grid.step(counts);
+  }
+  EXPECT_NEAR(grid.mean(), 6.0, 0.5);
+}
+
+TEST(GridFilterTest, GammaEmissionTracksPositiveMean) {
+  const LdsParams params{1.0, 0.02, 1.0};
+  const Gaussian init{2.0, 1.0};
+  GridFilter grid(GridDensity(0.1, 15.0, 1500), init, params,
+                  gamma_emission(/*shape=*/4.0));
+  util::Rng rng(11);
+  for (int r = 0; r < 60; ++r) {
+    // Gamma(shape=4, mean=5) samples via sum of 4 exponentials of mean 1.25.
+    std::vector<double> scores;
+    for (int i = 0; i < 2; ++i) {
+      double s = 0.0;
+      for (int e = 0; e < 4; ++e) s += -1.25 * std::log(1.0 - rng.uniform01());
+      scores.push_back(s);
+    }
+    grid.step(scores);
+  }
+  EXPECT_NEAR(grid.mean(), 5.0, 0.6);
+}
+
+TEST(GridFilterTest, BetaEmissionStaysInUnitInterval) {
+  const LdsParams params{1.0, 0.001, 1.0};
+  const Gaussian init{0.5, 0.05};
+  GridFilter grid(GridDensity(0.01, 0.99, 800), init, params,
+                  beta_emission(/*concentration=*/10.0));
+  util::Rng rng(13);
+  for (int r = 0; r < 50; ++r) {
+    // Accuracy observations clustered around 0.8.
+    std::vector<double> scores{std::clamp(rng.normal(0.8, 0.1), 0.02, 0.98)};
+    grid.step(scores);
+  }
+  EXPECT_NEAR(grid.mean(), 0.8, 0.08);
+  EXPECT_GT(grid.mean(), 0.0);
+  EXPECT_LT(grid.mean(), 1.0);
+}
+
+TEST(GridFilterTest, EmissionValidation) {
+  EXPECT_THROW(gaussian_emission(0.0), std::invalid_argument);
+  EXPECT_THROW(gamma_emission(-1.0), std::invalid_argument);
+  EXPECT_THROW(beta_emission(0.0), std::invalid_argument);
+  const LdsParams params{1.0, 0.5, 1.0};
+  EXPECT_THROW(GridFilter(wide_grid(), {5.0, 1.0}, params, nullptr),
+               std::invalid_argument);
+}
+
+TEST(GridFilterTest, ZeroLikelihoodEverywhereThrows) {
+  const LdsParams params{1.0, 0.5, 1.0};
+  GridFilter grid(GridDensity(0.1, 0.9, 100), {0.5, 0.05}, params,
+                  poisson_emission());
+  // A negative count has zero probability under any Poisson mean.
+  const std::vector<double> impossible{-3.0};
+  EXPECT_THROW(grid.step(impossible), std::domain_error);
+}
+
+}  // namespace
+}  // namespace melody::lds

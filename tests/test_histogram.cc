@@ -1,0 +1,86 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace melody::util {
+namespace {
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+  EXPECT_THROW(h.bin_hi(5), std::out_of_range);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(1.0);  // exactly at hi clamps into the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double total = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {1.0, 3.0, 5.0, 7.0, 9.0, 9.5}) h.add(x);
+  const auto cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 5u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(Histogram, CdfOfEmptyIsZeros) {
+  Histogram h(0.0, 1.0, 3);
+  for (double v : h.cdf()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Histogram, RenderContainsCountsAndBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string rendered = h.render(10);
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+  EXPECT_NE(rendered.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace melody::util

@@ -1,0 +1,151 @@
+// Majority-voting scoring substrate (footnote 5).
+#include "sim/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace melody::sim {
+namespace {
+
+TEST(LabelAccuracy, CalibrationEndpoints) {
+  const LabelingModel model;
+  EXPECT_NEAR(label_accuracy(model, 1.0, 2), 0.5, 1e-12);   // chance
+  EXPECT_NEAR(label_accuracy(model, 10.0, 2), 0.97, 1e-12); // max
+  EXPECT_NEAR(label_accuracy(model, 1.0, 4), 0.25, 1e-12);
+  // Midpoint is linear.
+  EXPECT_NEAR(label_accuracy(model, 5.5, 2), 0.5 + 0.5 * 0.47, 1e-12);
+}
+
+TEST(LabelAccuracy, ClampsOutOfRangeQuality) {
+  const LabelingModel model;
+  EXPECT_NEAR(label_accuracy(model, -5.0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(label_accuracy(model, 99.0, 2), 0.97, 1e-12);
+}
+
+TEST(LabelAccuracy, RejectsDegenerateClasses) {
+  EXPECT_THROW(label_accuracy({}, 5.0, 1), std::invalid_argument);
+}
+
+TEST(SampleLabel, HighQualityMostlyCorrect) {
+  const LabelingModel model;
+  const LabelingTask task{0, 4, 2};
+  util::Rng rng(1);
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_label(model, task, 7, 10.0, rng).value == task.truth) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(n), 0.97, 0.01);
+}
+
+TEST(SampleLabel, ChanceQualityUniform) {
+  const LabelingModel model;
+  const LabelingTask task{0, 4, 1};
+  util::Rng rng(2);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sample_label(model, task, 7, 1.0, rng).value];
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(counts[c] / static_cast<double>(n), 0.25, 0.02);
+  }
+}
+
+TEST(SampleLabel, LabelsAlwaysInClassRange) {
+  const LabelingTask task{0, 3, 2};
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Label label = sample_label(LabelingModel{}, task, 1, 1.0, rng);
+    EXPECT_GE(label.value, 0);
+    EXPECT_LT(label.value, 3);
+    EXPECT_EQ(label.worker, 1);
+    EXPECT_EQ(label.task, 0);
+  }
+}
+
+TEST(Aggregate, UnweightedMajority) {
+  const std::vector<Label> labels{{1, 0, 2}, {2, 0, 2}, {3, 0, 1}};
+  const std::vector<double> weights(3, 0.0);  // all zero -> unweighted
+  EXPECT_EQ(aggregate_labels(labels, weights), 2);
+}
+
+TEST(Aggregate, WeightsOverrideHeadcount) {
+  // Two low-weight votes for class 1 vs one high-weight vote for class 0.
+  const std::vector<Label> labels{{1, 0, 1}, {2, 0, 1}, {3, 0, 0}};
+  const std::vector<double> weights{1.0, 1.0, 5.0};
+  EXPECT_EQ(aggregate_labels(labels, weights), 0);
+}
+
+TEST(Aggregate, TieBreaksTowardSmallerClass) {
+  const std::vector<Label> labels{{1, 0, 1}, {2, 0, 0}};
+  const std::vector<double> weights{1.0, 1.0};
+  EXPECT_EQ(aggregate_labels(labels, weights), 0);
+}
+
+TEST(Aggregate, EmptyAndErrors) {
+  EXPECT_EQ(aggregate_labels({}, {}), -1);
+  const std::vector<Label> labels{{1, 0, 0}};
+  EXPECT_THROW(aggregate_labels(labels, {}), std::invalid_argument);
+  EXPECT_THROW(aggregate_labels(labels, {-1.0}), std::invalid_argument);
+}
+
+TEST(AgreementScore, MatchesScale) {
+  const LabelingModel model;
+  const Label agreeing{1, 0, 2};
+  const Label dissenting{2, 0, 1};
+  EXPECT_DOUBLE_EQ(agreement_score(model, agreeing, 2), 10.0);
+  EXPECT_DOUBLE_EQ(agreement_score(model, dissenting, 2), 1.0);
+}
+
+TEST(RunLabelingTask, CrowdOfExpertsFindsTruth) {
+  const LabelingModel model;
+  LabelingTask task{0, 3, 1};
+  util::Rng rng(5);
+  const std::vector<auction::WorkerId> workers{1, 2, 3, 4, 5};
+  const std::vector<double> qualities(5, 9.5);
+  const std::vector<double> weights(5, 9.5);
+  int correct = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const TaskOutcome outcome =
+        run_labeling_task(model, task, workers, qualities, weights, rng);
+    if (outcome.aggregate_correct) ++correct;
+    ASSERT_EQ(outcome.labels.size(), 5u);
+    ASSERT_EQ(outcome.scores.size(), 5u);
+  }
+  EXPECT_GT(correct, 195);
+}
+
+TEST(RunLabelingTask, WeightedCrowdBeatsUnweightedWithSpammers) {
+  // Three spammers (chance) + two experts: estimate-weighted voting should
+  // recover the truth more often than headcount voting.
+  const LabelingModel model;
+  util::Rng rng(6);
+  const std::vector<auction::WorkerId> workers{1, 2, 3, 4, 5};
+  const std::vector<double> qualities{1.0, 1.0, 1.0, 9.5, 9.5};
+  const std::vector<double> informed{1.0, 1.0, 1.0, 9.5, 9.5};
+  const std::vector<double> uniform{0.0, 0.0, 0.0, 0.0, 0.0};
+  int weighted_correct = 0, unweighted_correct = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    LabelingTask task{0, 4, trial % 4};
+    weighted_correct +=
+        run_labeling_task(model, task, workers, qualities, informed, rng)
+            .aggregate_correct;
+    unweighted_correct +=
+        run_labeling_task(model, task, workers, qualities, uniform, rng)
+            .aggregate_correct;
+  }
+  EXPECT_GT(weighted_correct, unweighted_correct);
+}
+
+TEST(RunLabelingTask, SizeMismatchThrows) {
+  const LabelingModel model;
+  const LabelingTask task{0, 2, 0};
+  util::Rng rng(7);
+  EXPECT_THROW(run_labeling_task(model, task, {1, 2}, {5.0}, {1.0, 1.0}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace melody::sim

@@ -1,0 +1,184 @@
+// Public-facade tests: the full per-run workflow through melody::core::Melody.
+#include "core/melody.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace melody::core {
+namespace {
+
+MelodyOptions open_options() {
+  MelodyOptions options;
+  options.theta_min = 0.1;
+  options.theta_max = 100.0;
+  options.cost_min = 0.01;
+  options.cost_max = 100.0;
+  options.tracker.initial_posterior = {5.5, 2.25};
+  return options;
+}
+
+TEST(MelodyFacade, RegisterIsIdempotent) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  platform.register_worker(1);
+  EXPECT_TRUE(platform.is_registered(1));
+  EXPECT_FALSE(platform.is_registered(2));
+}
+
+TEST(MelodyFacade, NewcomerEstimateFromInitialPosterior) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  EXPECT_DOUBLE_EQ(platform.estimated_quality(1), 5.5);  // a = 1 default
+}
+
+TEST(MelodyFacade, AuctionRegistersUnknownBidders) {
+  Melody platform(open_options());
+  const std::vector<BidSubmission> bids{{1, {1.0, 2}}, {2, {1.2, 3}}};
+  const std::vector<auction::Task> tasks{{0, 8.0}};
+  platform.run_auction(bids, tasks, 50.0);
+  EXPECT_TRUE(platform.is_registered(1));
+  EXPECT_TRUE(platform.is_registered(2));
+}
+
+TEST(MelodyFacade, FullRunWorkflow) {
+  Melody platform(open_options());
+  const std::vector<BidSubmission> bids{
+      {1, {1.0, 3}}, {2, {1.2, 3}}, {3, {1.5, 3}}};
+  const std::vector<auction::Task> tasks{{0, 9.0}, {1, 10.0}};
+  const auto result = platform.run_auction(bids, tasks, 100.0);
+  // All estimates are 5.5; task 0 needs two workers; worker 3 is critical.
+  EXPECT_FALSE(result.selected_tasks.empty());
+
+  // Requester scores the completed work; the platform digests it.
+  for (const auto& a : result.assignments) {
+    lds::ScoreSet set;
+    set.add(7.0);
+    platform.submit_scores(a.worker, set);
+  }
+  EXPECT_EQ(platform.end_run(), 1);
+  EXPECT_EQ(platform.completed_runs(), 1);
+
+  // Workers who scored 7 move up from 5.5; idle workers drift with the
+  // transition only (mean unchanged for a = 1).
+  for (const auto& a : result.assignments) {
+    EXPECT_GT(platform.estimated_quality(a.worker), 5.5);
+  }
+}
+
+TEST(MelodyFacade, SubmitScoresAccumulatesWithinRun) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  lds::ScoreSet first;
+  first.add(6.0);
+  lds::ScoreSet second;
+  second.add(8.0);
+  platform.submit_scores(1, first);
+  platform.submit_scores(1, second);
+  platform.end_run();
+  // Equivalent to one run with scores {6, 8}.
+  const auto expected = lds::filter_step(
+      {5.5, 2.25}, lds::ScoreSet::from(std::vector<double>{6.0, 8.0}),
+      platform.tracker().params(1));
+  EXPECT_NEAR(platform.tracker().posterior(1).mean, expected.mean, 1e-12);
+}
+
+TEST(MelodyFacade, SubmitScoresForUnknownWorkerThrows) {
+  Melody platform(open_options());
+  lds::ScoreSet set;
+  set.add(5.0);
+  EXPECT_THROW(platform.submit_scores(42, set), std::invalid_argument);
+}
+
+TEST(MelodyFacade, EndRunKeepsIdleWorkersFrozen) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  platform.register_worker(2);
+  const double var_before = platform.tracker().posterior(1).var;
+  platform.end_run();
+  // Idle workers keep their posterior (participation-indexed chain).
+  EXPECT_DOUBLE_EQ(platform.tracker().posterior(1).var, var_before);
+  EXPECT_DOUBLE_EQ(platform.tracker().posterior(2).var, var_before);
+  EXPECT_EQ(platform.completed_runs(), 1);
+}
+
+TEST(MelodyFacade, MultipleRunsTrackImprovingWorker) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  double level = 4.0;
+  for (int r = 0; r < 50; ++r) {
+    level += 0.05;
+    lds::ScoreSet set;
+    set.add(level);
+    set.add(level);
+    platform.submit_scores(1, set);
+    platform.end_run();
+  }
+  EXPECT_NEAR(platform.estimated_quality(1), level, 1.0);
+  EXPECT_EQ(platform.completed_runs(), 50);
+}
+
+TEST(MelodyFacade, SnapshotRoundTripResumesPlatform) {
+  Melody original(open_options());
+  const std::vector<BidSubmission> bids{{1, {1.0, 3}}, {2, {1.2, 3}},
+                                        {3, {1.5, 3}}};
+  const std::vector<auction::Task> tasks{{0, 9.0}};
+  for (int run = 0; run < 12; ++run) {
+    const auto result = original.run_auction(bids, tasks, 100.0);
+    for (const auto& a : result.assignments) {
+      lds::ScoreSet set;
+      set.add(6.0 + 0.1 * run);
+      original.submit_scores(a.worker, set);
+    }
+    original.end_run();
+  }
+  std::stringstream snapshot;
+  original.save(snapshot);
+
+  Melody restored(open_options());
+  restored.load(snapshot);
+  EXPECT_EQ(restored.completed_runs(), original.completed_runs());
+  for (auction::WorkerId id : {1, 2, 3}) {
+    ASSERT_TRUE(restored.is_registered(id));
+    EXPECT_DOUBLE_EQ(restored.estimated_quality(id),
+                     original.estimated_quality(id));
+  }
+  // Both platforms evolve identically from here.
+  const auto ra = original.run_auction(bids, tasks, 100.0);
+  const auto rb = restored.run_auction(bids, tasks, 100.0);
+  EXPECT_EQ(ra.selected_tasks, rb.selected_tasks);
+  EXPECT_DOUBLE_EQ(ra.total_payment(), rb.total_payment());
+}
+
+TEST(MelodyFacade, SaveRejectsOpenRun) {
+  Melody platform(open_options());
+  platform.register_worker(1);
+  lds::ScoreSet set;
+  set.add(5.0);
+  platform.submit_scores(1, set);
+  std::stringstream snapshot;
+  EXPECT_THROW(platform.save(snapshot), std::runtime_error);
+  platform.end_run();
+  EXPECT_NO_THROW(platform.save(snapshot));
+}
+
+TEST(MelodyFacade, LoadRejectsBadHeader) {
+  Melody platform(open_options());
+  std::stringstream bad("WRONG\n0 0\n\n");
+  EXPECT_THROW(platform.load(bad), std::runtime_error);
+}
+
+TEST(MelodyFacade, QualificationIntervalsApplied) {
+  MelodyOptions options = open_options();
+  options.theta_min = 6.0;  // initial estimate 5.5 is unqualified
+  Melody platform(options);
+  const std::vector<BidSubmission> bids{{1, {1.0, 3}}, {2, {1.0, 3}}};
+  const std::vector<auction::Task> tasks{{0, 5.0}};
+  const auto result = platform.run_auction(bids, tasks, 100.0);
+  EXPECT_TRUE(result.selected_tasks.empty());
+}
+
+}  // namespace
+}  // namespace melody::core

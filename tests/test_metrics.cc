@@ -1,0 +1,58 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace melody::sim {
+namespace {
+
+std::vector<RunRecord> sample_records() {
+  RunRecord a;
+  a.run = 1;
+  a.estimated_utility = 10;
+  a.true_utility = 8;
+  a.estimation_error = 1.0;
+  a.total_payment = 100.0;
+  a.assignments = 50;
+  RunRecord b;
+  b.run = 2;
+  b.estimated_utility = 20;
+  b.true_utility = 12;
+  b.estimation_error = 3.0;
+  b.total_payment = 200.0;
+  b.assignments = 70;
+  return {a, b};
+}
+
+TEST(Metrics, SummarizeAverages) {
+  const auto records = sample_records();
+  const MetricSummary s = summarize(records);
+  EXPECT_DOUBLE_EQ(s.mean_estimated_utility, 15.0);
+  EXPECT_DOUBLE_EQ(s.mean_true_utility, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean_estimation_error, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_total_payment, 150.0);
+  EXPECT_DOUBLE_EQ(s.mean_assignments, 60.0);
+}
+
+TEST(Metrics, SummarizeEmpty) {
+  const MetricSummary s = summarize({});
+  EXPECT_EQ(s.mean_true_utility, 0.0);
+  EXPECT_EQ(s.mean_estimation_error, 0.0);
+}
+
+TEST(Metrics, SummarizeAfterSkipsWarmup) {
+  const auto records = sample_records();
+  const MetricSummary s = summarize_after(records, 1);
+  EXPECT_DOUBLE_EQ(s.mean_true_utility, 12.0);
+  EXPECT_DOUBLE_EQ(s.mean_estimation_error, 3.0);
+}
+
+TEST(Metrics, SummarizeAfterBeyondEndIsEmpty) {
+  const auto records = sample_records();
+  const MetricSummary s = summarize_after(records, 5);
+  EXPECT_EQ(s.mean_true_utility, 0.0);
+}
+
+}  // namespace
+}  // namespace melody::sim

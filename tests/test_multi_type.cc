@@ -1,0 +1,111 @@
+// Multi-type market wrapper (Section 3.1).
+#include "core/multi_type.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace melody::core {
+namespace {
+
+MelodyOptions open_options() {
+  MelodyOptions options;
+  options.theta_min = 0.1;
+  options.theta_max = 100.0;
+  options.cost_min = 0.01;
+  options.cost_max = 100.0;
+  return options;
+}
+
+TEST(MultiTypeMarket, TypesAreIndependentMarkets) {
+  MultiTypeMarket market(open_options());
+  market.add_type("labeling");
+  market.add_type("transcription");
+  ASSERT_TRUE(market.has_type("labeling"));
+  ASSERT_TRUE(market.has_type("transcription"));
+  EXPECT_FALSE(market.has_type("translation"));
+
+  market.market("labeling").register_worker(1);
+  lds::ScoreSet good;
+  good.add(9.0);
+  market.market("labeling").submit_scores(1, good);
+  market.end_run();
+
+  // Worker 1's transcription market never saw him.
+  EXPECT_TRUE(market.market("labeling").is_registered(1));
+  EXPECT_FALSE(market.market("transcription").is_registered(1));
+  EXPECT_GT(market.market("labeling").estimated_quality(1), 5.5);
+}
+
+TEST(MultiTypeMarket, PerTypeQualityProfile) {
+  MultiTypeMarket market(open_options());
+  market.add_type("labeling");
+  market.add_type("transcription");
+  market.market("labeling").register_worker(7);
+  market.market("transcription").register_worker(7);
+
+  lds::ScoreSet good, bad;
+  good.add(9.0);
+  bad.add(2.0);
+  market.market("labeling").submit_scores(7, good);
+  market.market("transcription").submit_scores(7, bad);
+  market.end_run();
+
+  const auto profile = market.quality_profile(7);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_GT(profile.at("labeling"), profile.at("transcription"));
+}
+
+TEST(MultiTypeMarket, SharedRunClock) {
+  MultiTypeMarket market(open_options());
+  market.add_type("a");
+  market.add_type("b");
+  EXPECT_EQ(market.end_run(), 1);
+  EXPECT_EQ(market.end_run(), 2);
+  EXPECT_EQ(market.completed_runs(), 2);
+  EXPECT_EQ(market.market("a").completed_runs(), 2);
+  EXPECT_EQ(market.market("b").completed_runs(), 2);
+}
+
+TEST(MultiTypeMarket, AddTypeIsIdempotent) {
+  MultiTypeMarket market(open_options());
+  market.add_type("a");
+  market.market("a").register_worker(1);
+  market.add_type("a");  // must not reset the existing market
+  EXPECT_TRUE(market.market("a").is_registered(1));
+  EXPECT_EQ(market.types().size(), 1u);
+}
+
+TEST(MultiTypeMarket, UnknownTypeThrows) {
+  MultiTypeMarket market(open_options());
+  EXPECT_THROW(market.market("nope"), std::out_of_range);
+  const MultiTypeMarket& const_market = market;
+  EXPECT_THROW(const_market.market("nope"), std::out_of_range);
+}
+
+TEST(MultiTypeMarket, PerTypeOptionsOverride) {
+  MultiTypeMarket market(open_options());
+  MelodyOptions strict = open_options();
+  strict.tracker.initial_posterior = {2.0, 1.0};
+  market.add_type("strict", strict);
+  market.add_type("default");
+  market.market("strict").register_worker(1);
+  market.market("default").register_worker(1);
+  EXPECT_DOUBLE_EQ(market.market("strict").estimated_quality(1), 2.0);
+  EXPECT_DOUBLE_EQ(market.market("default").estimated_quality(1), 5.5);
+}
+
+TEST(MultiTypeMarket, AuctionsRunIndependently) {
+  MultiTypeMarket market(open_options());
+  market.add_type("labeling");
+  const std::vector<BidSubmission> bids{{1, {1.0, 2}}, {2, {1.0, 2}},
+                                        {3, {1.5, 2}}};
+  const std::vector<auction::Task> tasks{{0, 9.0}};
+  const auto result =
+      market.market("labeling").run_auction(bids, tasks, 50.0);
+  EXPECT_FALSE(result.selected_tasks.empty());
+  EXPECT_EQ(market.quality_profile(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace melody::core

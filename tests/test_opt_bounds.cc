@@ -1,0 +1,126 @@
+// Ordering properties of the three solution levels on random and
+// hand-crafted instances: MELODY <= exact OPT <= OPT-UB.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auction/exact_sra.h"
+#include "auction/melody_auction.h"
+#include "auction/opt_ub.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace melody::auction {
+namespace {
+
+TEST(OptUb, HandInstanceExactValue) {
+  // Two workers of quality 3 at cost 1, frequency 1 each -> pooled supply
+  // of 6 quality units at density 1/3. One task of threshold 6 costs 2.
+  const std::vector<WorkerProfile> workers{{0, {1.0, 1}, 3.0},
+                                           {1, {1.0, 1}, 3.0}};
+  const std::vector<Task> tasks{{0, 6.0}};
+  AuctionConfig config;
+  config.budget = 2.0;
+  EXPECT_EQ(opt_upper_bound(workers, tasks, config), 1u);
+  config.budget = 1.9;
+  EXPECT_EQ(opt_upper_bound(workers, tasks, config), 0u);
+}
+
+TEST(OptUb, SupplyLimitsTasks) {
+  const std::vector<WorkerProfile> workers{{0, {1.0, 2}, 3.0}};
+  const std::vector<Task> tasks{{0, 3.0}, {1, 3.0}, {2, 3.0}};
+  AuctionConfig config;
+  config.budget = 100.0;
+  // Pooled supply 6 covers exactly two tasks of threshold 3.
+  EXPECT_EQ(opt_upper_bound(workers, tasks, config), 2u);
+}
+
+TEST(OptUb, CheapestTasksFirst) {
+  const std::vector<WorkerProfile> workers{{0, {1.0, 1}, 4.0}};
+  const std::vector<Task> tasks{{0, 8.0}, {1, 2.0}};
+  AuctionConfig config;
+  config.budget = 100.0;
+  // Supply 4: only the threshold-2 task fits.
+  EXPECT_EQ(opt_upper_bound(workers, tasks, config), 1u);
+}
+
+TEST(OptUb, EmptyInputs) {
+  AuctionConfig config;
+  config.budget = 10.0;
+  EXPECT_EQ(opt_upper_bound({}, std::vector<Task>{{0, 1.0}}, config), 0u);
+  EXPECT_EQ(opt_upper_bound(std::vector<WorkerProfile>{{0, {1.0, 1}, 2.0}},
+                            {}, config),
+            0u);
+}
+
+TEST(ExactSra, HandInstance) {
+  // Workers: (mu, c): (3,1), (3,1), (2,1); tasks: Q = 3, 5; budget 3.
+  // Optimum: task0 <- w0 (cost 1), task1 <- w1 + w2 (cost 2) = 2 tasks.
+  const std::vector<WorkerProfile> workers{
+      {0, {1.0, 1}, 3.0}, {1, {1.0, 1}, 3.0}, {2, {1.0, 1}, 2.0}};
+  const std::vector<Task> tasks{{0, 3.0}, {1, 5.0}};
+  AuctionConfig config;
+  config.budget = 3.0;
+  EXPECT_EQ(exact_sra_optimum(workers, tasks, config), 2u);
+  config.budget = 1.0;
+  EXPECT_EQ(exact_sra_optimum(workers, tasks, config), 1u);
+  config.budget = 0.5;
+  EXPECT_EQ(exact_sra_optimum(workers, tasks, config), 0u);
+}
+
+TEST(ExactSra, FrequencyConstraintBinds) {
+  const std::vector<WorkerProfile> workers{{0, {1.0, 1}, 5.0}};
+  const std::vector<Task> tasks{{0, 5.0}, {1, 5.0}};
+  AuctionConfig config;
+  config.budget = 10.0;
+  EXPECT_EQ(exact_sra_optimum(workers, tasks, config), 1u);
+}
+
+TEST(ExactSra, RejectsOversizedInstances) {
+  std::vector<WorkerProfile> workers;
+  for (int i = 0; i < 20; ++i) workers.push_back({i, {1.0, 1}, 2.0});
+  const std::vector<Task> tasks{{0, 2.0}};
+  AuctionConfig config;
+  config.budget = 10.0;
+  EXPECT_THROW(exact_sra_optimum(workers, tasks, config),
+               std::invalid_argument);
+}
+
+struct BoundCase {
+  std::uint64_t seed;
+  int workers;
+  int tasks;
+  double budget;
+};
+
+class BoundOrdering : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundOrdering, MelodyLeqExactLeqUpperBound) {
+  const auto& c = GetParam();
+  sim::SraScenario scenario;
+  scenario.num_workers = c.workers;
+  scenario.num_tasks = c.tasks;
+  scenario.budget = c.budget;
+  util::Rng rng(c.seed);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+
+  MelodyAuction melody;
+  const std::size_t mel = melody.run(workers, tasks, config).requester_utility();
+  const std::size_t opt = exact_sra_optimum(workers, tasks, config);
+  const std::size_t ub = opt_upper_bound(workers, tasks, config);
+
+  EXPECT_LE(mel, opt) << "greedy beat the exact optimum";
+  EXPECT_LE(opt, ub) << "exact optimum beat its upper bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallRandomInstances, BoundOrdering,
+    ::testing::Values(BoundCase{11, 8, 4, 10.0}, BoundCase{12, 10, 5, 8.0},
+                      BoundCase{13, 6, 6, 12.0}, BoundCase{14, 12, 3, 6.0},
+                      BoundCase{15, 9, 4, 20.0}, BoundCase{16, 7, 5, 5.0},
+                      BoundCase{17, 10, 6, 15.0}, BoundCase{18, 8, 8, 9.0}));
+
+}  // namespace
+}  // namespace melody::auction

@@ -1,0 +1,169 @@
+// RANDOM baseline mechanism tests: feasibility properties, payment rule,
+// and determinism under a fixed seed.
+#include "auction/random_auction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace melody::auction {
+namespace {
+
+sim::SraScenario small_scenario(int workers, int tasks, double budget) {
+  sim::SraScenario s;
+  s.num_workers = workers;
+  s.num_tasks = tasks;
+  s.budget = budget;
+  return s;
+}
+
+TEST(RandomAuction, Name) { EXPECT_EQ(RandomAuction().name(), "RANDOM"); }
+
+TEST(RandomAuction, FeasibilityOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto scenario = small_scenario(50, 30, 80.0);
+    util::Rng rng(seed);
+    const auto workers = scenario.sample_workers(rng);
+    const auto tasks = scenario.sample_tasks(rng);
+    const auto config = scenario.auction_config();
+    RandomAuction auction(seed);
+    const auto result = auction.run(workers, tasks, config);
+    EXPECT_EQ(check_budget_feasibility(result, config), "") << "seed " << seed;
+    EXPECT_EQ(check_frequency_feasibility(result, workers), "")
+        << "seed " << seed;
+    EXPECT_EQ(check_task_satisfaction(result, workers, tasks), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomAuction, IndividualRationality) {
+  const auto scenario = small_scenario(60, 40, 120.0);
+  util::Rng rng(77);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  RandomAuction auction(7);
+  const auto result = auction.run(workers, tasks, scenario.auction_config());
+  for (const auto& a : result.assignments) {
+    const auto& w = workers[static_cast<std::size_t>(a.worker)];
+    // Winners have a higher quality/cost ratio than the excluded loser, so
+    // the critical payment covers their cost.
+    EXPECT_GE(a.payment, w.bid.cost - 1e-9);
+  }
+}
+
+TEST(RandomAuction, SameSeedSameOutcome) {
+  const auto scenario = small_scenario(40, 25, 60.0);
+  util::Rng rng(5);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  RandomAuction a(123), b(123);
+  const auto ra = a.run(workers, tasks, scenario.auction_config());
+  const auto rb = b.run(workers, tasks, scenario.auction_config());
+  EXPECT_EQ(ra.selected_tasks, rb.selected_tasks);
+  EXPECT_DOUBLE_EQ(ra.total_payment(), rb.total_payment());
+}
+
+TEST(RandomAuction, TypicallyWorseThanMelody) {
+  // The paper reports MELODY beating RANDOM by a large factor; at minimum
+  // RANDOM must not beat MELODY on aggregate over several instances.
+  double melody_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto scenario = small_scenario(100, 60, 100.0);
+    util::Rng rng(seed);
+    const auto workers = scenario.sample_workers(rng);
+    const auto tasks = scenario.sample_tasks(rng);
+    const auto config = scenario.auction_config();
+    MelodyAuction melody;
+    RandomAuction random(seed * 31);
+    melody_total += static_cast<double>(
+        melody.run(workers, tasks, config).requester_utility());
+    random_total += static_cast<double>(
+        random.run(workers, tasks, config).requester_utility());
+  }
+  EXPECT_GT(melody_total, random_total);
+}
+
+TEST(RandomAuction, EmptyInputs) {
+  RandomAuction auction(1);
+  AuctionConfig config;
+  config.budget = 100.0;
+  const std::vector<WorkerProfile> no_workers;
+  const std::vector<Task> tasks{{0, 5.0}};
+  EXPECT_TRUE(auction.run(no_workers, tasks, config).selected_tasks.empty());
+  const std::vector<WorkerProfile> workers{{0, {1.0, 2}, 3.0}};
+  const std::vector<Task> no_tasks;
+  EXPECT_TRUE(auction.run(workers, no_tasks, config).selected_tasks.empty());
+}
+
+TEST(RandomAuction, SingleWorkerCannotWin) {
+  // With one worker there is never an excluded loser to set the price.
+  RandomAuction auction(1);
+  AuctionConfig config;
+  config.budget = 100.0;
+  const std::vector<WorkerProfile> workers{{0, {1.0, 5}, 4.0}};
+  const std::vector<Task> tasks{{0, 3.0}};
+  const auto result = auction.run(workers, tasks, config);
+  EXPECT_TRUE(result.selected_tasks.empty());
+}
+
+TEST(RandomAuction, CostMisreportLosesInAggregateWithFixedDraws) {
+  // Appendix D claims RANDOM is truthful: a winner's payment is set by the
+  // excluded lowest-ratio draw, independent of his own bid. Faithfully
+  // implemented, the claim is only *statistical*: a misreport can shift
+  // when the drawing loop stops (the winners-minus-loser coverage check
+  // depends on the loser's identity), which perturbs the draw sequence of
+  // later tasks — the same second-order channel as MELODY's portfolio
+  // effect. Measured rate: ~1 profitable probe per several thousand in the
+  // single-task case, a few percent multi-task. Assert the aggregate
+  // claim over fixed draw sequences.
+  const auto scenario = small_scenario(40, 25, 200.0);
+  util::Rng rng(15);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  const auto config = scenario.auction_config();
+
+  auto utility_of = [&](const AllocationResult& result, WorkerId id,
+                        double true_cost) {
+    return result.payment_to(id) - true_cost * result.tasks_assigned_to(id);
+  };
+
+  double total_gain = 0.0;
+  int probes = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomAuction truthful_auction(seed);
+    const auto truthful = truthful_auction.run(workers, tasks, config);
+    for (std::size_t w = 0; w < workers.size(); w += 5) {
+      const double true_cost = workers[w].bid.cost;
+      const double baseline = utility_of(truthful, workers[w].id, true_cost);
+      for (double factor : {0.6, 0.8, 1.1, 1.4, 1.8}) {
+        auto misreported = workers;
+        misreported[w].bid.cost = true_cost * factor;
+        RandomAuction cheating_auction(seed);  // identical draw sequence
+        const auto outcome = cheating_auction.run(misreported, tasks, config);
+        total_gain +=
+            utility_of(outcome, workers[w].id, true_cost) - baseline;
+        ++probes;
+      }
+    }
+  }
+  ASSERT_GT(probes, 0);
+  EXPECT_LE(total_gain / probes, 1e-9);
+}
+
+TEST(RandomAuction, SelectedTasksHaveSufficientQuality) {
+  const auto scenario = small_scenario(80, 50, 200.0);
+  util::Rng rng(9);
+  const auto workers = scenario.sample_workers(rng);
+  const auto tasks = scenario.sample_tasks(rng);
+  RandomAuction auction(42);
+  const auto result = auction.run(workers, tasks, scenario.auction_config());
+  EXPECT_EQ(check_task_satisfaction(result, workers, tasks), "");
+  EXPECT_FALSE(result.selected_tasks.empty());
+}
+
+}  // namespace
+}  // namespace melody::auction

@@ -1,0 +1,115 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace melody::sim {
+namespace {
+
+TEST(SraScenarioTest, DefaultsMatchTable3) {
+  const SraScenario s;
+  EXPECT_DOUBLE_EQ(s.quality.lo, 2.0);
+  EXPECT_DOUBLE_EQ(s.quality.hi, 4.0);
+  EXPECT_DOUBLE_EQ(s.cost.lo, 1.0);
+  EXPECT_DOUBLE_EQ(s.cost.hi, 2.0);
+  EXPECT_EQ(s.frequency.lo, 1);
+  EXPECT_EQ(s.frequency.hi, 5);
+  EXPECT_DOUBLE_EQ(s.threshold.lo, 6.0);
+  EXPECT_DOUBLE_EQ(s.threshold.hi, 12.0);
+  EXPECT_EQ(s.num_tasks, 500);
+}
+
+TEST(SraScenarioTest, AuctionConfigMirrorsRanges) {
+  SraScenario s;
+  s.budget = 777.0;
+  const auto config = s.auction_config();
+  EXPECT_DOUBLE_EQ(config.budget, 777.0);
+  EXPECT_DOUBLE_EQ(config.theta_min, 2.0);
+  EXPECT_DOUBLE_EQ(config.theta_max, 4.0);
+  EXPECT_DOUBLE_EQ(config.cost_min, 1.0);
+  EXPECT_DOUBLE_EQ(config.cost_max, 2.0);
+}
+
+TEST(SraScenarioTest, SampledEntitiesWithinRanges) {
+  SraScenario s;
+  s.num_workers = 100;
+  s.num_tasks = 50;
+  util::Rng rng(1);
+  const auto workers = s.sample_workers(rng);
+  const auto tasks = s.sample_tasks(rng);
+  const auto config = s.auction_config();
+  ASSERT_EQ(workers.size(), 100u);
+  ASSERT_EQ(tasks.size(), 50u);
+  for (const auto& w : workers) {
+    EXPECT_TRUE(config.qualifies(w));  // sampling range == filter range
+    EXPECT_GE(w.bid.frequency, 1);
+    EXPECT_LE(w.bid.frequency, 5);
+  }
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.quality_threshold, 6.0);
+    EXPECT_LE(t.quality_threshold, 12.0);
+  }
+}
+
+TEST(SraScenarioTest, SettingFactories) {
+  const auto i = table3_setting_i(350, 600.0);
+  EXPECT_EQ(i.num_workers, 350);
+  EXPECT_EQ(i.num_tasks, 500);
+  EXPECT_DOUBLE_EQ(i.budget, 600.0);
+
+  const auto ii = table3_setting_ii(1210.0, 250);
+  EXPECT_EQ(ii.num_workers, 250);
+  EXPECT_DOUBLE_EQ(ii.budget, 1210.0);
+
+  const auto iii = table3_setting_iii(300, 400);
+  EXPECT_EQ(iii.num_tasks, 300);
+  EXPECT_EQ(iii.num_workers, 400);
+  EXPECT_DOUBLE_EQ(iii.budget, 2000.0);
+}
+
+TEST(LongTermScenarioTest, DefaultsMatchTable4) {
+  const LongTermScenario s;
+  EXPECT_EQ(s.num_workers, 300);
+  EXPECT_EQ(s.num_tasks, 500);
+  EXPECT_EQ(s.runs, 1000);
+  EXPECT_DOUBLE_EQ(s.budget, 800.0);
+  EXPECT_DOUBLE_EQ(s.threshold.lo, 20.0);
+  EXPECT_DOUBLE_EQ(s.threshold.hi, 40.0);
+  EXPECT_DOUBLE_EQ(s.score_model.noise_stddev, 3.0);
+  EXPECT_DOUBLE_EQ(s.initial_mu, 5.5);
+  EXPECT_DOUBLE_EQ(s.initial_sigma, 2.25);
+  EXPECT_EQ(s.reestimation_period, 10);
+}
+
+TEST(LongTermScenarioTest, AuctionConfigUsesScoreRange) {
+  const LongTermScenario s;
+  const auto config = s.auction_config();
+  EXPECT_DOUBLE_EQ(config.theta_min, 1.0);
+  EXPECT_DOUBLE_EQ(config.theta_max, 10.0);
+  EXPECT_DOUBLE_EQ(config.budget, 800.0);
+}
+
+TEST(LongTermScenarioTest, PopulationConfigMirrorsScenario) {
+  LongTermScenario s;
+  s.num_workers = 42;
+  s.runs = 123;
+  const auto pop = s.population_config();
+  EXPECT_EQ(pop.count, 42);
+  EXPECT_EQ(pop.horizon, 123);
+  EXPECT_DOUBLE_EQ(pop.cost_min, 1.0);
+  EXPECT_DOUBLE_EQ(pop.cost_max, 2.0);
+}
+
+TEST(LongTermScenarioTest, TaskSamplingWithinThresholds) {
+  LongTermScenario s;
+  s.num_tasks = 64;
+  util::Rng rng(2);
+  const auto tasks = s.sample_tasks(rng);
+  ASSERT_EQ(tasks.size(), 64u);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.quality_threshold, 20.0);
+    EXPECT_LE(t.quality_threshold, 40.0);
+  }
+}
+
+}  // namespace
+}  // namespace melody::sim

@@ -1,0 +1,61 @@
+#include "sim/score_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace melody::sim {
+namespace {
+
+TEST(ScoreGen, ScoresWithinRange) {
+  util::Rng rng(1);
+  const ScoreModel model{3.0, 1.0, 10.0};
+  for (int i = 0; i < 10000; ++i) {
+    const double s = generate_score(model, 5.5, rng);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 10.0);
+  }
+}
+
+TEST(ScoreGen, MeanTracksLatentQualityAwayFromClamps) {
+  util::Rng rng(2);
+  const ScoreModel model{0.5, 1.0, 10.0};  // small noise, no clamping bias
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += generate_score(model, 6.0, rng);
+  EXPECT_NEAR(sum / n, 6.0, 0.02);
+}
+
+TEST(ScoreGen, ClampingBiasesExtremes) {
+  util::Rng rng(3);
+  const ScoreModel model{3.0, 1.0, 10.0};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += generate_score(model, 1.0, rng);
+  // Latent quality at the floor: clamping pulls the mean above it.
+  EXPECT_GT(sum / n, 1.0);
+}
+
+TEST(ScoreGen, SetHasRequestedCount) {
+  util::Rng rng(4);
+  const ScoreModel model;
+  const lds::ScoreSet set = generate_scores(model, 5.0, 7, rng);
+  EXPECT_EQ(set.count, 7);
+  EXPECT_GT(set.sum, 0.0);
+}
+
+TEST(ScoreGen, ZeroTasksYieldEmptySet) {
+  util::Rng rng(5);
+  const lds::ScoreSet set = generate_scores(ScoreModel{}, 5.0, 0, rng);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ScoreGen, SufficientStatisticsConsistent) {
+  util::Rng rng(6);
+  const lds::ScoreSet set = generate_scores(ScoreModel{}, 5.0, 100, rng);
+  // Mean within range implies sum consistent with count.
+  EXPECT_GE(set.mean(), 1.0);
+  EXPECT_LE(set.mean(), 10.0);
+  EXPECT_GE(set.sum_squares, set.sum * set.sum / set.count);  // Cauchy-Schwarz
+}
+
+}  // namespace
+}  // namespace melody::sim

@@ -1,0 +1,179 @@
+// RTS smoother verification: consistency with the filter, variance
+// reduction, and agreement with brute-force joint-posterior integration on
+// short chains.
+#include "lds/smoother.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace melody::lds {
+namespace {
+
+ScoreHistory make_history(const std::vector<std::vector<double>>& runs) {
+  ScoreHistory history;
+  for (const auto& run : runs) history.push_back(ScoreSet::from(run));
+  return history;
+}
+
+TEST(Smoother, EmptyHistoryKeepsInitial) {
+  const LdsParams params{1.0, 1.0, 1.0};
+  const Gaussian init{5.5, 2.25};
+  const SmootherResult result = smooth(init, {}, params);
+  ASSERT_EQ(result.smoothed.size(), 1u);
+  EXPECT_EQ(result.smoothed[0], init);
+}
+
+TEST(Smoother, LastSmoothedEqualsLastFiltered) {
+  const LdsParams params{0.97, 0.3, 2.0};
+  const Gaussian init{5.5, 2.25};
+  const ScoreHistory history =
+      make_history({{4.0, 5.0}, {6.0}, {}, {7.0, 8.0, 6.5}});
+  const SmootherResult smoothed = smooth(init, history, params);
+  const FilterResult filtered = filter(init, history, params);
+  EXPECT_NEAR(smoothed.smoothed.back().mean, filtered.posteriors.back().mean,
+              1e-12);
+  EXPECT_NEAR(smoothed.smoothed.back().var, filtered.posteriors.back().var,
+              1e-12);
+}
+
+TEST(Smoother, SmoothedVarianceNeverExceedsFiltered) {
+  const LdsParams params{1.0, 0.4, 1.5};
+  const Gaussian init{5.0, 2.0};
+  util::Rng rng(5);
+  ScoreHistory history;
+  for (int r = 0; r < 30; ++r) {
+    ScoreSet set;
+    const int n = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) set.add(rng.uniform(1.0, 10.0));
+    history.push_back(set);
+  }
+  const SmootherResult smoothed = smooth(init, history, params);
+  const FilterResult filtered = filter(init, history, params);
+  for (std::size_t t = 1; t <= history.size(); ++t) {
+    EXPECT_LE(smoothed.smoothed[t].var, filtered.posteriors[t - 1].var + 1e-12);
+  }
+}
+
+/// Brute-force smoothing of a 2-run chain by dense 2-D integration over
+/// (q1, q2) with fixed q0 prior integrated analytically is hard; instead we
+/// integrate over a 3-D grid (q0, q1, q2). Kept tiny but accurate enough.
+struct BruteSmoothed {
+  double mean_q0, var_q0, mean_q1, var_q1, mean_q2, var_q2, cross_q1q2;
+};
+
+BruteSmoothed brute_force_two_run(const Gaussian& init, const LdsParams& p,
+                                  const std::vector<double>& s1,
+                                  const std::vector<double>& s2) {
+  const double lo = -10.0, hi = 20.0;
+  const int n = 120;
+  const double dx = (hi - lo) / n;
+  double z = 0;
+  double m0 = 0, m1 = 0, m2 = 0, v0 = 0, v1 = 0, v2 = 0, c12 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double q0 = lo + (i + 0.5) * dx;
+    const double w0 = init.pdf(q0);
+    if (w0 < 1e-14) continue;
+    for (int j = 0; j < n; ++j) {
+      const double q1 = lo + (j + 0.5) * dx;
+      double w1 = w0 * Gaussian{p.a * q0, p.gamma}.pdf(q1);
+      if (w1 < 1e-16) continue;
+      for (double s : s1) w1 *= Gaussian{q1, p.eta}.pdf(s);
+      if (w1 < 1e-18) continue;
+      for (int k = 0; k < n; ++k) {
+        const double q2 = lo + (k + 0.5) * dx;
+        double w = w1 * Gaussian{p.a * q1, p.gamma}.pdf(q2);
+        for (double s : s2) w *= Gaussian{q2, p.eta}.pdf(s);
+        z += w;
+        m0 += w * q0;
+        m1 += w * q1;
+        m2 += w * q2;
+        v0 += w * q0 * q0;
+        v1 += w * q1 * q1;
+        v2 += w * q2 * q2;
+        c12 += w * q1 * q2;
+      }
+    }
+  }
+  BruteSmoothed out;
+  out.mean_q0 = m0 / z;
+  out.mean_q1 = m1 / z;
+  out.mean_q2 = m2 / z;
+  out.var_q0 = v0 / z - out.mean_q0 * out.mean_q0;
+  out.var_q1 = v1 / z - out.mean_q1 * out.mean_q1;
+  out.var_q2 = v2 / z - out.mean_q2 * out.mean_q2;
+  out.cross_q1q2 = c12 / z - out.mean_q1 * out.mean_q2;
+  return out;
+}
+
+TEST(Smoother, MatchesBruteForceOnTwoRunChain) {
+  const LdsParams params{0.95, 0.8, 2.0};
+  const Gaussian init{5.0, 1.5};
+  const std::vector<double> s1{4.5, 6.0};
+  const std::vector<double> s2{7.0};
+  const SmootherResult result =
+      smooth(init, make_history({s1, s2}), params);
+  const BruteSmoothed brute = brute_force_two_run(init, params, s1, s2);
+
+  EXPECT_NEAR(result.smoothed[0].mean, brute.mean_q0, 5e-3);
+  EXPECT_NEAR(result.smoothed[0].var, brute.var_q0, 5e-3);
+  EXPECT_NEAR(result.smoothed[1].mean, brute.mean_q1, 5e-3);
+  EXPECT_NEAR(result.smoothed[1].var, brute.var_q1, 5e-3);
+  EXPECT_NEAR(result.smoothed[2].mean, brute.mean_q2, 5e-3);
+  EXPECT_NEAR(result.smoothed[2].var, brute.var_q2, 5e-3);
+  EXPECT_NEAR(result.cross_covariance[2], brute.cross_q1q2, 5e-3);
+}
+
+TEST(Smoother, CrossMomentsConsistent) {
+  const LdsParams params{1.0, 0.5, 1.0};
+  const Gaussian init{5.0, 1.0};
+  const ScoreHistory history = make_history({{5.0}, {6.0}, {4.0}});
+  const SmootherResult result = smooth(init, history, params);
+  for (std::size_t t = 1; t <= history.size(); ++t) {
+    // Cauchy-Schwarz on the smoothed joint: |Cov| <= sqrt(v_{t-1} v_t).
+    const double bound = std::sqrt(result.smoothed[t - 1].var *
+                                   result.smoothed[t].var);
+    EXPECT_LE(std::abs(result.cross_covariance[t]), bound + 1e-12);
+    // cross_moment must equal Cov + mean product.
+    EXPECT_NEAR(result.cross_moment(t),
+                result.cross_covariance[t] +
+                    result.smoothed[t - 1].mean * result.smoothed[t].mean,
+                1e-12);
+  }
+}
+
+TEST(Smoother, AllEmptyHistoryReducesTowardPrior) {
+  // With no observations anywhere, smoothing changes nothing: the smoothed
+  // q^0 equals the initial posterior.
+  const LdsParams params{1.0, 0.5, 1.0};
+  const Gaussian init{5.5, 2.25};
+  const SmootherResult result = smooth(init, ScoreHistory(4), params);
+  EXPECT_NEAR(result.smoothed[0].mean, init.mean, 1e-12);
+  EXPECT_NEAR(result.smoothed[0].var, init.var, 1e-12);
+}
+
+TEST(Smoother, FutureObservationInformsPast) {
+  // One observation in run 3 only; the smoothed estimate of run 1 must move
+  // toward it, while the filtered estimate of run 1 cannot.
+  const LdsParams params{1.0, 0.5, 1.0};
+  const Gaussian init{5.0, 1.0};
+  const ScoreHistory history = make_history({{}, {}, {9.0, 9.0, 9.0}});
+  const SmootherResult smoothed = smooth(init, history, params);
+  const FilterResult filtered = filter(init, history, params);
+  EXPECT_NEAR(filtered.posteriors[0].mean, 5.0, 1e-12);
+  EXPECT_GT(smoothed.smoothed[1].mean, 5.5);
+}
+
+TEST(Smoother, SecondMomentHelper) {
+  const LdsParams params{1.0, 1.0, 1.0};
+  const Gaussian init{2.0, 3.0};
+  const SmootherResult result = smooth(init, {}, params);
+  EXPECT_DOUBLE_EQ(result.second_moment(0), 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(result.mean(0), 2.0);
+}
+
+}  // namespace
+}  // namespace melody::lds

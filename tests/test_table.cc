@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace melody::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, TitleBanner) {
+  TablePrinter table({"x"});
+  const std::string out = table.render("Fig. 4a");
+  EXPECT_EQ(out.rfind("== Fig. 4a ==\n", 0), 0u);
+}
+
+TEST(TablePrinter, NumericRowFormatting) {
+  TablePrinter table({"label", "a", "b"});
+  table.add_row("row", {1.23456, 2.0}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAlign) {
+  TablePrinter table({"h", "value"});
+  table.add_row({"longer-label", "1"});
+  table.add_row({"x", "2"});
+  const std::string out = table.render();
+  // Every line must have the same position for the final '|'.
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (!line.empty() && line.front() == '|') {
+      const std::size_t last = line.rfind('|');
+      if (expected == std::string::npos) expected = last;
+      EXPECT_EQ(last, expected) << "misaligned line: " << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinter, FormatHelper) {
+  EXPECT_EQ(TablePrinter::format(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::format(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace melody::util

@@ -1,0 +1,164 @@
+// Trajectory generators and the Fig. 1 stability classifier.
+#include "sim/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace melody::sim {
+namespace {
+
+TrajectoryConfig base_config(TrajectoryKind kind) {
+  TrajectoryConfig c;
+  c.kind = kind;
+  c.start_level = 3.0;
+  c.swing = 4.0;
+  c.period = 100.0;
+  c.noise_stddev = 0.1;
+  c.horizon = 500;
+  return c;
+}
+
+TEST(Trajectory, LengthAndClamping) {
+  util::Rng rng(1);
+  auto config = base_config(TrajectoryKind::kRising);
+  config.start_level = 9.0;  // 9 + 4 would exceed the max of 10
+  const auto q = generate_trajectory(config, 500, rng);
+  ASSERT_EQ(q.size(), 500u);
+  for (double v : q) {
+    EXPECT_GE(v, config.min_quality);
+    EXPECT_LE(v, config.max_quality);
+  }
+}
+
+TEST(Trajectory, ZeroRunsIsEmpty) {
+  util::Rng rng(2);
+  EXPECT_TRUE(generate_trajectory(base_config(TrajectoryKind::kStable), 0, rng)
+                  .empty());
+}
+
+TEST(Trajectory, RisingHasPositiveTrend) {
+  util::Rng rng(3);
+  const auto q = generate_trajectory(base_config(TrajectoryKind::kRising), 500,
+                                     rng);
+  const auto fit = util::linear_trend(q);
+  EXPECT_GT(fit.slope, 0.004);  // ~4/500 per run expected
+}
+
+TEST(Trajectory, DecliningHasNegativeTrend) {
+  util::Rng rng(4);
+  auto config = base_config(TrajectoryKind::kDeclining);
+  config.start_level = 8.0;
+  const auto q = generate_trajectory(config, 500, rng);
+  EXPECT_LT(util::linear_trend(q).slope, -0.004);
+}
+
+TEST(Trajectory, FluctuatingCrossesItsMeanRepeatedly) {
+  util::Rng rng(5);
+  auto config = base_config(TrajectoryKind::kFluctuating);
+  config.start_level = 5.5;
+  config.swing = 2.0;
+  const auto q = generate_trajectory(config, 500, rng);
+  const double m = util::mean(q);
+  int crossings = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    if ((q[i - 1] - m) * (q[i] - m) < 0.0) ++crossings;
+  }
+  // Five periods in 500 runs -> around 10 crossings; noise adds more.
+  EXPECT_GE(crossings, 6);
+}
+
+TEST(Trajectory, StableStaysNearStartLevel) {
+  util::Rng rng(6);
+  auto config = base_config(TrajectoryKind::kStable);
+  config.start_level = 6.0;
+  config.noise_stddev = 0.05;
+  const auto q = generate_trajectory(config, 500, rng);
+  EXPECT_NEAR(util::mean(q), 6.0, 0.5);
+  EXPECT_LT(util::variance(q), 1.0);
+}
+
+TEST(Stability, ClassifierOnSyntheticCurves) {
+  util::Rng rng(7);
+  auto stable_config = base_config(TrajectoryKind::kStable);
+  stable_config.noise_stddev = 0.05;
+  EXPECT_TRUE(is_stable(generate_trajectory(stable_config, 500, rng)));
+
+  auto rising_config = base_config(TrajectoryKind::kRising);
+  EXPECT_FALSE(is_stable(generate_trajectory(rising_config, 500, rng)));
+}
+
+TEST(Stability, ShortCurvesAreStable) {
+  EXPECT_TRUE(is_stable(std::vector<double>{}));
+  EXPECT_TRUE(is_stable(std::vector<double>{5.0}));
+}
+
+TEST(Stability, HighVarianceIsUnstableEvenWithoutTrend) {
+  // Symmetric zig-zag: zero slope but large variance.
+  std::vector<double> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i % 2 == 0 ? 2.0 : 9.0);
+  EXPECT_FALSE(is_stable(q));
+}
+
+TEST(Stability, CustomCriteria) {
+  std::vector<double> q;
+  for (int i = 0; i < 100; ++i) q.push_back(5.0 + 0.01 * i);
+  StabilityCriteria lax;
+  lax.max_abs_slope = 0.1;
+  EXPECT_TRUE(is_stable(q, lax));
+  StabilityCriteria strict;
+  strict.max_abs_slope = 0.001;
+  EXPECT_FALSE(is_stable(q, strict));
+}
+
+TEST(PopulationMixTest, SampleKindRespectsProportions) {
+  util::Rng rng(8);
+  PopulationMix mix;  // defaults: 8.5% stable
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<int>(sample_kind(mix, rng))];
+  }
+  EXPECT_NEAR(counts[static_cast<int>(TrajectoryKind::kStable)] /
+                  static_cast<double>(n),
+              0.085, 0.01);
+  EXPECT_NEAR(counts[static_cast<int>(TrajectoryKind::kRising)] /
+                  static_cast<double>(n),
+              0.305, 0.02);
+}
+
+TEST(PopulationMixTest, DegenerateMix) {
+  util::Rng rng(9);
+  PopulationMix only_stable{0.0, 0.0, 0.0, 1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_kind(only_stable, rng), TrajectoryKind::kStable);
+  }
+}
+
+TEST(SampleConfig, KindSpecificShapes) {
+  util::Rng rng(10);
+  const auto rising = sample_config(TrajectoryKind::kRising, 1000, rng);
+  EXPECT_EQ(rising.kind, TrajectoryKind::kRising);
+  EXPECT_GT(rising.swing, 0.0);
+  EXPECT_LE(rising.start_level + rising.swing, 10.0);
+
+  const auto stable = sample_config(TrajectoryKind::kStable, 1000, rng);
+  EXPECT_EQ(stable.swing, 0.0);
+  EXPECT_LE(stable.noise_stddev, 0.1);
+
+  const auto fluct = sample_config(TrajectoryKind::kFluctuating, 1000, rng);
+  EXPECT_GT(fluct.period, 0.0);
+}
+
+TEST(ToString, AllKinds) {
+  EXPECT_EQ(to_string(TrajectoryKind::kRising), "rising");
+  EXPECT_EQ(to_string(TrajectoryKind::kDeclining), "declining");
+  EXPECT_EQ(to_string(TrajectoryKind::kFluctuating), "fluctuating");
+  EXPECT_EQ(to_string(TrajectoryKind::kStable), "stable");
+}
+
+}  // namespace
+}  // namespace melody::sim
