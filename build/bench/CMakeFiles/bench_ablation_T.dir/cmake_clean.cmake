@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_T.dir/bench_ablation_T.cc.o"
+  "CMakeFiles/bench_ablation_T.dir/bench_ablation_T.cc.o.d"
+  "bench_ablation_T"
+  "bench_ablation_T.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_T.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grid_vs_kalman.dir/bench_ablation_grid_vs_kalman.cc.o"
+  "CMakeFiles/bench_ablation_grid_vs_kalman.dir/bench_ablation_grid_vs_kalman.cc.o.d"
+  "bench_ablation_grid_vs_kalman"
+  "bench_ablation_grid_vs_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grid_vs_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

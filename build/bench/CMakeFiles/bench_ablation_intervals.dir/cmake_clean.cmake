@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intervals.dir/bench_ablation_intervals.cc.o"
+  "CMakeFiles/bench_ablation_intervals.dir/bench_ablation_intervals.cc.o.d"
+  "bench_ablation_intervals"
+  "bench_ablation_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scores_per_run.dir/bench_ablation_scores_per_run.cc.o"
+  "CMakeFiles/bench_ablation_scores_per_run.dir/bench_ablation_scores_per_run.cc.o.d"
+  "bench_ablation_scores_per_run"
+  "bench_ablation_scores_per_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scores_per_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dual_frontier.dir/bench_dual_frontier.cc.o"
+  "CMakeFiles/bench_dual_frontier.dir/bench_dual_frontier.cc.o.d"
+  "bench_dual_frontier"
+  "bench_dual_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trajectories.dir/bench_fig1_trajectories.cc.o"
+  "CMakeFiles/bench_fig1_trajectories.dir/bench_fig1_trajectories.cc.o.d"
+  "bench_fig1_trajectories"
+  "bench_fig1_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

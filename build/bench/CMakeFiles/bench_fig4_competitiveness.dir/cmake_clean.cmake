@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_competitiveness.dir/bench_fig4_competitiveness.cc.o"
+  "CMakeFiles/bench_fig4_competitiveness.dir/bench_fig4_competitiveness.cc.o.d"
+  "bench_fig4_competitiveness"
+  "bench_fig4_competitiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_competitiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

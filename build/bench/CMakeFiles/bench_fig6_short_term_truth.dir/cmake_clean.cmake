@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_short_term_truth.dir/bench_fig6_short_term_truth.cc.o"
+  "CMakeFiles/bench_fig6_short_term_truth.dir/bench_fig6_short_term_truth.cc.o.d"
+  "bench_fig6_short_term_truth"
+  "bench_fig6_short_term_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_short_term_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_long_term_truth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem5_value_iteration.dir/bench_theorem5_value_iteration.cc.o"
+  "CMakeFiles/bench_theorem5_value_iteration.dir/bench_theorem5_value_iteration.cc.o.d"
+  "bench_theorem5_value_iteration"
+  "bench_theorem5_value_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem5_value_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

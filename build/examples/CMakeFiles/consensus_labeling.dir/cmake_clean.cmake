@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_labeling.dir/consensus_labeling.cpp.o"
+  "CMakeFiles/consensus_labeling.dir/consensus_labeling.cpp.o.d"
+  "consensus_labeling"
+  "consensus_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

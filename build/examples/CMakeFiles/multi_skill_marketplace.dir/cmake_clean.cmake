@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_skill_marketplace.dir/multi_skill_marketplace.cpp.o"
+  "CMakeFiles/multi_skill_marketplace.dir/multi_skill_marketplace.cpp.o.d"
+  "multi_skill_marketplace"
+  "multi_skill_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_skill_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_market.dir/sensing_market.cpp.o"
+  "CMakeFiles/sensing_market.dir/sensing_market.cpp.o.d"
+  "sensing_market"
+  "sensing_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategic_bidding.dir/strategic_bidding.cpp.o"
+  "CMakeFiles/strategic_bidding.dir/strategic_bidding.cpp.o.d"
+  "strategic_bidding"
+  "strategic_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategic_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

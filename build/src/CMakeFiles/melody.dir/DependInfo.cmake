@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/dbp.cc" "src/CMakeFiles/melody.dir/auction/dbp.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/dbp.cc.o.d"
+  "/root/repo/src/auction/dual_sra.cc" "src/CMakeFiles/melody.dir/auction/dual_sra.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/dual_sra.cc.o.d"
+  "/root/repo/src/auction/exact_sra.cc" "src/CMakeFiles/melody.dir/auction/exact_sra.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/exact_sra.cc.o.d"
+  "/root/repo/src/auction/greedy_core.cc" "src/CMakeFiles/melody.dir/auction/greedy_core.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/greedy_core.cc.o.d"
+  "/root/repo/src/auction/melody_auction.cc" "src/CMakeFiles/melody.dir/auction/melody_auction.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/melody_auction.cc.o.d"
+  "/root/repo/src/auction/opt_ub.cc" "src/CMakeFiles/melody.dir/auction/opt_ub.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/opt_ub.cc.o.d"
+  "/root/repo/src/auction/random_auction.cc" "src/CMakeFiles/melody.dir/auction/random_auction.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/random_auction.cc.o.d"
+  "/root/repo/src/auction/types.cc" "src/CMakeFiles/melody.dir/auction/types.cc.o" "gcc" "src/CMakeFiles/melody.dir/auction/types.cc.o.d"
+  "/root/repo/src/core/bellman.cc" "src/CMakeFiles/melody.dir/core/bellman.cc.o" "gcc" "src/CMakeFiles/melody.dir/core/bellman.cc.o.d"
+  "/root/repo/src/core/melody.cc" "src/CMakeFiles/melody.dir/core/melody.cc.o" "gcc" "src/CMakeFiles/melody.dir/core/melody.cc.o.d"
+  "/root/repo/src/core/multi_type.cc" "src/CMakeFiles/melody.dir/core/multi_type.cc.o" "gcc" "src/CMakeFiles/melody.dir/core/multi_type.cc.o.d"
+  "/root/repo/src/estimators/grid_estimator.cc" "src/CMakeFiles/melody.dir/estimators/grid_estimator.cc.o" "gcc" "src/CMakeFiles/melody.dir/estimators/grid_estimator.cc.o.d"
+  "/root/repo/src/estimators/melody_estimator.cc" "src/CMakeFiles/melody.dir/estimators/melody_estimator.cc.o" "gcc" "src/CMakeFiles/melody.dir/estimators/melody_estimator.cc.o.d"
+  "/root/repo/src/estimators/ml_ar_estimator.cc" "src/CMakeFiles/melody.dir/estimators/ml_ar_estimator.cc.o" "gcc" "src/CMakeFiles/melody.dir/estimators/ml_ar_estimator.cc.o.d"
+  "/root/repo/src/estimators/ml_cr_estimator.cc" "src/CMakeFiles/melody.dir/estimators/ml_cr_estimator.cc.o" "gcc" "src/CMakeFiles/melody.dir/estimators/ml_cr_estimator.cc.o.d"
+  "/root/repo/src/estimators/static_estimator.cc" "src/CMakeFiles/melody.dir/estimators/static_estimator.cc.o" "gcc" "src/CMakeFiles/melody.dir/estimators/static_estimator.cc.o.d"
+  "/root/repo/src/lds/em.cc" "src/CMakeFiles/melody.dir/lds/em.cc.o" "gcc" "src/CMakeFiles/melody.dir/lds/em.cc.o.d"
+  "/root/repo/src/lds/gaussian.cc" "src/CMakeFiles/melody.dir/lds/gaussian.cc.o" "gcc" "src/CMakeFiles/melody.dir/lds/gaussian.cc.o.d"
+  "/root/repo/src/lds/grid_filter.cc" "src/CMakeFiles/melody.dir/lds/grid_filter.cc.o" "gcc" "src/CMakeFiles/melody.dir/lds/grid_filter.cc.o.d"
+  "/root/repo/src/lds/kalman.cc" "src/CMakeFiles/melody.dir/lds/kalman.cc.o" "gcc" "src/CMakeFiles/melody.dir/lds/kalman.cc.o.d"
+  "/root/repo/src/lds/smoother.cc" "src/CMakeFiles/melody.dir/lds/smoother.cc.o" "gcc" "src/CMakeFiles/melody.dir/lds/smoother.cc.o.d"
+  "/root/repo/src/sim/analytics.cc" "src/CMakeFiles/melody.dir/sim/analytics.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/analytics.cc.o.d"
+  "/root/repo/src/sim/labeling.cc" "src/CMakeFiles/melody.dir/sim/labeling.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/labeling.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/melody.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/CMakeFiles/melody.dir/sim/platform.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/platform.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/melody.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/score_gen.cc" "src/CMakeFiles/melody.dir/sim/score_gen.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/score_gen.cc.o.d"
+  "/root/repo/src/sim/trajectory.cc" "src/CMakeFiles/melody.dir/sim/trajectory.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/trajectory.cc.o.d"
+  "/root/repo/src/sim/worker_model.cc" "src/CMakeFiles/melody.dir/sim/worker_model.cc.o" "gcc" "src/CMakeFiles/melody.dir/sim/worker_model.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/melody.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/melody.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/melody.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/melody.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/melody.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/melody.dir/util/table.cc.o" "gcc" "src/CMakeFiles/melody.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

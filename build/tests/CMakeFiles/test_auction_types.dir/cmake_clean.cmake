@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auction_types.dir/test_auction_types.cc.o"
+  "CMakeFiles/test_auction_types.dir/test_auction_types.cc.o.d"
+  "test_auction_types"
+  "test_auction_types.pdb"
+  "test_auction_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auction_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bellman.dir/test_bellman.cc.o"
+  "CMakeFiles/test_bellman.dir/test_bellman.cc.o.d"
+  "test_bellman"
+  "test_bellman.pdb"
+  "test_bellman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bellman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

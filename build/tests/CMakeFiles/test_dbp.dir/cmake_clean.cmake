@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbp.dir/test_dbp.cc.o"
+  "CMakeFiles/test_dbp.dir/test_dbp.cc.o.d"
+  "test_dbp"
+  "test_dbp.pdb"
+  "test_dbp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_sra.dir/test_dual_sra.cc.o"
+  "CMakeFiles/test_dual_sra.dir/test_dual_sra.cc.o.d"
+  "test_dual_sra"
+  "test_dual_sra.pdb"
+  "test_dual_sra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_sra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_core.dir/test_greedy_core.cc.o"
+  "CMakeFiles/test_greedy_core.dir/test_greedy_core.cc.o.d"
+  "test_greedy_core"
+  "test_greedy_core.pdb"
+  "test_greedy_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_estimator.dir/test_grid_estimator.cc.o"
+  "CMakeFiles/test_grid_estimator.dir/test_grid_estimator.cc.o.d"
+  "test_grid_estimator"
+  "test_grid_estimator.pdb"
+  "test_grid_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

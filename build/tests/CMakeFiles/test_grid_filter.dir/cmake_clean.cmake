@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_filter.dir/test_grid_filter.cc.o"
+  "CMakeFiles/test_grid_filter.dir/test_grid_filter.cc.o.d"
+  "test_grid_filter"
+  "test_grid_filter.pdb"
+  "test_grid_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_longterm.dir/test_integration_longterm.cc.o"
+  "CMakeFiles/test_integration_longterm.dir/test_integration_longterm.cc.o.d"
+  "test_integration_longterm"
+  "test_integration_longterm.pdb"
+  "test_integration_longterm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_longterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

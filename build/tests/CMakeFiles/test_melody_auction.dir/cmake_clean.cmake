@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_melody_auction.dir/test_melody_auction.cc.o"
+  "CMakeFiles/test_melody_auction.dir/test_melody_auction.cc.o.d"
+  "test_melody_auction"
+  "test_melody_auction.pdb"
+  "test_melody_auction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_melody_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

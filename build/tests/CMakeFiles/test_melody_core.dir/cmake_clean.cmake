@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_melody_core.dir/test_melody_core.cc.o"
+  "CMakeFiles/test_melody_core.dir/test_melody_core.cc.o.d"
+  "test_melody_core"
+  "test_melody_core.pdb"
+  "test_melody_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_melody_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

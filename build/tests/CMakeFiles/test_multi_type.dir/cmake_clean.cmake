@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_type.dir/test_multi_type.cc.o"
+  "CMakeFiles/test_multi_type.dir/test_multi_type.cc.o.d"
+  "test_multi_type"
+  "test_multi_type.pdb"
+  "test_multi_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

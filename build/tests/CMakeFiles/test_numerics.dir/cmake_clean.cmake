@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics.dir/test_numerics.cc.o"
+  "CMakeFiles/test_numerics.dir/test_numerics.cc.o.d"
+  "test_numerics"
+  "test_numerics.pdb"
+  "test_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_auction.dir/test_random_auction.cc.o"
+  "CMakeFiles/test_random_auction.dir/test_random_auction.cc.o.d"
+  "test_random_auction"
+  "test_random_auction.pdb"
+  "test_random_auction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

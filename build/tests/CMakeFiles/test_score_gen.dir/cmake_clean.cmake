@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_score_gen.dir/test_score_gen.cc.o"
+  "CMakeFiles/test_score_gen.dir/test_score_gen.cc.o.d"
+  "test_score_gen"
+  "test_score_gen.pdb"
+  "test_score_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_score_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoother.dir/test_smoother.cc.o"
+  "CMakeFiles/test_smoother.dir/test_smoother.cc.o.d"
+  "test_smoother"
+  "test_smoother.pdb"
+  "test_smoother[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truthfulness.dir/test_truthfulness.cc.o"
+  "CMakeFiles/test_truthfulness.dir/test_truthfulness.cc.o.d"
+  "test_truthfulness"
+  "test_truthfulness.pdb"
+  "test_truthfulness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truthfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker_model.dir/test_worker_model.cc.o"
+  "CMakeFiles/test_worker_model.dir/test_worker_model.cc.o.d"
+  "test_worker_model"
+  "test_worker_model.pdb"
+  "test_worker_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

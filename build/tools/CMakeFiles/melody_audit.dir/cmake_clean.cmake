@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody_audit.dir/melody_audit.cc.o"
+  "CMakeFiles/melody_audit.dir/melody_audit.cc.o.d"
+  "melody_audit"
+  "melody_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody_sim.dir/melody_sim.cc.o"
+  "CMakeFiles/melody_sim.dir/melody_sim.cc.o.d"
+  "melody_sim"
+  "melody_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
