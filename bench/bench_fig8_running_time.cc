@@ -3,11 +3,31 @@
 //   (a) running time vs number of workers, M in {500, 5000}, B = 800;
 //   (b) running time vs number of tasks,  N in {500, 2000}, B = 800.
 // The paper's claim is linear growth in both N and M.
+//
+// Extension beyond the paper:
+//   (c) serial vs parallel wall clock for the long-term pipeline at large
+//       N — a ParallelSweep of 8 replicas sharded across the pool; and
+//   (d) a single large-N platform, where the per-(worker, run) score
+//       streams and the estimator's sharded observe_run carry the
+//       parallelism inside one replica.
+// Both report a "speedup" counter relative to the threads=1 entry of the
+// same family (the families run their serial entry first). Output is
+// bit-identical across thread counts, so the speedup is free of any
+// accuracy trade-off.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
 #include "auction/melody_auction.h"
+#include "estimators/melody_estimator.h"
+#include "sim/parallel_sweep.h"
+#include "sim/platform.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -45,6 +65,97 @@ void BM_Fig8b_TasksSweep_N2000(benchmark::State& state) {
   run_auction(state, 2000, static_cast<int>(state.range(0)));
 }
 
+/// Restores the serial default when a parallel benchmark exits.
+struct ScopedThreads {
+  explicit ScopedThreads(int threads) { util::set_shared_thread_count(threads); }
+  ~ScopedThreads() { util::set_shared_thread_count(1); }
+};
+
+/// Times `body` once per benchmark iteration and reports the wall-clock
+/// speedup against the threads=1 entry of the same `family` (which google
+/// benchmark runs first — entries execute in registration order).
+template <typename Body>
+void report_speedup(benchmark::State& state, const std::string& family,
+                    int threads, Body&& body) {
+  double elapsed_seconds = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    elapsed_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    ++iterations;
+  }
+  const double per_iteration =
+      iterations > 0 ? elapsed_seconds / static_cast<double>(iterations) : 0.0;
+  static std::map<std::string, double> serial_baseline;
+  if (threads == 1) serial_baseline[family] = per_iteration;
+  const auto baseline = serial_baseline.find(family);
+  if (baseline != serial_baseline.end() && per_iteration > 0.0) {
+    state.counters["speedup"] = baseline->second / per_iteration;
+  }
+  state.counters["threads"] = threads;
+}
+
+sim::LongTermScenario large_scenario(int workers) {
+  sim::LongTermScenario scenario;
+  scenario.num_workers = workers;
+  scenario.num_tasks = 500;
+  scenario.runs = 2;
+  scenario.budget = 800.0;
+  return scenario;
+}
+
+sim::EstimatorFactory melody_estimator_factory(
+    const sim::LongTermScenario& scenario) {
+  estimators::MelodyEstimatorConfig config;
+  config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+  config.reestimation_period = scenario.reestimation_period;
+  return [config] {
+    return std::make_unique<estimators::MelodyEstimator>(config);
+  };
+}
+
+// Fig. 8c: replica-level parallelism. 8 long-term replicas at N workers.
+void BM_Fig8c_ParallelSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  ScopedThreads scoped(threads);
+  const auto scenario = large_scenario(workers);
+  const std::vector<std::uint64_t> seeds{11, 12, 13, 14, 15, 16, 17, 18};
+  sim::ParallelSweep sweep;
+  sweep.add_seed_grid(
+      "melody", scenario, seeds,
+      [] { return std::make_unique<auction::MelodyAuction>(); },
+      melody_estimator_factory(scenario));
+  report_speedup(state, "sweep/N" + std::to_string(workers), threads, [&] {
+    auto result = sweep.run();
+    benchmark::DoNotOptimize(result.merged.true_utility.sum());
+  });
+}
+
+// Fig. 8d: intra-replica parallelism — one platform, large N, where score
+// generation and the estimator's observe_run shard across the pool.
+void BM_Fig8d_PlatformRuns(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  ScopedThreads scoped(threads);
+  auto scenario = large_scenario(workers);
+  scenario.runs = 3;
+  const auto factory = melody_estimator_factory(scenario);
+  report_speedup(state, "platform/N" + std::to_string(workers), threads, [&] {
+    auction::MelodyAuction mechanism;
+    auto estimator = factory();
+    util::Rng population_rng(7);
+    sim::Platform platform(
+        scenario, mechanism, *estimator,
+        sim::sample_population(scenario.population_config(), population_rng),
+        8);
+    benchmark::DoNotOptimize(platform.run_all());
+  });
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fig8a_WorkersSweep_M500)
@@ -63,3 +174,16 @@ BENCHMARK(BM_Fig8b_TasksSweep_N2000)
     ->DenseRange(500, 4500, 1000)
     ->Unit(benchmark::kMillisecond)
     ->Complexity(benchmark::oN);
+
+// Fig. 8c/8d: threads x workers. The threads=1 entry of each family must
+// come first — it is the speedup baseline.
+BENCHMARK(BM_Fig8c_ParallelSweep)
+    ->ArgsProduct({{1, 2, 4, 8}, {2000, 4000}})
+    ->ArgNames({"threads", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_Fig8d_PlatformRuns)
+    ->ArgsProduct({{1, 2, 4, 8}, {4000}})
+    ->ArgNames({"threads", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();

@@ -9,6 +9,11 @@
 // Reported per estimator: average estimation error of quality per run and
 // requester's true utility per run (downsampled series + overall means),
 // plus the paper's relative-improvement numbers.
+//
+// The four estimator stacks are independent replicas, so they run as a
+// sim::ParallelSweep — pass --threads T to shard them (and the per-worker
+// updates inside each) across a pool. The tables are identical for every
+// thread count; see DESIGN.md, "Parallel execution model".
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -20,8 +25,11 @@
 #include "estimators/ml_cr_estimator.h"
 #include "estimators/static_estimator.h"
 #include "sim/metrics.h"
+#include "sim/parallel_sweep.h"
 #include "sim/platform.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -52,7 +60,11 @@ std::unique_ptr<estimators::QualityEstimator> make_estimator(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const melody::util::Flags flags(argc, argv);
+  melody::util::set_shared_thread_count(
+      static_cast<int>(flags.get_int("threads", 1)));
+
   const sim::LongTermScenario scenario;  // Table 4 defaults
   const std::vector<std::string> names{"STATIC", "ML-CR", "ML-AR", "MELODY"};
 
@@ -62,23 +74,34 @@ int main() {
         {"estimator", "run", "estimation_error", "true_utility"});
   }
 
-  std::vector<std::vector<sim::RunRecord>> all_records;
+  // Identical population and platform seed across estimators: the only
+  // difference between the four replicas is the quality-updating method.
+  sim::ParallelSweep sweep;
   for (const auto& name : names) {
-    auto estimator = make_estimator(name, scenario);
-    auction::MelodyAuction mechanism;
-    // Identical population and platform seed across estimators: the only
-    // difference between the four runs is the quality-updating method.
-    util::Rng population_rng(kPopulationSeed);
-    sim::Platform platform(
-        scenario, mechanism, *estimator,
-        sim::sample_population(scenario.population_config(), population_rng),
-        kPlatformSeed);
-    std::printf("running %-7s ...\n", name.c_str());
-    std::fflush(stdout);
-    all_records.push_back(platform.run_all());
+    sim::SweepJob job;
+    job.label = name;
+    job.scenario = scenario;
+    job.population_seed = kPopulationSeed;
+    job.platform_seed = kPlatformSeed;
+    job.make_mechanism = [] {
+      return std::make_unique<auction::MelodyAuction>();
+    };
+    job.make_estimator = [name, &scenario] {
+      return make_estimator(name, scenario);
+    };
+    sweep.add(std::move(job));
+  }
+  std::printf("running %zu estimator replicas on %d thread(s) ...\n",
+              sweep.job_count(), melody::util::shared_thread_count());
+  std::fflush(stdout);
+  const sim::SweepResult sweep_result = sweep.run();
+
+  std::vector<std::vector<sim::RunRecord>> all_records;
+  for (const auto& replica : sweep_result.replicas) {
+    all_records.push_back(replica.records);
     if (csv) {
-      for (const auto& r : all_records.back()) {
-        csv->write_row({name, std::to_string(r.run),
+      for (const auto& r : replica.records) {
+        csv->write_row({replica.label, std::to_string(r.run),
                         std::to_string(r.estimation_error),
                         std::to_string(r.true_utility)});
       }

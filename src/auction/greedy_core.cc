@@ -1,9 +1,21 @@
 #include "auction/greedy_core.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
+#include "util/parallel_for.h"
+
 namespace melody::auction::internal {
+
+namespace {
+
+// Below these sizes the fork-join overhead exceeds the loop body; the
+// serial path is also the reference the determinism tests compare against.
+constexpr std::size_t kParallelSortThreshold = 4096;
+constexpr std::size_t kParallelPricingWork = std::size_t{1} << 17;
+
+}  // namespace
 
 std::vector<const WorkerProfile*> build_ranking_queue(
     std::span<const WorkerProfile> workers, const AuctionConfig& config) {
@@ -19,14 +31,17 @@ std::vector<const WorkerProfile*> build_ranking_queue(
     }
   }
   // Line 2: ranking queue, descending estimated quality per unit cost.
-  // Ties broken by worker id for determinism.
-  std::sort(queue.begin(), queue.end(),
-            [](const WorkerProfile* a, const WorkerProfile* b) {
-              const double ra = a->estimated_quality / a->bid.cost;
-              const double rb = b->estimated_quality / b->bid.cost;
-              if (ra != rb) return ra > rb;
-              return a->id < b->id;
-            });
+  // Ties broken by worker id, which makes the order total — so the
+  // block-sort-and-merge parallel path (taken for large N) reproduces the
+  // serial order exactly.
+  util::parallel_sort(util::shared_pool(), queue.begin(), queue.end(),
+                      [](const WorkerProfile* a, const WorkerProfile* b) {
+                        const double ra = a->estimated_quality / a->bid.cost;
+                        const double rb = b->estimated_quality / b->bid.cost;
+                        if (ra != rb) return ra > rb;
+                        return a->id < b->id;
+                      },
+                      kParallelSortThreshold);
   return queue;
 }
 
@@ -89,8 +104,14 @@ std::vector<PreAllocation> pre_allocate(
       // his ratio exceeds that of the worker at which coverage of Q_j
       // completes in the queue *without* i (under the current availability
       // state). Walk the queue skipping i to find that completion worker;
-      // its cost density is i's payment ratio.
-      for (std::size_t widx : p.winners) {
+      // its cost density is i's payment ratio. The per-winner walks only
+      // read `queue` and `available` and write disjoint payment slots, so
+      // for large instances they shard across the pool with bit-identical
+      // results.
+      p.payments.assign(p.winners.size(), 0.0);
+      std::atomic<bool> all_priced{true};
+      auto price_winner = [&](std::size_t w) {
+        const std::size_t widx = p.winners[w];
         double cumulative = 0.0;
         std::size_t pos = 0;
         while (pos < queue.size()) {
@@ -101,11 +122,20 @@ std::vector<PreAllocation> pre_allocate(
           ++pos;
         }
         if (pos >= queue.size()) {
-          priceable = false;  // no critical worker exists for this winner
-          break;
+          // No critical worker exists for this winner.
+          all_priced.store(false, std::memory_order_relaxed);
+          return;
         }
-        p.payments.push_back(ratio_of(pos) * queue[widx]->estimated_quality);
+        p.payments[w] = ratio_of(pos) * queue[widx]->estimated_quality;
+      };
+      if (p.winners.size() > 1 &&
+          p.winners.size() * queue.size() >= kParallelPricingWork) {
+        util::parallel_for(util::shared_pool(), p.winners.size(),
+                           price_winner);
+      } else {
+        for (std::size_t w = 0; w < p.winners.size(); ++w) price_winner(w);
       }
+      priceable = all_priced.load(std::memory_order_relaxed);
     }
     if (!priceable) continue;  // drop the task; frequencies untouched
 

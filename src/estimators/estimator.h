@@ -7,6 +7,7 @@
 // returns the quality mu_i to use in the *next* run's auction.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "auction/types.h"
@@ -24,6 +25,17 @@ class QualityEstimator {
 
   /// Record the scores the worker received in the run that just ended.
   virtual void observe(auction::WorkerId id, const lds::ScoreSet& scores) = 0;
+
+  /// Digest one whole run at once: `ids` and `scores` are parallel arrays
+  /// covering every registered worker exactly once. The default forwards
+  /// to observe() in array order. Estimators whose per-worker updates are
+  /// independent (MELODY's Kalman/EM chains) override this to shard the
+  /// batch across util::shared_pool(); overrides must produce state
+  /// bit-identical to the serial order for any thread count.
+  virtual void observe_run(std::span<const auction::WorkerId> ids,
+                           std::span<const lds::ScoreSet> scores) {
+    for (std::size_t i = 0; i < ids.size(); ++i) observe(ids[i], scores[i]);
+  }
 
   /// Estimated quality for the next run. Throws std::out_of_range for an
   /// unregistered worker.

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/parallel_for.h"
+
 namespace melody::estimators {
 
 void MelodyEstimator::register_worker(auction::WorkerId id) {
@@ -56,6 +58,18 @@ void MelodyEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores)
   }
   state.posterior.mean = std::clamp(state.posterior.mean,
                                     config_.estimate_min, config_.estimate_max);
+}
+
+void MelodyEstimator::observe_run(std::span<const auction::WorkerId> ids,
+                                  std::span<const lds::ScoreSet> scores) {
+  // Each worker's filter/EM chain reads and writes only states_.at(id);
+  // concurrent at() on distinct keys of an unchanging map is safe. The
+  // grain keeps small populations on the calling thread — the crossover is
+  // dominated by the EM runs, which are the expensive entries.
+  util::parallel_for(
+      util::shared_pool(), ids.size(),
+      [&](std::size_t i) { observe(ids[i], scores[i]); },
+      /*min_grain=*/16);
 }
 
 double MelodyEstimator::estimate(auction::WorkerId id) const {

@@ -71,6 +71,12 @@ class MelodyEstimator final : public QualityEstimator {
 
   void register_worker(auction::WorkerId id) override;
   void observe(auction::WorkerId id, const lds::ScoreSet& scores) override;
+  /// Shards the per-worker Kalman/EM updates across util::shared_pool().
+  /// Safe because each worker's chain touches only its own State and the
+  /// state map is never resized during a run; bit-identical to the serial
+  /// order for any thread count.
+  void observe_run(std::span<const auction::WorkerId> ids,
+                   std::span<const lds::ScoreSet> scores) override;
   double estimate(auction::WorkerId id) const override;
   std::string name() const override { return "MELODY"; }
 

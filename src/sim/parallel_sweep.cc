@@ -1,0 +1,75 @@
+#include "sim/parallel_sweep.h"
+
+#include <stdexcept>
+
+#include "sim/platform.h"
+#include "sim/worker_model.h"
+#include "util/parallel_for.h"
+
+namespace melody::sim {
+
+void SweepAccumulators::add(const RunRecord& record) {
+  estimated_utility.add(static_cast<double>(record.estimated_utility));
+  true_utility.add(static_cast<double>(record.true_utility));
+  estimation_error.add(record.estimation_error);
+  total_payment.add(record.total_payment);
+  assignments.add(static_cast<double>(record.assignments));
+}
+
+void SweepAccumulators::merge(const SweepAccumulators& other) {
+  estimated_utility.merge(other.estimated_utility);
+  true_utility.merge(other.true_utility);
+  estimation_error.merge(other.estimation_error);
+  total_payment.merge(other.total_payment);
+  assignments.merge(other.assignments);
+}
+
+void ParallelSweep::add_seed_grid(const std::string& label_prefix,
+                                  const LongTermScenario& scenario,
+                                  std::span<const std::uint64_t> seeds,
+                                  MechanismFactory make_mechanism,
+                                  EstimatorFactory make_estimator) {
+  for (std::uint64_t seed : seeds) {
+    SweepJob job;
+    job.label = label_prefix + "/s" + std::to_string(seed);
+    job.scenario = scenario;
+    job.population_seed = seed;
+    job.platform_seed = seed + 1;
+    job.make_mechanism = make_mechanism;
+    job.make_estimator = make_estimator;
+    add(std::move(job));
+  }
+}
+
+SweepResult ParallelSweep::run() const {
+  SweepResult result;
+  result.replicas.resize(jobs_.size());
+
+  // Replicas write only their own slot; parallel_for rethrows the first
+  // replica exception after the barrier. Grain 1: jobs are heavyweight.
+  util::parallel_for(util::shared_pool(), jobs_.size(), [&](std::size_t j) {
+    const SweepJob& job = jobs_[j];
+    if (!job.make_mechanism || !job.make_estimator) {
+      throw std::invalid_argument("ParallelSweep: job '" + job.label +
+                                  "' is missing a factory");
+    }
+    auto mechanism = job.make_mechanism();
+    auto estimator = job.make_estimator();
+    util::Rng population_rng(job.population_seed);
+    Platform platform(
+        job.scenario, *mechanism, *estimator,
+        sample_population(job.scenario.population_config(), population_rng),
+        job.platform_seed);
+    SweepReplica& replica = result.replicas[j];
+    replica.label = job.label;
+    replica.records = platform.run_all();
+    for (const RunRecord& record : replica.records) replica.stats.add(record);
+  });
+
+  for (const SweepReplica& replica : result.replicas) {
+    result.merged.merge(replica.stats);
+  }
+  return result;
+}
+
+}  // namespace melody::sim

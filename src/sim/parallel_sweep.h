@@ -1,0 +1,93 @@
+// Concurrent execution of many independent Platform replicas — the
+// (seeds x scenarios x mechanisms x estimators) grids behind Fig. 9, the
+// ablations, and any production capacity sweep.
+//
+// Each job owns its mechanism/estimator instances (built from the job's
+// factories inside the job's task, so nothing is shared across replicas)
+// and its own RNG seeds; replicas shard across util::shared_pool() and the
+// per-run metrics land in job order. Merged statistics are reduced in job
+// order after the barrier. Both are therefore bit-identical to running the
+// jobs serially, for any thread count — pinned by
+// tests/test_parallel_determinism.cc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "estimators/estimator.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "util/stats.h"
+
+namespace melody::sim {
+
+/// Factories run inside the replica's task and must be callable from any
+/// thread (they should only construct fresh objects).
+using MechanismFactory = std::function<std::unique_ptr<auction::Mechanism>()>;
+using EstimatorFactory =
+    std::function<std::unique_ptr<estimators::QualityEstimator>()>;
+
+/// One replica: a scenario plus the seeds and component factories.
+/// The population is sampled with Rng(population_seed); the platform runs
+/// with platform_seed (per-(worker, run) score streams derive from it).
+struct SweepJob {
+  std::string label;
+  LongTermScenario scenario;
+  std::uint64_t population_seed = 0;
+  std::uint64_t platform_seed = 0;
+  MechanismFactory make_mechanism;
+  EstimatorFactory make_estimator;
+};
+
+/// Welford accumulators over every run of a replica (or of a whole sweep).
+struct SweepAccumulators {
+  util::RunningStats estimated_utility;
+  util::RunningStats true_utility;
+  util::RunningStats estimation_error;
+  util::RunningStats total_payment;
+  util::RunningStats assignments;
+
+  void add(const RunRecord& record);
+  void merge(const SweepAccumulators& other);
+};
+
+struct SweepReplica {
+  std::string label;
+  std::vector<RunRecord> records;
+  SweepAccumulators stats;
+};
+
+struct SweepResult {
+  std::vector<SweepReplica> replicas;  // in job order
+  SweepAccumulators merged;            // job-order reduction over replicas
+};
+
+class ParallelSweep {
+ public:
+  void add(SweepJob job) { jobs_.push_back(std::move(job)); }
+
+  /// Convenience: one job per master seed with shared scenario/factories,
+  /// following the melody_sim convention (population = seed,
+  /// platform = seed + 1). Labels are "<prefix>/s<seed>".
+  void add_seed_grid(const std::string& label_prefix,
+                     const LongTermScenario& scenario,
+                     std::span<const std::uint64_t> seeds,
+                     MechanismFactory make_mechanism,
+                     EstimatorFactory make_estimator);
+
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  /// Run every job, sharded across util::shared_pool(). Throws the first
+  /// replica exception (if any) after all replicas finished or aborted.
+  SweepResult run() const;
+
+ private:
+  std::vector<SweepJob> jobs_;
+};
+
+}  // namespace melody::sim

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "sim/score_gen.h"
+#include "util/parallel_for.h"
 
 namespace melody::sim {
 
@@ -15,7 +16,8 @@ Platform::Platform(const LongTermScenario& scenario,
       mechanism_(mechanism),
       estimator_(estimator),
       workers_(std::move(workers)),
-      rng_(seed) {
+      rng_(seed),
+      master_seed_(seed) {
   for (const SimWorker& w : workers_) estimator_.register_worker(w.id());
 }
 
@@ -83,13 +85,28 @@ RunRecord Platform::step() {
   record.estimation_error = qualified > 0 ? error_sum / qualified : 0.0;
 
   // 4) Workers complete tasks, the requester scores the answers, and the
-  //    estimator digests the scores (empty sets for idle workers).
+  //    estimator digests the scores (empty sets for idle workers). Each
+  //    worker's scores come from his own (worker, run) stream, so this
+  //    stage shards across the pool without changing a single bit of
+  //    output relative to the serial loop.
+  std::vector<auction::WorkerId> ids(workers_.size());
+  std::vector<lds::ScoreSet> scores(workers_.size());
+  util::parallel_for(
+      util::shared_pool(), workers_.size(),
+      [&](std::size_t i) {
+        const SimWorker& w = workers_[i];
+        const auto it = assigned_count.find(w.id());
+        const int count = it == assigned_count.end() ? 0 : it->second;
+        util::Rng stream(util::derive_stream(
+            master_seed_, static_cast<std::uint64_t>(w.id()),
+            static_cast<std::uint64_t>(run_)));
+        ids[i] = w.id();
+        scores[i] = generate_scores(scenario_.score_model,
+                                    w.latent_quality(run_), count, stream);
+      },
+      /*min_grain=*/64);
+  estimator_.observe_run(ids, scores);
   for (const SimWorker& w : workers_) {
-    const auto it = assigned_count.find(w.id());
-    const int count = it == assigned_count.end() ? 0 : it->second;
-    const lds::ScoreSet scores = generate_scores(
-        scenario_.score_model, w.latent_quality(run_), count, rng_);
-    estimator_.observe(w.id(), scores);
     total_utility_[w.id()] += w.utility(last_result_);
   }
   return record;

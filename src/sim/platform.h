@@ -19,6 +19,13 @@ namespace melody::sim {
 /// Orchestrates one population + one mechanism + one quality estimator over
 /// many runs, generating tasks and scores from ground truth and feeding the
 /// estimator only what a real platform would see.
+///
+/// Determinism contract: bid perturbations and task sampling draw from one
+/// sequential generator seeded with `seed`, while each worker's per-run
+/// scores draw from the counter-based stream
+/// Rng(util::derive_stream(seed, worker_id, run)). Score generation and the
+/// estimator update therefore shard across util::shared_pool() with output
+/// bit-identical to the serial path for any thread count.
 class Platform {
  public:
   /// The mechanism and estimator are borrowed and must outlive the
@@ -62,6 +69,7 @@ class Platform {
   std::unordered_map<auction::WorkerId, double> total_utility_;
   auction::AllocationResult last_result_;
   util::Rng rng_;
+  std::uint64_t master_seed_ = 0;
   int run_ = 0;
 };
 

@@ -23,6 +23,23 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Counter-based stream derivation: hashes (master, stream, substream)
+/// through a SplitMix64 chain into the seed of an independent generator.
+/// The parallel execution layer derives one stream per (worker, run) pair —
+/// Rng(derive_stream(master, worker_id, run)) — so the draws a simulation
+/// makes are a pure function of those coordinates, never of thread
+/// scheduling: serial and parallel execution produce bit-identical output.
+constexpr std::uint64_t derive_stream(std::uint64_t master,
+                                      std::uint64_t stream,
+                                      std::uint64_t substream = 0) noexcept {
+  std::uint64_t state = master;
+  std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ stream;
+  mixed = splitmix64(state);
+  state = mixed ^ substream;
+  return splitmix64(state);
+}
+
 /// xoshiro256++ pseudo-random generator with portable floating-point
 /// derivations (uniform via 53-bit mantissa fill, normal via Box-Muller).
 class Rng {

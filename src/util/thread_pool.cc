@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace melody::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // inline pool: run on the caller
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+struct SharedPoolState {
+  std::unique_ptr<ThreadPool> pool;
+  int count = 1;
+};
+
+SharedPoolState& shared_state() {
+  static SharedPoolState state;
+  return state;
+}
+
+}  // namespace
+
+ThreadPool* shared_pool() noexcept { return shared_state().pool.get(); }
+
+void set_shared_thread_count(int count) {
+  if (count <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    count = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  SharedPoolState& state = shared_state();
+  state.pool.reset();  // join the old pool before spawning the new one
+  state.count = count;
+  if (count > 1) {
+    state.pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(count - 1));
+  }
+}
+
+int shared_thread_count() noexcept { return shared_state().count; }
+
+}  // namespace melody::util

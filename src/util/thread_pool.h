@@ -1,0 +1,83 @@
+// Fixed-size thread pool for the deterministic parallel execution layer.
+//
+// Design constraints (see DESIGN.md, "Parallel execution model"):
+//   * No work stealing and no thread-local randomness: tasks are plain
+//     closures pulled from one FIFO queue, and every parallel algorithm in
+//     the library writes results by index, so output never depends on which
+//     thread ran what.
+//   * Nested-submit safe: pool tasks may enqueue further work and may call
+//     util::parallel_for (the calling thread always participates in the
+//     loop, so saturation cannot deadlock).
+//   * Exceptions thrown inside submit()ted tasks are captured into the
+//     returned future; parallel_for rethrows the first task exception on
+//     the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace melody::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` worker threads. A pool of size 0 is valid: post()
+  /// and submit() then execute the task inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then joins all workers. Do not post concurrently
+  /// with destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueue fire-and-forget work. Never blocks; safe from inside a task.
+  void post(std::function<void()> task);
+
+  /// Enqueue work and receive its result (or its exception) via a future.
+  template <typename F>
+  auto submit(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool used by Platform, MelodyEstimator::observe_run,
+/// ParallelSweep and the greedy-core hot loops. Returns nullptr while the
+/// configured thread count is <= 1 (the serial default), in which case
+/// every parallel algorithm degenerates to its serial loop.
+ThreadPool* shared_pool() noexcept;
+
+/// Configure the shared pool's total concurrency (calling thread included):
+/// `count` <= 0 selects std::thread::hardware_concurrency(), 1 disables
+/// parallelism, n > 1 builds a pool with n - 1 workers. Rebuilds the pool;
+/// not safe to call while parallel work is in flight.
+void set_shared_thread_count(int count);
+
+/// Current total concurrency of the shared pool (>= 1).
+int shared_thread_count() noexcept;
+
+}  // namespace melody::util

@@ -144,14 +144,23 @@ TEST(Platform, PolicyOverrideChangesBids) {
   auto workers = sample_population(scenario.population_config(), rng);
   Platform platform(scenario, mechanism, estimator, workers, 31);
 
+  // A true cost at the very top of [C_m, C_M]: any upward perturbation
+  // leaves the qualification band, independent of the drawn magnitude.
+  TrajectoryConfig traj;
+  traj.kind = TrajectoryKind::kStable;
+  traj.start_level = 8.0;
+  SimWorker overbidder(500, {2.0, 3},
+                       generate_trajectory(traj, scenario.runs, rng));
+  platform.add_worker(overbidder);
+
   BidPolicy always_overbid;
   always_overbid.cheat_probability = 1.0;
   always_overbid.direction = MisreportDirection::kHigher;
   always_overbid.cost_magnitude = 10.0;  // bid far outside [C_m, C_M]
-  platform.set_policy(workers[0].id(), always_overbid);
+  platform.set_policy(overbidder.id(), always_overbid);
   platform.run_all();
-  // An absurdly overbidding worker is disqualified every run: zero utility.
-  EXPECT_EQ(platform.worker_total_utility(workers[0].id()), 0.0);
+  // The always-overbidding worker is disqualified every run: zero utility.
+  EXPECT_EQ(platform.worker_total_utility(overbidder.id()), 0.0);
 }
 
 TEST(Platform, WorksWithRandomMechanism) {

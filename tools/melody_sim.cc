@@ -6,7 +6,7 @@
 //              [--estimator melody|static|ml-cr|ml-ar]
 //              [--reestimation-period T] [--exploration-beta BETA]
 //              [--payment-rule critical|paper] [--seed S]
-//              [--csv out.csv] [--quiet]
+//              [--threads T] [--csv out.csv] [--quiet]
 //
 // Prints the per-run series (downsampled) and the summary metrics; with
 // --csv, writes the full per-run records.
@@ -25,6 +25,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -39,7 +40,11 @@ int usage(const char* error) {
                "                  [--reestimation-period T] "
                "[--exploration-beta BETA]\n"
                "                  [--payment-rule critical|paper] [--seed S]\n"
-               "                  [--csv out.csv] [--quiet]\n");
+               "                  [--threads T] [--csv out.csv] [--quiet]\n"
+               "  --threads T   total worker threads (0 = all hardware\n"
+               "                threads, 1 = serial). Output is identical\n"
+               "                for every T: per-(worker, run) RNG streams\n"
+               "                make the simulation schedule-independent.\n");
   return error != nullptr ? 1 : 0;
 }
 
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   double exploration_beta = 0.0;
   std::uint64_t seed = 0;
+  int threads = 1;
   bool quiet = false;
   try {
     scenario.num_workers = static_cast<int>(flags->get_int("workers", 300));
@@ -97,6 +103,7 @@ int main(int argc, char** argv) {
     payment_rule_name = flags->get_string("payment-rule", "critical");
     exploration_beta = flags->get_double("exploration-beta", 0.0);
     seed = static_cast<std::uint64_t>(flags->get_int("seed", 2017));
+    threads = static_cast<int>(flags->get_int("threads", 1));
     csv_path = flags->get_string("csv", "");
     quiet = flags->get_bool("quiet", false);
   } catch (const std::exception& e) {
@@ -122,6 +129,8 @@ int main(int argc, char** argv) {
   } else {
     return usage("payment-rule must be critical or paper");
   }
+
+  util::set_shared_thread_count(threads);
 
   auction::MelodyAuction mechanism(rule);
   util::Rng population_rng(seed);
@@ -158,8 +167,10 @@ int main(int argc, char** argv) {
   }
 
   const auto summary = sim::summarize(records);
-  std::printf("\nsummary over %d runs (%s estimator):\n", scenario.runs,
-              estimator_name.c_str());
+  std::printf("\nsummary over %d runs (%s estimator, %d thread%s):\n",
+              scenario.runs, estimator_name.c_str(),
+              util::shared_thread_count(),
+              util::shared_thread_count() == 1 ? "" : "s");
   std::printf("  mean true utility:      %.2f\n", summary.mean_true_utility);
   std::printf("  mean estimated utility: %.2f\n",
               summary.mean_estimated_utility);
