@@ -62,11 +62,9 @@ Outcome run(int period, bool refilter) {
 
 int main() {
   bench::banner("Ablation A1 — EM re-estimation period T");
-  auto csv = bench::open_csv("ablation_T.csv");
-  if (csv) {
-    csv->write_row({"T", "refilter", "estimation_error", "true_utility",
-                    "seconds"});
-  }
+  bench::Reporter csv(
+      "ablation_T.csv",
+      {"T", "refilter", "estimation_error", "true_utility", "seconds"});
   util::TablePrinter table(
       {"T", "refilter after EM", "est. error", "true utility", "seconds"});
   for (int period : {0, 5, 10, 25, 50, 100}) {
@@ -78,11 +76,9 @@ int main() {
                      util::TablePrinter::format(out.error, 4),
                      util::TablePrinter::format(out.utility, 1),
                      util::TablePrinter::format(out.seconds, 2)});
-      if (csv) {
-        csv->write_row({std::to_string(period), refilter ? "1" : "0",
-                        std::to_string(out.error), std::to_string(out.utility),
-                        std::to_string(out.seconds)});
-      }
+      csv.row({std::to_string(period), refilter ? "1" : "0",
+               std::to_string(out.error), std::to_string(out.utility),
+               std::to_string(out.seconds)});
     }
   }
   table.print();

@@ -21,8 +21,8 @@ using namespace melody;
 
 int main() {
   bench::banner("Ablation A3 — empirical approximation factor vs exact OPT");
-  auto csv = bench::open_csv("ablation_exactness.csv");
-  if (csv) csv->write_row({"seed", "melody", "exact_opt", "opt_ub"});
+  bench::Reporter csv("ablation_exactness.csv",
+                      {"seed", "melody", "exact_opt", "opt_ub"});
 
   util::RunningStats exact_ratio;   // OPT / MELODY
   util::RunningStats ub_looseness;  // OPT-UB / OPT
@@ -48,12 +48,8 @@ int main() {
     }
     table.add_row({std::to_string(seed), std::to_string(mel),
                    std::to_string(opt), std::to_string(ub)});
-    if (csv) {
-      csv->write_numeric_row({static_cast<double>(seed),
-                              static_cast<double>(mel),
-                              static_cast<double>(opt),
-                              static_cast<double>(ub)});
-    }
+    csv.numeric_row({static_cast<double>(seed), static_cast<double>(mel),
+                     static_cast<double>(opt), static_cast<double>(ub)});
   }
   table.print();
   std::printf("\nOPT / MELODY: mean %.3f, worst %.3f "

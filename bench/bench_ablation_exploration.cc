@@ -33,11 +33,9 @@ sim::LongTermScenario starved_scenario() {
 
 int main() {
   bench::banner("Ablation A6 — exploration bonus under budget scarcity");
-  auto csv = bench::open_csv("ablation_exploration.csv");
-  if (csv) {
-    csv->write_row({"beta", "true_utility", "estimation_error",
-                    "total_payment"});
-  }
+  bench::Reporter csv(
+      "ablation_exploration.csv",
+      {"beta", "true_utility", "estimation_error", "total_payment"});
   const auto scenario = starved_scenario();
   util::TablePrinter table(
       {"beta", "true utility", "est. error", "payment"});
@@ -57,11 +55,9 @@ int main() {
                   {summary.mean_true_utility, summary.mean_estimation_error,
                    summary.mean_total_payment},
                   3);
-    if (csv) {
-      csv->write_numeric_row({beta, summary.mean_true_utility,
-                              summary.mean_estimation_error,
-                              summary.mean_total_payment});
-    }
+    csv.numeric_row({beta, summary.mean_true_utility,
+                     summary.mean_estimation_error,
+                     summary.mean_total_payment});
   }
   table.print();
   std::printf("(beta = 0 is the paper's behaviour; the reported estimation "

@@ -26,11 +26,9 @@ int main() {
   const auto workers = scenario.sample_workers(rng);
   const auto tasks = scenario.sample_tasks(rng);
 
-  auto csv = bench::open_csv("ablation_intervals.csv");
-  if (csv) {
-    csv->write_row({"theta_min", "theta_max", "cost_min", "cost_max",
-                    "qualified", "utility", "lambda"});
-  }
+  bench::Reporter csv("ablation_intervals.csv",
+                      {"theta_min", "theta_max", "cost_min", "cost_max",
+                       "qualified", "utility", "lambda"});
   util::TablePrinter table({"[Theta_m, Theta_M]", "[C_m, C_M]", "qualified",
                             "utility", "lambda (Lemma 3)"});
 
@@ -65,12 +63,9 @@ int main() {
     table.add_row({interval_q, interval_c, std::to_string(qualified),
                    std::to_string(result.requester_utility()),
                    util::TablePrinter::format(config.lambda(), 1)});
-    if (csv) {
-      csv->write_numeric_row({c.tm, c.tM, c.cm, c.cM,
-                              static_cast<double>(qualified),
-                              static_cast<double>(result.requester_utility()),
-                              config.lambda()});
-    }
+    csv.numeric_row({c.tm, c.tM, c.cm, c.cM, static_cast<double>(qualified),
+                     static_cast<double>(result.requester_utility()),
+                     config.lambda()});
   }
   table.print();
   std::printf("(tighter intervals shrink lambda — a better worst-case "

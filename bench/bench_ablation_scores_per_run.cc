@@ -20,10 +20,8 @@ using namespace melody;
 
 int main() {
   bench::banner("Ablation A4 — scores per run vs tracking accuracy");
-  auto csv = bench::open_csv("ablation_scores_per_run.csv");
-  if (csv) {
-    csv->write_row({"scores_per_run", "mean_abs_error", "posterior_var"});
-  }
+  bench::Reporter csv("ablation_scores_per_run.csv",
+                      {"scores_per_run", "mean_abs_error", "posterior_var"});
   const lds::LdsParams truth{1.0, 0.05, 9.0};  // sigma_S = 3 as in Table 4
   const lds::Gaussian init{5.5, 2.25};
   const int runs = 300;
@@ -51,10 +49,8 @@ int main() {
     }
     table.add_row(std::to_string(scores_per_run),
                   {error.mean(), variance.mean()}, 4);
-    if (csv) {
-      csv->write_numeric_row({static_cast<double>(scores_per_run),
-                              error.mean(), variance.mean()});
-    }
+    csv.numeric_row({static_cast<double>(scores_per_run), error.mean(),
+                     variance.mean()});
   }
   table.print();
   std::printf("(error should fall roughly as the steady-state Kalman gain "

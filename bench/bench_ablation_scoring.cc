@@ -116,14 +116,12 @@ int main() {
                  util::TablePrinter::format(100.0 * voting.consensus_accuracy,
                                             1) + "%"});
   table.print();
-  auto csv = bench::open_csv("ablation_scoring.csv");
-  if (csv) {
-    csv->write_row({"scoring", "tracking_error", "consensus_accuracy"});
-    csv->write_row({"oracle", std::to_string(oracle.tracking_error),
-                    std::to_string(oracle.consensus_accuracy)});
-    csv->write_row({"voting", std::to_string(voting.tracking_error),
-                    std::to_string(voting.consensus_accuracy)});
-  }
+  bench::Reporter csv("ablation_scoring.csv",
+                      {"scoring", "tracking_error", "consensus_accuracy"});
+  csv.row({"oracle", std::to_string(oracle.tracking_error),
+           std::to_string(oracle.consensus_accuracy)});
+  csv.row({"voting", std::to_string(voting.tracking_error),
+           std::to_string(voting.consensus_accuracy)});
   std::printf("(agreement scores are binary (agree/disagree), so the tracker "
               "sees a coarser, biased signal than the oracle — the paper's "
               "claim that its metrics \"can be incorporated naturally\" "

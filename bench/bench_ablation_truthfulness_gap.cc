@@ -72,11 +72,9 @@ GapStats measure(auction::PaymentRule rule, int num_tasks) {
 
 int main() {
   bench::banner("Ablation A5 — truthfulness gap of the two payment rules");
-  auto csv = bench::open_csv("ablation_truthfulness_gap.csv");
-  if (csv) {
-    csv->write_row({"rule", "tasks", "probes", "violation_pct", "mean_gain",
-                    "max_gain"});
-  }
+  bench::Reporter csv("ablation_truthfulness_gap.csv",
+                      {"rule", "tasks", "probes", "violation_pct", "mean_gain",
+                       "max_gain"});
   util::TablePrinter table({"payment rule", "tasks/auction", "probes",
                             "profitable misreports", "mean gain", "max gain"});
   struct Case {
@@ -98,12 +96,10 @@ int main() {
                    util::TablePrinter::format(pct, 1) + "%",
                    util::TablePrinter::format(stats.total_gain / stats.probes, 4),
                    util::TablePrinter::format(stats.max_gain, 4)});
-    if (csv) {
-      csv->write_row({c.name, std::to_string(c.tasks),
-                      std::to_string(stats.probes), std::to_string(pct),
-                      std::to_string(stats.total_gain / stats.probes),
-                      std::to_string(stats.max_gain)});
-    }
+    csv.row({c.name, std::to_string(c.tasks), std::to_string(stats.probes),
+             std::to_string(pct),
+             std::to_string(stats.total_gain / stats.probes),
+             std::to_string(stats.max_gain)});
   }
   table.print();
   std::printf("(single-task critical-value must be 0%%; multi-task gaps come "

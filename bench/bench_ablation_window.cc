@@ -32,11 +32,9 @@ sim::LongTermScenario long_scenario() {
 
 int main() {
   bench::banner("Ablation A8 — EM history window");
-  auto csv = bench::open_csv("ablation_window.csv");
-  if (csv) {
-    csv->write_row({"max_history", "estimation_error", "true_utility",
-                    "seconds"});
-  }
+  bench::Reporter csv(
+      "ablation_window.csv",
+      {"max_history", "estimation_error", "true_utility", "seconds"});
   const auto scenario = long_scenario();
   util::TablePrinter table(
       {"window", "est. error", "true utility", "seconds"});
@@ -60,11 +58,9 @@ int main() {
                   {summary.mean_estimation_error, summary.mean_true_utility,
                    seconds},
                   3);
-    if (csv) {
-      csv->write_numeric_row({static_cast<double>(window),
-                              summary.mean_estimation_error,
-                              summary.mean_true_utility, seconds});
-    }
+    csv.numeric_row({static_cast<double>(window),
+                     summary.mean_estimation_error,
+                     summary.mean_true_utility, seconds});
   }
   table.print();
   std::printf("(a modest window keeps nearly all of the accuracy at a "

@@ -1,29 +1,129 @@
-// Shared helpers for the bench harness binaries: CSV output location and
-// small formatting utilities. Each bench prints the rows/series the paper's
-// corresponding table or figure reports, and mirrors them into CSV files
-// next to the working directory (best-effort; printing is the source of
-// truth).
+// Shared helpers for the bench harness binaries. Each bench prints the
+// rows/series the paper's corresponding table or figure reports, and
+// mirrors them into CSV files next to the working directory (best-effort;
+// printing is the source of truth).
+//
+// Reporter is the one CSV front door: it owns the writer, locks the column
+// count to the header, and rejects malformed rows loudly (std::logic_error)
+// instead of silently emitting ragged CSV that plotting scripts misread.
+// With Options::metrics_sidecar it also enables the obs layer for the
+// bench's lifetime and writes the collected metric summaries to
+// "<stem>.metrics.json" (JSON-lines, same format as
+// `melody_sim --metrics-json`) when the Reporter is destroyed.
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
-#include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "util/csv.h"
 
 namespace melody::bench {
 
-/// Open a CSV mirror for a figure; returns nullptr (and keeps going) when
-/// the working directory is not writable.
-inline std::unique_ptr<util::CsvWriter> open_csv(const std::string& name) {
-  try {
-    return std::make_unique<util::CsvWriter>(name);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "note: CSV mirror disabled (%s)\n", e.what());
-    return nullptr;
+/// CSV mirror for one figure/table. Construction opens the file and writes
+/// the header; an unwritable working directory disables the mirror (a note
+/// goes to stderr, the bench keeps printing) but row-shape validation still
+/// runs so a bad bench fails the same way everywhere.
+class Reporter {
+ public:
+  struct Options {
+    /// Enable the obs layer and write "<stem>.metrics.json" next to the
+    /// CSV when the Reporter goes out of scope.
+    bool metrics_sidecar = false;
+  };
+
+  Reporter(const std::string& csv_name,
+           std::initializer_list<std::string_view> header)
+      : Reporter(csv_name, header, Options{}) {}
+
+  Reporter(const std::string& csv_name,
+           std::initializer_list<std::string_view> header, Options options)
+      : columns_(header.size()) {
+    if (columns_ == 0) {
+      throw std::logic_error("bench::Reporter: empty header for " + csv_name);
+    }
+    try {
+      csv_ = std::make_unique<util::CsvWriter>(csv_name);
+      csv_->write_row(header);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "note: CSV mirror disabled (%s)\n", e.what());
+      csv_ = nullptr;
+    }
+    if (options.metrics_sidecar) {
+      const std::string stem = csv_name.size() >= 4 &&
+                                       csv_name.ends_with(".csv")
+                                   ? csv_name.substr(0, csv_name.size() - 4)
+                                   : csv_name;
+      try {
+        sink_ = std::make_unique<obs::JsonLinesSink>(stem + ".metrics.json");
+        obs::set_sink(sink_.get());
+        obs::set_enabled(true);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "note: metrics sidecar disabled (%s)\n",
+                     e.what());
+        sink_ = nullptr;
+      }
+    }
   }
-}
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  ~Reporter() {
+    if (sink_ != nullptr) {
+      sink_->append_registry(obs::registry());
+      obs::set_sink(nullptr);
+      obs::set_enabled(false);
+    }
+  }
+
+  /// True when the CSV mirror is actually being written.
+  bool active() const noexcept { return csv_ != nullptr; }
+
+  const std::string& path() const {
+    static const std::string kNone;
+    return csv_ != nullptr ? csv_->path() : kNone;
+  }
+
+  void row(std::initializer_list<std::string_view> cells) {
+    check_shape(cells.size());
+    if (csv_ != nullptr) csv_->write_row(cells);
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    check_shape(cells.size());
+    if (csv_ != nullptr) csv_->write_row(cells);
+  }
+
+  void numeric_row(std::initializer_list<double> cells) {
+    check_shape(cells.size());
+    if (csv_ != nullptr) csv_->write_numeric_row(cells);
+  }
+
+  void numeric_row(const std::vector<double>& cells) {
+    check_shape(cells.size());
+    if (csv_ != nullptr) csv_->write_numeric_row(cells);
+  }
+
+ private:
+  void check_shape(std::size_t got) const {
+    if (got != columns_) {
+      throw std::logic_error("bench::Reporter: row has " +
+                             std::to_string(got) + " cells, header has " +
+                             std::to_string(columns_));
+    }
+  }
+
+  std::size_t columns_;
+  std::unique_ptr<util::CsvWriter> csv_;
+  std::unique_ptr<obs::JsonLinesSink> sink_;
+};
 
 inline void banner(const char* title) {
   std::printf("\n######## %s ########\n\n", title);

@@ -25,10 +25,8 @@ int main() {
   const auto tasks = scenario.sample_tasks(rng);
   const auto config = scenario.auction_config();
 
-  auto csv = bench::open_csv("dual_frontier.csv");
-  if (csv) {
-    csv->write_row({"target_utility", "required_budget", "primal_utility"});
-  }
+  bench::Reporter csv("dual_frontier.csv",
+                      {"target_utility", "required_budget", "primal_utility"});
   util::TablePrinter table(
       {"target utility", "required budget", "primal at that budget"});
   for (std::size_t target = 25; target <= 250; target += 25) {
@@ -46,11 +44,8 @@ int main() {
                   {dual.required_budget,
                    static_cast<double>(primal_result.requester_utility())},
                   2);
-    if (csv) {
-      csv->write_numeric_row(
-          {static_cast<double>(target), dual.required_budget,
-           static_cast<double>(primal_result.requester_utility())});
-    }
+    csv.numeric_row({static_cast<double>(target), dual.required_budget,
+                     static_cast<double>(primal_result.requester_utility())});
   }
   table.print();
   std::printf("(the frontier is convex-ish: cheap tasks first, then the\n"

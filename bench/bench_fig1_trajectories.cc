@@ -20,7 +20,7 @@ namespace {
 using namespace melody;
 
 void print_curve(const char* label, const std::vector<double>& q,
-                 util::CsvWriter* csv) {
+                 bench::Reporter& csv) {
   const util::LinearFit fit = util::linear_trend(q);
   std::printf("%-12s slope=%+.4f/run  variance=%6.3f  stable=%s\n", label,
               fit.slope, util::variance(q),
@@ -30,10 +30,8 @@ void print_curve(const char* label, const std::vector<double>& q,
     std::printf("%5.2f ", q[r]);
   }
   std::printf("\n");
-  if (csv != nullptr) {
-    for (std::size_t r = 0; r < q.size(); ++r) {
-      csv->write_row({label, std::to_string(r + 1), std::to_string(q[r])});
-    }
+  for (std::size_t r = 0; r < q.size(); ++r) {
+    csv.row({label, std::to_string(r + 1), std::to_string(q[r])});
   }
 }
 
@@ -41,8 +39,8 @@ void print_curve(const char* label, const std::vector<double>& q,
 
 int main() {
   bench::banner("Fig. 1 — four long-term quality patterns");
-  auto csv = bench::open_csv("fig1_trajectories.csv");
-  if (csv) csv->write_row({"pattern", "run", "latent_quality"});
+  bench::Reporter csv("fig1_trajectories.csv",
+                      {"pattern", "run", "latent_quality"});
 
   util::Rng rng(20170601);
   const int runs = 120;
@@ -52,7 +50,7 @@ int main() {
     auto config = sim::sample_config(kind, runs, rng);
     config.period = 60.0;  // make the fluctuation visible over 120 runs
     const auto q = sim::generate_trajectory(config, runs, rng);
-    print_curve(sim::to_string(kind).c_str(), q, csv.get());
+    print_curve(sim::to_string(kind).c_str(), q, csv);
   }
 
   // Population-level classification (paper: 8.5% stable under footnote 4).

@@ -75,7 +75,7 @@ void run_sweep(const char* title, const char* x_name,
                const std::vector<double>& xs, const char* variant_name,
                const std::vector<double>& variants,
                sim::SraScenario (*make)(double x, double variant),
-               Aggregate& aggregate, util::CsvWriter* csv) {
+               Aggregate& aggregate, bench::Reporter& csv) {
   bench::banner(title);
   for (double variant : variants) {
     util::TablePrinter table({x_name, "OPT-UB", "MELODY", "RANDOM"});
@@ -86,11 +86,9 @@ void run_sweep(const char* title, const char* x_name,
       aggregate.feed(p);
       table.add_row(util::TablePrinter::format(x, 0),
                     {p.opt_ub, p.melody, p.random}, 1);
-      if (csv != nullptr) {
-        csv->write_row({title, std::to_string(variant), std::to_string(x),
-                        std::to_string(p.opt_ub), std::to_string(p.melody),
-                        std::to_string(p.random)});
-      }
+      csv.row({title, std::to_string(variant), std::to_string(x),
+               std::to_string(p.opt_ub), std::to_string(p.melody),
+               std::to_string(p.random)});
     }
     std::printf("%s = %g\n", variant_name, variant);
     table.print();
@@ -107,10 +105,8 @@ std::vector<double> linspace(double lo, double hi, double step) {
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv("fig4_competitiveness.csv");
-  if (csv) {
-    csv->write_row({"sweep", "variant", "x", "opt_ub", "melody", "random"});
-  }
+  bench::Reporter csv("fig4_competitiveness.csv",
+                      {"sweep", "variant", "x", "opt_ub", "melody", "random"});
   Aggregate aggregate;
 
   run_sweep(
@@ -119,7 +115,7 @@ int main() {
       [](double x, double v) {
         return sim::table3_setting_i(static_cast<int>(x), v);
       },
-      aggregate, csv.get());
+      aggregate, csv);
 
   run_sweep(
       "Fig. 4b — utility vs budget (setting II)", "B",
@@ -127,7 +123,7 @@ int main() {
       [](double x, double v) {
         return sim::table3_setting_ii(x, static_cast<int>(v));
       },
-      aggregate, csv.get());
+      aggregate, csv);
 
   run_sweep(
       "Fig. 4c — utility vs number of tasks (setting III)", "M",
@@ -136,7 +132,7 @@ int main() {
         return sim::table3_setting_iii(static_cast<int>(x),
                                        static_cast<int>(v));
       },
-      aggregate, csv.get());
+      aggregate, csv);
 
   bench::banner("Fig. 4 — scalar claims");
   const double avg_ratio =

@@ -35,8 +35,8 @@ int main() {
   auction::MelodyAuction melody;
   const auto result = melody.run(workers, tasks, config);
 
-  auto csv_a = bench::open_csv("fig5a_individual_rationality.csv");
-  if (csv_a) csv_a->write_row({"worker", "total_cost", "total_payment"});
+  bench::Reporter csv_a("fig5a_individual_rationality.csv",
+                        {"worker", "total_cost", "total_payment"});
 
   double min_margin = 1e18;
   int winners = 0;
@@ -49,9 +49,7 @@ int main() {
     ++winners;
     const double cost = w.bid.cost * assigned;
     min_margin = std::min(min_margin, payment - cost);
-    if (csv_a) {
-      csv_a->write_numeric_row({static_cast<double>(w.id), cost, payment});
-    }
+    csv_a.numeric_row({static_cast<double>(w.id), cost, payment});
   }
   std::printf("winners: %d of %d workers\n", winners,
               static_cast<int>(workers.size()));
@@ -71,21 +69,18 @@ int main() {
   std::printf("\nCDF at bin upper edges: ");
   for (double c : histogram.cdf()) std::printf("%.3f ", c);
   std::printf("\n");
-  auto csv_b = bench::open_csv("fig5b_utility_distribution.csv");
-  if (csv_b) {
-    csv_b->write_row({"bin_lo", "bin_hi", "count", "cdf"});
-    const auto cdf = histogram.cdf();
-    for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
-      csv_b->write_numeric_row({histogram.bin_lo(b), histogram.bin_hi(b),
-                                static_cast<double>(histogram.count(b)),
-                                cdf[b]});
-    }
+  bench::Reporter csv_b("fig5b_utility_distribution.csv",
+                        {"bin_lo", "bin_hi", "count", "cdf"});
+  const auto cdf = histogram.cdf();
+  for (std::size_t b = 0; b < histogram.bin_count(); ++b) {
+    csv_b.numeric_row({histogram.bin_lo(b), histogram.bin_hi(b),
+                       static_cast<double>(histogram.count(b)), cdf[b]});
   }
 
   // --------------------------------------------------------------- Fig. 5c
   bench::banner("Fig. 5c — budget feasibility (B = 0..1500 step 100)");
-  auto csv_c = bench::open_csv("fig5c_budget_feasibility.csv");
-  if (csv_c) csv_c->write_row({"budget", "total_payment"});
+  bench::Reporter csv_c("fig5c_budget_feasibility.csv",
+                        {"budget", "total_payment"});
   util::TablePrinter table({"budget", "total payment"});
   bool feasible = true;
   for (double budget = 0.0; budget <= 1500.0; budget += 100.0) {
@@ -99,7 +94,7 @@ int main() {
             .total_payment();
     feasible = feasible && paid <= budget + 1e-9;
     table.add_row(util::TablePrinter::format(budget, 0), {paid}, 2);
-    if (csv_c) csv_c->write_numeric_row({budget, paid});
+    csv_c.numeric_row({budget, paid});
   }
   table.print();
   std::printf("total payment never exceeded budget: %s\n",

@@ -26,7 +26,7 @@ double utility_of(const auction::AllocationResult& result,
 void sweep_cost(const std::vector<auction::WorkerProfile>& workers,
                 const std::vector<auction::Task>& tasks,
                 const auction::AuctionConfig& config, std::size_t target,
-                const char* label, util::CsvWriter* csv) {
+                const char* label, bench::Reporter& csv) {
   auction::MelodyAuction melody;
   const double true_cost = workers[target].bid.cost;
   util::TablePrinter table({"actual bid of cost", "utility"});
@@ -44,10 +44,8 @@ void sweep_cost(const std::vector<auction::WorkerProfile>& workers,
     }
     table.add_row(util::TablePrinter::format(bids[target].bid.cost, 3),
                   {utility}, 4);
-    if (csv != nullptr) {
-      csv->write_row({label, "cost", std::to_string(bids[target].bid.cost),
-                      std::to_string(utility)});
-    }
+    csv.row({label, "cost", std::to_string(bids[target].bid.cost),
+             std::to_string(utility)});
   }
   std::printf("%s: true cost %.3f; utility-maximizing swept bid %.3f\n", label,
               true_cost, best_bid);
@@ -58,7 +56,7 @@ void sweep_cost(const std::vector<auction::WorkerProfile>& workers,
 void sweep_frequency(const std::vector<auction::WorkerProfile>& workers,
                      const std::vector<auction::Task>& tasks,
                      const auction::AuctionConfig& config, std::size_t target,
-                     const char* label, util::CsvWriter* csv) {
+                     const char* label, bench::Reporter& csv) {
   const double true_cost = workers[target].bid.cost;
   util::TablePrinter table({"actual bid of frequency", "utility"});
   for (int frequency = 1; frequency <= 5; ++frequency) {
@@ -68,10 +66,8 @@ void sweep_frequency(const std::vector<auction::WorkerProfile>& workers,
     const auto result = auction.run(bids, tasks, config);
     const double utility = utility_of(result, workers[target].id, true_cost);
     table.add_row(util::TablePrinter::format(frequency, 0), {utility}, 4);
-    if (csv != nullptr) {
-      csv->write_row({label, "frequency", std::to_string(frequency),
-                      std::to_string(utility)});
-    }
+    csv.row({label, "frequency", std::to_string(frequency),
+             std::to_string(utility)});
   }
   std::printf("%s: true frequency %d\n", label,
               workers[target].bid.frequency);
@@ -102,17 +98,17 @@ int main() {
     if (!assigned && loser == workers.size()) loser = w;
   }
 
-  auto csv = bench::open_csv("fig6_short_term_truthfulness.csv");
-  if (csv) csv->write_row({"role", "dimension", "actual_bid", "utility"});
+  bench::Reporter csv("fig6_short_term_truthfulness.csv",
+                      {"role", "dimension", "actual_bid", "utility"});
 
   bench::banner("Fig. 6a — cost-truthfulness of a winner");
-  sweep_cost(workers, tasks, config, winner, "winner", csv.get());
+  sweep_cost(workers, tasks, config, winner, "winner", csv);
   bench::banner("Fig. 6b — frequency-truthfulness of a winner");
-  sweep_frequency(workers, tasks, config, winner, "winner", csv.get());
+  sweep_frequency(workers, tasks, config, winner, "winner", csv);
   bench::banner("Fig. 6c — cost-truthfulness of a loser");
-  sweep_cost(workers, tasks, config, loser, "loser", csv.get());
+  sweep_cost(workers, tasks, config, loser, "loser", csv);
   bench::banner("Fig. 6d — frequency-truthfulness of a loser");
-  sweep_frequency(workers, tasks, config, loser, "loser", csv.get());
+  sweep_frequency(workers, tasks, config, loser, "loser", csv);
 
   std::printf(
       "NOTE (reproduction finding): at the paper's own scale (M = 500 tasks,\n"
@@ -144,7 +140,7 @@ int main() {
   }
   if (single_winner < single_workers.size()) {
     sweep_cost(single_workers, single_tasks, single_config, single_winner,
-               "single-task winner", csv.get());
+               "single-task winner", csv);
   }
   return 0;
 }

@@ -81,7 +81,7 @@ double mean_gain(const sim::BidPolicy& policy) {
   return gain / kRepetitions;
 }
 
-void sweep(const char* title, bool cheat_cost, util::CsvWriter* csv) {
+void sweep(const char* title, bool cheat_cost, bench::Reporter& csv) {
   bench::banner(title);
   util::TablePrinter table({"cheating probability", "higher", "lower",
                             "random"});
@@ -98,11 +98,9 @@ void sweep(const char* title, bool cheat_cost, util::CsvWriter* csv) {
       gains.push_back(mean_gain(policy));
     }
     table.add_row(util::TablePrinter::format(probability, 1), gains, 4);
-    if (csv != nullptr) {
-      csv->write_row({cheat_cost ? "cost" : "frequency",
-                      std::to_string(probability), std::to_string(gains[0]),
-                      std::to_string(gains[1]), std::to_string(gains[2])});
-    }
+    csv.row({cheat_cost ? "cost" : "frequency", std::to_string(probability),
+             std::to_string(gains[0]), std::to_string(gains[1]),
+             std::to_string(gains[2])});
   }
   table.print();
   std::printf(
@@ -118,14 +116,11 @@ void sweep(const char* title, bool cheat_cost, util::CsvWriter* csv) {
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv("fig7_long_term_truthfulness.csv");
-  if (csv) {
-    csv->write_row(
-        {"dimension", "cheat_probability", "higher", "lower", "random"});
-  }
-  sweep("Fig. 7a — long-term cost-truthfulness", /*cheat_cost=*/true,
-        csv.get());
+  bench::Reporter csv(
+      "fig7_long_term_truthfulness.csv",
+      {"dimension", "cheat_probability", "higher", "lower", "random"});
+  sweep("Fig. 7a — long-term cost-truthfulness", /*cheat_cost=*/true, csv);
   sweep("Fig. 7b — long-term frequency-truthfulness", /*cheat_cost=*/false,
-        csv.get());
+        csv);
   return 0;
 }

@@ -68,11 +68,12 @@ int main(int argc, char** argv) {
   const sim::LongTermScenario scenario;  // Table 4 defaults
   const std::vector<std::string> names{"STATIC", "ML-CR", "ML-AR", "MELODY"};
 
-  auto csv = bench::open_csv("fig9_longterm_quality.csv");
-  if (csv) {
-    csv->write_row(
-        {"estimator", "run", "estimation_error", "true_utility"});
-  }
+  // The metrics sidecar exercises the obs layer at full Table-4 scale:
+  // fig9_longterm_quality.metrics.json gets the auction/estimator/pool
+  // summaries accumulated across all four replicas.
+  bench::Reporter csv("fig9_longterm_quality.csv",
+                      {"estimator", "run", "estimation_error", "true_utility"},
+                      {.metrics_sidecar = true});
 
   // Identical population and platform seed across estimators: the only
   // difference between the four replicas is the quality-updating method.
@@ -99,12 +100,10 @@ int main(int argc, char** argv) {
   std::vector<std::vector<sim::RunRecord>> all_records;
   for (const auto& replica : sweep_result.replicas) {
     all_records.push_back(replica.records);
-    if (csv) {
-      for (const auto& r : replica.records) {
-        csv->write_row({replica.label, std::to_string(r.run),
-                        std::to_string(r.estimation_error),
-                        std::to_string(r.true_utility)});
-      }
+    for (const auto& r : replica.records) {
+      csv.row({replica.label, std::to_string(r.run),
+               std::to_string(r.estimation_error),
+               std::to_string(r.true_utility)});
     }
   }
 

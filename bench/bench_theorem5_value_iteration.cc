@@ -103,8 +103,8 @@ int main() {
   const auto v_truthful = core::value_iteration(config, truthful);
   const auto v_overbid = core::value_iteration(config, overbid);
 
-  auto csv = bench::open_csv("theorem5_value_iteration.csv");
-  if (csv) csv->write_row({"mu", "V_truthful", "V_overbid"});
+  bench::Reporter csv("theorem5_value_iteration.csv",
+                      {"mu", "V_truthful", "V_overbid"});
   util::TablePrinter table({"initial quality mu", "V^T (truthful)",
                             "V^U (overbid 35%)"});
   int dominated = 0;
@@ -113,7 +113,7 @@ int main() {
     table.add_row(util::TablePrinter::format(mu, 2),
                   {v_truthful[s], v_overbid[s]}, 3);
     if (v_truthful[s] >= v_overbid[s] - 1e-9) ++dominated;
-    if (csv) csv->write_numeric_row({mu, v_truthful[s], v_overbid[s]});
+    csv.numeric_row({mu, v_truthful[s], v_overbid[s]});
   }
   table.print();
   std::printf("\nV^T >= V^U at %d of %zu grid states (the paper claims all; "

@@ -8,17 +8,29 @@ DualSraResult run_dual_sra(std::span<const WorkerProfile> workers,
                            std::span<const Task> tasks,
                            const AuctionConfig& config,
                            std::size_t target_utility, PaymentRule rule) {
-  const auto queue = internal::build_ranking_queue(workers, config);
-  const auto pre = internal::pre_allocate(queue, tasks, rule);
+  return run_dual_sra(AuctionContext{workers, tasks, config}, target_utility,
+                      rule);
+}
+
+DualSraResult run_dual_sra(const AuctionContext& context,
+                           std::size_t target_utility, PaymentRule rule) {
+  const auto queue =
+      internal::build_ranking_queue(context.workers, context.config);
+  const auto pre = internal::pre_allocate(queue, context.tasks, rule);
 
   DualSraResult result;
   for (const auto& p : pre) {
     if (result.allocation.requester_utility() >= target_utility) break;
     result.required_budget += p.total_payment;
-    internal::commit(p, queue, tasks, result.allocation);
+    internal::commit(p, queue, context.tasks, result.allocation);
   }
   result.target_met =
       result.allocation.requester_utility() >= target_utility;
+  context.emit("auction/dual_result",
+               {{"target_utility", target_utility},
+                {"target_met", result.target_met ? 1 : 0},
+                {"required_budget", result.required_budget},
+                {"selected_tasks", result.allocation.selected_tasks.size()}});
   return result;
 }
 

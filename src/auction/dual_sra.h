@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "auction/mechanism.h"
 #include "auction/melody_auction.h"
 #include "auction/types.h"
 
@@ -29,6 +30,13 @@ struct DualSraResult {
 DualSraResult run_dual_sra(std::span<const WorkerProfile> workers,
                            std::span<const Task> tasks,
                            const AuctionConfig& config,
+                           std::size_t target_utility,
+                           PaymentRule rule = PaymentRule::kCriticalValue);
+
+/// AuctionContext form (API consolidation): same dual greedy, with the
+/// stage timers recorded under the shared greedy-core metric names and the
+/// dual-specific result event delivered to the context's sink.
+DualSraResult run_dual_sra(const AuctionContext& context,
                            std::size_t target_utility,
                            PaymentRule rule = PaymentRule::kCriticalValue);
 

@@ -99,4 +99,8 @@ std::size_t exact_sra_optimum(std::span<const WorkerProfile> workers,
   return Search(inst, config.budget).solve();
 }
 
+std::size_t exact_sra_optimum(const AuctionContext& context) {
+  return exact_sra_optimum(context.workers, context.tasks, context.config);
+}
+
 }  // namespace melody::auction

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <span>
 
+#include "auction/mechanism.h"
 #include "auction/types.h"
 
 namespace melody::auction {
@@ -25,5 +26,8 @@ inline constexpr std::size_t kExactSraMaxTasks = 8;
 std::size_t exact_sra_optimum(std::span<const WorkerProfile> workers,
                               std::span<const Task> tasks,
                               const AuctionConfig& config);
+
+/// AuctionContext form (API consolidation; the context's sink is unused).
+std::size_t exact_sra_optimum(const AuctionContext& context);
 
 }  // namespace melody::auction

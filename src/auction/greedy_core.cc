@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/parallel_for.h"
 
 namespace melody::auction::internal {
@@ -34,6 +35,10 @@ std::vector<const WorkerProfile*> build_ranking_queue(
   // Ties broken by worker id, which makes the order total — so the
   // block-sort-and-merge parallel path (taken for large N) reproduces the
   // serial order exactly.
+  obs::ScopedTimer sort_timer(obs::timer_if_enabled("auction/rank_sort"));
+  if (obs::enabled()) {
+    obs::registry().counter("auction/qualified_workers").add(queue.size());
+  }
   util::parallel_sort(util::shared_pool(), queue.begin(), queue.end(),
                       [](const WorkerProfile* a, const WorkerProfile* b) {
                         const double ra = a->estimated_quality / a->bid.cost;
@@ -48,6 +53,12 @@ std::vector<const WorkerProfile*> build_ranking_queue(
 std::vector<PreAllocation> pre_allocate(
     const std::vector<const WorkerProfile*>& queue, std::span<const Task> tasks,
     PaymentRule rule) {
+  // The allocation-loop timer covers the whole stage-1 pass; the pricing
+  // timer isolates the per-task critical-value walks inside it (null
+  // pointers when collection is off — no clock reads on the hot path).
+  obs::ScopedTimer alloc_timer(obs::timer_if_enabled("auction/pre_allocate"));
+  obs::Summary* pricing_summary = obs::timer_if_enabled("auction/pricing");
+
   auto ratio_of = [&](std::size_t pos) {
     return queue[pos]->bid.cost / queue[pos]->estimated_quality;
   };
@@ -71,6 +82,9 @@ std::vector<PreAllocation> pre_allocate(
   // Lines 5-14: pre-allocation.
   std::vector<PreAllocation> pre;
   pre.reserve(tasks.size());
+  std::size_t uncoverable = 0;
+  std::size_t unpriceable = 0;
+  std::size_t winners_priced = 0;
   for (std::size_t task_index : task_order) {
     const double required = tasks[task_index].quality_threshold;
 
@@ -87,14 +101,21 @@ std::vector<PreAllocation> pre_allocate(
       }
       ++k;
     }
-    if (covered < required) continue;  // no k exists: task cannot be covered
+    if (covered < required) {  // no k exists: task cannot be covered
+      ++uncoverable;
+      continue;
+    }
 
     // Lines 9-11: critical-value payments.
+    obs::ScopedTimer pricing_timer(pricing_summary);
     bool priceable = true;
     p.payments.reserve(p.winners.size());
     if (rule == PaymentRule::kPaperNextInQueue) {
       // Paper-literal: every winner priced from the (k+1)-th queue worker.
-      if (k >= queue.size()) continue;  // no reference worker
+      if (k >= queue.size()) {  // no reference worker
+        ++unpriceable;
+        continue;
+      }
       const double ratio = ratio_of(k);
       for (std::size_t widx : p.winners) {
         p.payments.push_back(ratio * queue[widx]->estimated_quality);
@@ -137,13 +158,23 @@ std::vector<PreAllocation> pre_allocate(
       }
       priceable = all_priced.load(std::memory_order_relaxed);
     }
-    if (!priceable) continue;  // drop the task; frequencies untouched
+    if (!priceable) {  // drop the task; frequencies untouched
+      ++unpriceable;
+      continue;
+    }
 
+    winners_priced += p.winners.size();
     for (std::size_t w = 0; w < p.winners.size(); ++w) {
       p.total_payment += p.payments[w];
       --available[p.winners[w]];
     }
     pre.push_back(std::move(p));
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry& reg = obs::registry();
+    reg.counter("auction/tasks_uncoverable").add(uncoverable);
+    reg.counter("auction/tasks_unpriceable").add(unpriceable);
+    reg.counter("auction/winners_priced").add(winners_priced);
   }
 
   // Stage 2 prerequisite (line 16): ascending order of P_j, ties by id.

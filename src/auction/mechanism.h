@@ -6,20 +6,64 @@
 #include <string>
 
 #include "auction/types.h"
+#include "obs/sink.h"
 
 namespace melody::auction {
+
+/// Everything one auction run consumes, bundled: the worker profiles and
+/// tasks (borrowed views — the caller keeps them alive for the duration of
+/// run()), the per-run configuration, and an optional observability sink
+/// for auction-level events.
+///
+/// This is the primary entry-point type since the obs layer landed
+/// (previously mechanisms took three positional arguments). Migration path:
+/// existing `run(workers, tasks, config)` call sites keep compiling through
+/// the non-virtual shim on Mechanism below, which wraps the arguments in a
+/// context with a null sink; new call sites (Platform, tools) construct the
+/// context directly and attach a sink. Mechanism implementations override
+/// only the context form.
+struct AuctionContext {
+  std::span<const WorkerProfile> workers;
+  std::span<const Task> tasks;
+  const AuctionConfig& config;
+  /// Receiver for auction-level events; nullptr drops them for free.
+  obs::Sink* sink = nullptr;
+
+  /// Emit a structured event to this context's sink, falling back to the
+  /// process-wide obs::sink() when none was attached.
+  void emit(std::string_view name,
+            std::initializer_list<obs::Field> fields) const {
+    if (sink != nullptr) {
+      sink->event(name, std::span<const obs::Field>(fields.begin(),
+                                                    fields.size()));
+    } else {
+      obs::emit(name, fields);
+    }
+  }
+};
 
 /// A mechanism maps (workers' bids + estimated qualities, tasks, config) to
 /// an allocation and payment scheme. Implementations must be deterministic
 /// given their construction-time RNG seed, and must never inspect anything
-/// beyond the WorkerProfile (latent quality is off limits).
+/// beyond the WorkerProfile (latent quality is off limits). Observability
+/// (timers, counters, context events) must never influence the allocation:
+/// instrumented and uninstrumented runs produce bit-identical results.
 class Mechanism {
  public:
   virtual ~Mechanism() = default;
 
-  virtual AllocationResult run(std::span<const WorkerProfile> workers,
-                               std::span<const Task> tasks,
-                               const AuctionConfig& config) = 0;
+  /// Primary entry point. Implementations should also pull in the shim
+  /// below with `using Mechanism::run;` so three-argument call sites keep
+  /// resolving on concrete mechanism types.
+  virtual AllocationResult run(const AuctionContext& context) = 0;
+
+  /// Back-compat shim for pre-AuctionContext call sites: wraps the
+  /// arguments in a context (null sink) and delegates to run(context).
+  AllocationResult run(std::span<const WorkerProfile> workers,
+                       std::span<const Task> tasks,
+                       const AuctionConfig& config) {
+    return run(AuctionContext{workers, tasks, config});
+  }
 
   /// Human-readable mechanism name for bench tables.
   virtual std::string name() const = 0;

@@ -1,24 +1,46 @@
 #include "auction/melody_auction.h"
 
 #include "auction/greedy_core.h"
+#include "obs/metrics.h"
 
 namespace melody::auction {
 
-AllocationResult MelodyAuction::run(std::span<const WorkerProfile> workers,
-                                    std::span<const Task> tasks,
-                                    const AuctionConfig& config) {
-  const auto queue = internal::build_ranking_queue(workers, config);
-  const auto pre = internal::pre_allocate(queue, tasks, rule_);
+AllocationResult MelodyAuction::run(const AuctionContext& context) {
+  obs::ScopedTimer run_timer(obs::timer_if_enabled("auction/run"));
+
+  const auto queue =
+      internal::build_ranking_queue(context.workers, context.config);
+  const auto pre = internal::pre_allocate(queue, context.tasks, rule_);
 
   // Stage 2 (lines 15-21): commit tasks in ascending order of P_j while the
   // budget lasts.
   AllocationResult result;
-  double remaining = config.budget;
-  for (const auto& p : pre) {
-    if (p.total_payment > remaining) break;
-    remaining -= p.total_payment;
-    internal::commit(p, queue, tasks, result);
+  {
+    obs::ScopedTimer commit_timer(obs::timer_if_enabled("auction/commit"));
+    double remaining = context.config.budget;
+    for (const auto& p : pre) {
+      if (p.total_payment > remaining) break;
+      remaining -= p.total_payment;
+      internal::commit(p, queue, context.tasks, result);
+    }
   }
+
+  if (obs::enabled()) {
+    static obs::Counter& auctions = obs::registry().counter("auction/runs");
+    static obs::Counter& committed =
+        obs::registry().counter("auction/tasks_committed");
+    auctions.add();
+    committed.add(result.selected_tasks.size());
+  }
+  context.emit("auction/result",
+               {{"mechanism", "MELODY"},
+                {"workers", context.workers.size()},
+                {"tasks", context.tasks.size()},
+                {"qualified", queue.size()},
+                {"priceable_tasks", pre.size()},
+                {"selected_tasks", result.selected_tasks.size()},
+                {"assignments", result.assignments.size()},
+                {"total_payment", result.total_payment()}});
   return result;
 }
 

@@ -40,9 +40,8 @@ class MelodyAuction final : public Mechanism {
   explicit MelodyAuction(PaymentRule rule = PaymentRule::kCriticalValue)
       : rule_(rule) {}
 
-  AllocationResult run(std::span<const WorkerProfile> workers,
-                       std::span<const Task> tasks,
-                       const AuctionConfig& config) override;
+  using Mechanism::run;
+  AllocationResult run(const AuctionContext& context) override;
 
   std::string name() const override { return "MELODY"; }
 

@@ -64,4 +64,8 @@ std::size_t opt_upper_bound(std::span<const WorkerProfile> workers,
   return satisfied;
 }
 
+std::size_t opt_upper_bound(const AuctionContext& context) {
+  return opt_upper_bound(context.workers, context.tasks, context.config);
+}
+
 }  // namespace melody::auction

@@ -15,6 +15,7 @@
 
 #include <span>
 
+#include "auction/mechanism.h"
 #include "auction/types.h"
 
 namespace melody::auction {
@@ -25,5 +26,9 @@ namespace melody::auction {
 std::size_t opt_upper_bound(std::span<const WorkerProfile> workers,
                             std::span<const Task> tasks,
                             const AuctionConfig& config);
+
+/// AuctionContext form (API consolidation; the context's sink is unused —
+/// the bound is an analysis helper, not a mechanism run).
+std::size_t opt_upper_bound(const AuctionContext& context);
 
 }  // namespace melody::auction

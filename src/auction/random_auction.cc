@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace melody::auction {
 
-AllocationResult RandomAuction::run(std::span<const WorkerProfile> workers,
-                                    std::span<const Task> tasks,
-                                    const AuctionConfig& config) {
+AllocationResult RandomAuction::run(const AuctionContext& context) {
+  obs::ScopedTimer run_timer(obs::timer_if_enabled("auction/run"));
+  const std::span<const WorkerProfile> workers = context.workers;
+  const std::span<const Task> tasks = context.tasks;
+  const AuctionConfig& config = context.config;
+
   std::vector<const WorkerProfile*> qualified;
   for (const auto& w : workers) {
     if (w.bid.cost > 0.0 && w.bid.frequency > 0 && w.estimated_quality > 0.0 &&
@@ -84,6 +89,14 @@ AllocationResult RandomAuction::run(std::span<const WorkerProfile> workers,
            price_ratio * qualified[widx]->estimated_quality});
     }
   }
+  context.emit("auction/result",
+               {{"mechanism", "RANDOM"},
+                {"workers", workers.size()},
+                {"tasks", tasks.size()},
+                {"qualified", qualified.size()},
+                {"selected_tasks", result.selected_tasks.size()},
+                {"assignments", result.assignments.size()},
+                {"total_payment", result.total_payment()}});
   return result;
 }
 

@@ -21,9 +21,8 @@ class RandomAuction final : public Mechanism {
  public:
   explicit RandomAuction(std::uint64_t seed = 1) : rng_(seed) {}
 
-  AllocationResult run(std::span<const WorkerProfile> workers,
-                       std::span<const Task> tasks,
-                       const AuctionConfig& config) override;
+  using Mechanism::run;
+  AllocationResult run(const AuctionContext& context) override;
 
   std::string name() const override { return "RANDOM"; }
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/sink.h"
+
 namespace melody::core {
 
 Melody::Melody(MelodyOptions options)
@@ -44,7 +46,10 @@ auction::AllocationResult Melody::run_auction(
     register_worker(b.worker);
     profiles.push_back({b.worker, b.bid, tracker_.estimate(b.worker)});
   }
-  return auction_.run(profiles, tasks, config);
+  // Context entry point with the process-wide sink, so facade users get
+  // auction events without plumbing a sink through MelodyOptions.
+  return auction_.run(
+      auction::AuctionContext{profiles, tasks, config, obs::sink()});
 }
 
 void Melody::submit_scores(auction::WorkerId id, const lds::ScoreSet& scores) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/parallel_for.h"
 
 namespace melody::estimators {
@@ -38,22 +39,58 @@ void MelodyEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores)
   }
 
   // Theorem 3 update (empty score sets propagate the prior only).
+  // Observability (gated on one relaxed load; handles cached in statics;
+  // each Summary carries its own mutex, so the sharded observe_run path
+  // records concurrently without touching the registry lock): innovation
+  // |s-bar - a*mu-hat| diagnoses posterior divergence, posterior variance
+  // tracks filter confidence. Neither value feeds back into the update.
+  const bool collect = obs::enabled();
+  if (collect && !scores.empty()) {
+    static obs::Summary& innovation =
+        obs::registry().summary("estimator/innovation_abs");
+    innovation.record(
+        std::abs(scores.mean() - state.params.a * state.posterior.mean));
+  }
   state.posterior = lds::filter_step(state.posterior, scores, state.params);
+  if (collect) {
+    static obs::Counter& updates =
+        obs::registry().counter("estimator/kalman_updates");
+    static obs::Summary& posterior_var =
+        obs::registry().summary("estimator/posterior_var");
+    updates.add();
+    posterior_var.record(state.posterior.var);
+  }
 
   // Algorithm 3 lines 6-8: periodic EM re-estimation of theta.
   ++state.runs_since_em;
   if (config_.reestimation_period > 0 &&
       state.runs_since_em >= config_.reestimation_period &&
       state.observed_runs >= config_.min_history_for_em) {
+    obs::ScopedTimer em_timer(collect
+                                  ? &obs::registry().timer("estimator/em")
+                                  : nullptr);
     const lds::EmResult em = lds::fit_lds(state.window_anchor, state.history,
                                           state.params, config_.em_options);
     state.params = em.params;
     state.runs_since_em = 0;
     ++state.em_count;
+    if (collect) {
+      static obs::Counter& em_runs =
+          obs::registry().counter("estimator/em_runs");
+      static obs::Summary& em_iterations =
+          obs::registry().summary("estimator/em_iterations");
+      em_runs.add();
+      em_iterations.record(static_cast<double>(em.iterations));
+    }
     if (config_.refilter_after_em) {
       state.posterior =
           lds::filter(state.window_anchor, state.history, state.params)
               .posteriors.back();
+      if (collect) {
+        static obs::Counter& refilters =
+            obs::registry().counter("estimator/refilters");
+        refilters.add();
+      }
     }
   }
   state.posterior.mean = std::clamp(state.posterior.mean,

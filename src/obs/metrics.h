@@ -1,0 +1,210 @@
+// Observability metrics for the auction/estimation hot paths: a process-wide
+// thread-safe registry of counters, gauges, and Welford summaries (used both
+// for value distributions and, via ScopedTimer, for phase timings with
+// percentile estimates).
+//
+// Cost contract (see DESIGN.md, "Observability layer"):
+//   * Collection is OFF by default. Every instrumentation site is gated on
+//     obs::enabled() — a single relaxed atomic load — so uninstrumented runs
+//     pay no clock reads, no locks, and no allocation.
+//   * Metrics never feed back into any decision the mechanisms or estimators
+//     make, so enabling them cannot perturb the PR-1 determinism contract:
+//     RunRecords and posteriors are bit-identical with metrics on or off at
+//     any thread count (asserted by test_parallel_determinism).
+//   * Handles returned by the registry are stable for the process lifetime;
+//     reset() zeroes values but never invalidates a handle, so hot paths may
+//     cache `static Counter&` references.
+//
+// This header is deliberately self-contained (standard library only) so that
+// util/ — the bottom of the dependency stack — can instrument itself.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace melody::obs {
+
+/// Monotone event counter. add() is one relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe distribution summary: Welford mean/variance plus min/max/sum,
+/// and a bounded ring of the most recent samples for percentile estimates
+/// (a deterministic alternative to reservoir sampling — no RNG involved).
+/// record() takes a per-summary mutex; callers gate on obs::enabled().
+class Summary {
+ public:
+  /// Ring capacity for percentile estimation. Percentiles are computed over
+  /// the last kRingCapacity samples only; mean/stddev/min/max/sum are exact
+  /// over the full stream.
+  static constexpr std::size_t kRingCapacity = 512;
+
+  void record(double x) noexcept;
+
+  struct Stats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  // population stddev of the full stream
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double p50 = 0.0;  // percentiles over the recent-sample ring
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  Stats stats() const;
+
+  void reset() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::vector<double> ring_;     // most recent samples, insertion order
+  std::size_t ring_next_ = 0;    // next slot to overwrite once full
+};
+
+/// RAII phase timer: records elapsed seconds into a Summary on destruction.
+/// A null summary disables the timer entirely — no clock read on either end
+/// — which is how the obs::enabled() gate composes with scoping.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Summary* summary) noexcept : summary_(summary) {
+    if (summary_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (summary_ != nullptr) {
+      summary_->record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Summary* summary_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Read-only snapshot of every metric in a registry, sorted by name within
+/// each kind (map iteration order), for tools and tests.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct SummaryEntry {
+    std::string name;
+    bool is_timer = false;  // true: samples are seconds (phase timings)
+    Summary::Stats stats;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<SummaryEntry> summaries;
+};
+
+/// Name -> metric map with handle-stable storage. Lookup takes the registry
+/// mutex; hot paths should look a handle up once (static local) and then
+/// touch only the metric's own synchronization.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Distribution of arbitrary values (innovations, variances, ...).
+  Summary& summary(std::string_view name);
+  /// Distribution of durations in seconds; identical to summary() except it
+  /// is tagged as a timer in snapshots and JSON output.
+  Summary& timer(std::string_view name);
+
+  /// Zero every metric's value. Existing handles stay valid.
+  void reset();
+
+  MetricsSnapshot snapshot() const;
+
+  /// Write one JSON object per line for every metric, e.g.
+  ///   {"type":"counter","name":"pool/jobs_executed","value":42}
+  ///   {"type":"timer","name":"auction/rank_sort","unit":"seconds", ...}
+  void write_json(std::ostream& out) const;
+
+ private:
+  Summary& summary_impl(std::string_view name, bool is_timer);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Summary>, std::less<>> summaries_;
+  std::map<std::string, bool, std::less<>> summary_is_timer_;
+};
+
+/// The process-wide registry every instrumentation site records into.
+/// Intentionally leaked at exit so handles cached in static locals stay
+/// valid for the whole process lifetime.
+MetricsRegistry& registry() noexcept;
+
+/// Global collection switch (default off). One relaxed load to query.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// nullptr while collection is disabled, otherwise &registry().timer(name);
+/// pairs with ScopedTimer so a disabled phase costs one load + branch.
+Summary* timer_if_enabled(std::string_view name);
+Summary* summary_if_enabled(std::string_view name);
+
+/// Installs `on` for the current scope and restores the previous state on
+/// destruction (tests, benches).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) noexcept : previous_(enabled()) {
+    set_enabled(on);
+  }
+  ~ScopedEnable() { set_enabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace melody::obs

@@ -1,0 +1,126 @@
+#include "obs/sink.h"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace melody::obs {
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : owned_(path, std::ios::out | std::ios::trunc), out_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("JsonLinesSink: cannot open " + path);
+  }
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
+
+void JsonLinesSink::event(std::string_view name,
+                          std::span<const Field> fields) {
+  // Format into a local buffer first so one event is always one contiguous
+  // line even under concurrent emitters.
+  std::ostringstream line;
+  line.precision(17);
+  line << "{\"type\":\"event\",\"name\":";
+  write_json_string(line, name);
+  for (const Field& f : fields) {
+    line << ',';
+    write_json_string(line, f.key);
+    line << ':';
+    switch (f.kind) {
+      case Field::Kind::kDouble:
+        if (std::isfinite(f.num)) {
+          line << f.num;
+        } else {
+          line << "null";
+        }
+        break;
+      case Field::Kind::kInt:
+        line << f.integer;
+        break;
+      case Field::Kind::kString:
+        write_json_string(line, f.text);
+        break;
+    }
+  }
+  line << "}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line.str();
+  ++lines_;
+}
+
+void JsonLinesSink::append_registry(const MetricsRegistry& registry) {
+  std::ostringstream dump;
+  registry.write_json(dump);
+  const std::string text = dump.str();
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << text;
+  out_->flush();
+  lines_ += lines;
+}
+
+std::size_t JsonLinesSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+namespace {
+std::atomic<Sink*> g_sink{nullptr};
+}  // namespace
+
+Sink* sink() noexcept { return g_sink.load(std::memory_order_relaxed); }
+
+void set_sink(Sink* s) noexcept {
+  g_sink.store(s, std::memory_order_release);
+}
+
+void emit(std::string_view name, std::initializer_list<Field> fields) {
+  Sink* s = g_sink.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->event(name, std::span<const Field>(fields.begin(), fields.size()));
+}
+
+}  // namespace melody::obs

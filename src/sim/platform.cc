@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/score_gen.h"
 #include "util/parallel_for.h"
 
@@ -36,53 +38,65 @@ RunRecord Platform::step() {
   record.run = run_;
 
   const auction::AuctionConfig config = scenario_.auction_config();
+  obs::ScopedTimer step_timer(obs::timer_if_enabled("platform/step"));
 
   // 1) Collect bids and the platform's quality estimates.
   std::vector<auction::WorkerProfile> profiles;
-  profiles.reserve(workers_.size());
-  for (const SimWorker& w : workers_) {
-    auction::WorkerProfile p;
-    p.id = w.id();
-    const auto policy = policies_.find(w.id());
-    p.bid = policy == policies_.end()
-                ? w.true_bid()
-                : w.submitted_bid(policy->second, rng_);
-    p.estimated_quality = estimator_.estimate(w.id());
-    profiles.push_back(p);
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("platform/bid_collection"));
+    profiles.reserve(workers_.size());
+    for (const SimWorker& w : workers_) {
+      auction::WorkerProfile p;
+      p.id = w.id();
+      const auto policy = policies_.find(w.id());
+      p.bid = policy == policies_.end()
+                  ? w.true_bid()
+                  : w.submitted_bid(policy->second, rng_);
+      p.estimated_quality = estimator_.estimate(w.id());
+      profiles.push_back(p);
+    }
   }
 
-  // 2) Publish this run's tasks and run the reverse auction.
+  // 2) Publish this run's tasks and run the reverse auction through the
+  //    context entry point, forwarding the process-wide event sink.
   const std::vector<auction::Task> tasks = scenario_.sample_tasks(rng_);
-  last_result_ = mechanism_.run(profiles, tasks, config);
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("platform/auction"));
+    last_result_ = mechanism_.run(
+        auction::AuctionContext{profiles, tasks, config, obs::sink()});
+  }
   record.estimated_utility = last_result_.requester_utility();
   record.total_payment = last_result_.total_payment();
   record.assignments = last_result_.assignments.size();
 
   // 3) Ground-truth bookkeeping: true utility and estimation error.
-  std::unordered_map<auction::TaskId, double> latent_received;
   std::unordered_map<auction::WorkerId, int> assigned_count;
-  std::unordered_map<auction::WorkerId, const SimWorker*> by_id;
-  for (const SimWorker& w : workers_) by_id[w.id()] = &w;
-  for (const auto& a : last_result_.assignments) {
-    latent_received[a.task] += by_id.at(a.worker)->latent_quality(run_);
-    ++assigned_count[a.worker];
-  }
-  for (const auto& t : tasks) {
-    const auto it = latent_received.find(t.id);
-    if (it != latent_received.end() && it->second >= t.quality_threshold) {
-      ++record.true_utility;
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("platform/bookkeeping"));
+    std::unordered_map<auction::TaskId, double> latent_received;
+    std::unordered_map<auction::WorkerId, const SimWorker*> by_id;
+    for (const SimWorker& w : workers_) by_id[w.id()] = &w;
+    for (const auto& a : last_result_.assignments) {
+      latent_received[a.task] += by_id.at(a.worker)->latent_quality(run_);
+      ++assigned_count[a.worker];
     }
+    for (const auto& t : tasks) {
+      const auto it = latent_received.find(t.id);
+      if (it != latent_received.end() && it->second >= t.quality_threshold) {
+        ++record.true_utility;
+      }
+    }
+    double error_sum = 0.0;
+    std::size_t qualified = 0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!config.qualifies(profiles[i])) continue;
+      ++qualified;
+      error_sum += std::abs(workers_[i].latent_quality(run_) -
+                            profiles[i].estimated_quality);
+    }
+    record.qualified_workers = qualified;
+    record.estimation_error = qualified > 0 ? error_sum / qualified : 0.0;
   }
-  double error_sum = 0.0;
-  std::size_t qualified = 0;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!config.qualifies(profiles[i])) continue;
-    ++qualified;
-    error_sum += std::abs(workers_[i].latent_quality(run_) -
-                          profiles[i].estimated_quality);
-  }
-  record.qualified_workers = qualified;
-  record.estimation_error = qualified > 0 ? error_sum / qualified : 0.0;
 
   // 4) Workers complete tasks, the requester scores the answers, and the
   //    estimator digests the scores (empty sets for idle workers). Each
@@ -91,24 +105,41 @@ RunRecord Platform::step() {
   //    output relative to the serial loop.
   std::vector<auction::WorkerId> ids(workers_.size());
   std::vector<lds::ScoreSet> scores(workers_.size());
-  util::parallel_for(
-      util::shared_pool(), workers_.size(),
-      [&](std::size_t i) {
-        const SimWorker& w = workers_[i];
-        const auto it = assigned_count.find(w.id());
-        const int count = it == assigned_count.end() ? 0 : it->second;
-        util::Rng stream(util::derive_stream(
-            master_seed_, static_cast<std::uint64_t>(w.id()),
-            static_cast<std::uint64_t>(run_)));
-        ids[i] = w.id();
-        scores[i] = generate_scores(scenario_.score_model,
-                                    w.latent_quality(run_), count, stream);
-      },
-      /*min_grain=*/64);
-  estimator_.observe_run(ids, scores);
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("platform/score_gen"));
+    util::parallel_for(
+        util::shared_pool(), workers_.size(),
+        [&](std::size_t i) {
+          const SimWorker& w = workers_[i];
+          const auto it = assigned_count.find(w.id());
+          const int count = it == assigned_count.end() ? 0 : it->second;
+          util::Rng stream(util::derive_stream(
+              master_seed_, static_cast<std::uint64_t>(w.id()),
+              static_cast<std::uint64_t>(run_)));
+          ids[i] = w.id();
+          scores[i] = generate_scores(scenario_.score_model,
+                                      w.latent_quality(run_), count, stream);
+        },
+        /*min_grain=*/64);
+  }
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("platform/estimator_update"));
+    estimator_.observe_run(ids, scores);
+  }
   for (const SimWorker& w : workers_) {
     total_utility_[w.id()] += w.utility(last_result_);
   }
+
+  // Per-run structured event: emitted from the main thread, after every
+  // stage, so the stream order is deterministic at any thread count.
+  obs::emit("platform/run",
+            {{"run", record.run},
+             {"estimated_utility", record.estimated_utility},
+             {"true_utility", record.true_utility},
+             {"estimation_error", record.estimation_error},
+             {"total_payment", record.total_payment},
+             {"assignments", record.assignments},
+             {"qualified_workers", record.qualified_workers}});
   return record;
 }
 

@@ -42,6 +42,9 @@ class Platform {
   void add_worker(SimWorker worker);
 
   /// Execute one run: auction, scoring, estimator update. Returns metrics.
+  /// Stage timings land in obs::registry() under "platform/*" and one
+  /// "platform/run" event per run goes to obs::sink() (both no-ops unless
+  /// observability is enabled/installed; neither affects the outputs).
   RunRecord step();
 
   /// Execute all remaining runs of the scenario.
@@ -51,6 +54,12 @@ class Platform {
   int current_run() const noexcept { return run_ + 1; }
 
   /// Cumulative true utility a worker has accrued so far (Definition 1).
+  /// An id the platform has never seen — unregistered, or registered but
+  /// never stepped — returns 0.0: a worker who never participated earned
+  /// nothing. This deliberately does NOT throw (unlike
+  /// QualityEstimator::estimate, where an unknown id is a caller bug): the
+  /// query is a read-only report over whatever history exists, and the
+  /// const map is never default-inserted into.
   double worker_total_utility(auction::WorkerId id) const;
 
   /// The allocation produced by the most recent step() (empty before).

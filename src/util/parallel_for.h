@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace melody::util {
@@ -55,6 +56,11 @@ void parallel_for(ThreadPool* pool, std::size_t n, Body&& body,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+
+  // Fork-join region wall time (the caller-observed cost of going
+  // parallel); nullptr — and therefore free — unless obs is enabled.
+  obs::ScopedTimer region_timer(
+      obs::timer_if_enabled("pool/parallel_region"));
 
   // Static chunking: ~4 chunks per participant smooths imbalance without
   // per-index claiming overhead; min_grain keeps tiny bodies batched.

@@ -1,8 +1,32 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace melody::util {
+
+namespace {
+
+/// Wrap a task so that, when observability is on, the pool records how long
+/// it sat in the queue and bumps the executed-jobs counter. The wrapper is
+/// built at post() time only when collection is enabled, so the disabled
+/// path keeps the original single-allocation std::function move.
+std::function<void()> with_queue_metrics(std::function<void()> task) {
+  return [task = std::move(task),
+          enqueued = std::chrono::steady_clock::now()] {
+    static obs::Summary& wait = obs::registry().timer("pool/queue_wait");
+    static obs::Counter& jobs = obs::registry().counter("pool/jobs_executed");
+    wait.record(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - enqueued)
+                    .count());
+    jobs.add();
+    task();
+  };
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads_.reserve(threads);
@@ -25,6 +49,7 @@ void ThreadPool::post(std::function<void()> task) {
     task();  // inline pool: run on the caller
     return;
   }
+  if (obs::enabled()) task = with_queue_metrics(std::move(task));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

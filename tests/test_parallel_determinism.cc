@@ -13,6 +13,8 @@
 
 #include "auction/melody_auction.h"
 #include "estimators/melody_estimator.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/parallel_sweep.h"
 #include "sim/platform.h"
 #include "util/thread_pool.h"
@@ -140,6 +142,31 @@ TEST(ParallelDeterminism, SweepReplicasAndMergedStatsBitIdentical) {
               serial.merged.total_payment.sum());
     EXPECT_EQ(parallel.merged.assignments.count(),
               serial.merged.assignments.count());
+  }
+}
+
+// The obs cost contract's determinism half: metrics and events are
+// write-only side channels, so a fully instrumented run (collection enabled
+// AND a live JSON-lines sink) produces bit-identical records and estimator
+// state versus the uninstrumented run, at every thread count.
+TEST(ParallelDeterminism, MetricsSinkOnVersusOffBitIdentical) {
+  const auto plain = run_pipeline(1, 2017);
+  for (int threads : {1, 2, 8}) {
+    std::ostringstream lines;
+    obs::JsonLinesSink sink(lines);
+    obs::ScopedSink scoped_sink(&sink);
+    obs::ScopedEnable scoped_enable(true);
+    const auto instrumented = run_pipeline(threads, 2017);
+    ASSERT_EQ(instrumented.records.size(), plain.records.size());
+    for (std::size_t r = 0; r < plain.records.size(); ++r) {
+      expect_identical(plain.records[r], instrumented.records[r],
+                       static_cast<int>(r + 1));
+    }
+    EXPECT_EQ(instrumented.estimator_snapshot, plain.estimator_snapshot)
+        << "metrics collection perturbed the estimator at " << threads
+        << " threads";
+    // The sink actually saw the run (one platform/run event per run).
+    EXPECT_GE(sink.lines_written(), plain.records.size());
   }
 }
 

@@ -66,6 +66,27 @@ TEST(Platform, StepInvariantsEachRun) {
   }
 }
 
+TEST(Platform, WorkerTotalUtilityUnknownIdReturnsZero) {
+  const auto scenario = small_scenario();
+  auction::MelodyAuction mechanism;
+  estimators::MelodyEstimator estimator(tracker_config(scenario));
+  util::Rng rng(5);
+  Platform platform(scenario, mechanism, estimator,
+                    sample_population(scenario.population_config(), rng), 17);
+
+  // Before any step: every id (known or not) has earned nothing.
+  EXPECT_EQ(platform.worker_total_utility(0), 0.0);
+  EXPECT_EQ(platform.worker_total_utility(auction::WorkerId{999999}), 0.0);
+
+  platform.step();
+  // An id the platform has never seen still reports 0.0 and does not throw
+  // (documented contract; contrast QualityEstimator::estimate).
+  EXPECT_EQ(platform.worker_total_utility(auction::WorkerId{999999}), 0.0);
+  // Querying an unknown id must not create an entry that shadows a later
+  // legitimate read (the const map is never default-inserted into).
+  EXPECT_EQ(platform.worker_total_utility(auction::WorkerId{999999}), 0.0);
+}
+
 TEST(Platform, DeterministicForSeed) {
   const auto scenario = small_scenario();
   util::Rng rng_a(3), rng_b(3);

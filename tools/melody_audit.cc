@@ -7,13 +7,15 @@
 //   melody_audit --workers workers.csv --tasks tasks.csv --budget B
 //                [--payment-rule critical|paper]
 //                [--theta-min X --theta-max X --cost-min X --cost-max X]
-//                [--dual-target U]
+//                [--dual-target U] [--metrics]
 //
 // workers.csv: header + rows  id,cost,frequency,estimated_quality
 // tasks.csv:   header + rows  id,quality_threshold
 //
 // With --dual-target, runs the dual form instead (footnote 6) and reports
-// the minimum budget for the target utility.
+// the minimum budget for the target utility. With --metrics, enables the
+// observability layer for the replay and prints the metric summaries
+// (phase timers in milliseconds, counters) after the audit.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,7 @@
 
 #include "auction/dual_sra.h"
 #include "auction/melody_auction.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -37,9 +40,11 @@ int usage(const char* error) {
       "                    --budget B [--payment-rule critical|paper]\n"
       "                    [--theta-min X --theta-max X --cost-min X "
       "--cost-max X]\n"
-      "                    [--dual-target U]\n"
+      "                    [--dual-target U] [--metrics]\n"
       "workers.csv rows: id,cost,frequency,estimated_quality\n"
-      "tasks.csv rows:   id,quality_threshold\n");
+      "tasks.csv rows:   id,quality_threshold\n"
+      "--metrics prints the observability summaries (phase timers in ms,\n"
+      "counters) collected during the replay.\n");
   return error != nullptr ? 1 : 0;
 }
 
@@ -121,6 +126,41 @@ void print_allocation(const auction::AllocationResult& result,
               satisfaction_check.empty() ? "OK" : satisfaction_check.c_str());
 }
 
+void print_metrics_summary() {
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  if (!snapshot.summaries.empty()) {
+    util::TablePrinter timers({"timer", "count", "mean", "p50", "max"});
+    for (const auto& s : snapshot.summaries) {
+      if (!s.is_timer) continue;
+      // Phase timers record seconds; milliseconds read better at replay
+      // scale (one auction ~ microseconds-to-milliseconds per phase).
+      timers.add_row({s.name, std::to_string(s.stats.count),
+                      util::TablePrinter::format(s.stats.mean * 1e3, 4),
+                      util::TablePrinter::format(s.stats.p50 * 1e3, 4),
+                      util::TablePrinter::format(s.stats.max * 1e3, 4)});
+    }
+    timers.print("Timers (ms)");
+    util::TablePrinter values({"summary", "count", "mean", "p50", "max"});
+    bool any_value = false;
+    for (const auto& s : snapshot.summaries) {
+      if (s.is_timer) continue;
+      any_value = true;
+      values.add_row({s.name, std::to_string(s.stats.count),
+                      util::TablePrinter::format(s.stats.mean, 4),
+                      util::TablePrinter::format(s.stats.p50, 4),
+                      util::TablePrinter::format(s.stats.max, 4)});
+    }
+    if (any_value) values.print("Summaries");
+  }
+  if (!snapshot.counters.empty()) {
+    util::TablePrinter counters({"counter", "value"});
+    for (const auto& c : snapshot.counters) {
+      counters.add_row({c.name, std::to_string(c.value)});
+    }
+    counters.print("Counters");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,12 +190,14 @@ int main(int argc, char** argv) {
       return usage("payment-rule must be critical or paper");
     }
     const std::int64_t dual_target = flags.get_int("dual-target", -1);
+    const bool with_metrics = flags.get_bool("metrics", false);
     if (const auto unknown = flags.unused(); !unknown.empty()) {
       return usage(("unknown flag --" + unknown.front()).c_str());
     }
 
     const auto workers = load_workers(workers_path);
     const auto tasks = load_tasks(tasks_path);
+    if (with_metrics) obs::set_enabled(true);
 
     if (dual_target >= 0) {
       const auto dual = auction::run_dual_sra(
@@ -164,12 +206,14 @@ int main(int argc, char** argv) {
                   static_cast<long long>(dual_target),
                   dual.target_met ? "met" : "NOT met", dual.required_budget);
       print_allocation(dual.allocation, workers, tasks, config);
+      if (with_metrics) print_metrics_summary();
       return 0;
     }
 
     auction::MelodyAuction auction(rule);
     print_allocation(auction.run(workers, tasks, config), workers, tasks,
                      config);
+    if (with_metrics) print_metrics_summary();
     return 0;
   } catch (const std::exception& e) {
     return usage(e.what());

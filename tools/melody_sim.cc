@@ -6,10 +6,16 @@
 //              [--estimator melody|static|ml-cr|ml-ar]
 //              [--reestimation-period T] [--exploration-beta BETA]
 //              [--payment-rule critical|paper] [--seed S]
-//              [--threads T] [--csv out.csv] [--quiet]
+//              [--threads T] [--csv out.csv] [--metrics-json out.json]
+//              [--quiet]
 //
 // Prints the per-run series (downsampled) and the summary metrics; with
-// --csv, writes the full per-run records.
+// --csv, writes the full per-run records. With --metrics-json, enables the
+// observability layer and writes a JSON-lines stream: one "platform/run"
+// and one "auction/result" event per run, followed by the metric summaries
+// (auction-phase timers, estimator update stats, thread-pool counters).
+// Metrics never perturb the simulation: outputs are bit-identical with the
+// flag on or off, at any --threads value.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -17,6 +23,8 @@
 
 #include "auction/melody_auction.h"
 #include "estimators/melody_estimator.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "estimators/ml_ar_estimator.h"
 #include "estimators/ml_cr_estimator.h"
 #include "estimators/static_estimator.h"
@@ -40,11 +48,17 @@ int usage(const char* error) {
                "                  [--reestimation-period T] "
                "[--exploration-beta BETA]\n"
                "                  [--payment-rule critical|paper] [--seed S]\n"
-               "                  [--threads T] [--csv out.csv] [--quiet]\n"
+               "                  [--threads T] [--csv out.csv]\n"
+               "                  [--metrics-json out.json] [--quiet]\n"
                "  --threads T   total worker threads (0 = all hardware\n"
                "                threads, 1 = serial). Output is identical\n"
                "                for every T: per-(worker, run) RNG streams\n"
-               "                make the simulation schedule-independent.\n");
+               "                make the simulation schedule-independent.\n"
+               "  --metrics-json PATH\n"
+               "                enable observability and write a JSON-lines\n"
+               "                stream: per-run events plus auction-phase\n"
+               "                timers, estimator update stats, and thread-\n"
+               "                pool counters. Does not change the outputs.\n");
   return error != nullptr ? 1 : 0;
 }
 
@@ -88,6 +102,7 @@ int main(int argc, char** argv) {
   std::string estimator_name;
   std::string payment_rule_name;
   std::string csv_path;
+  std::string metrics_path;
   double exploration_beta = 0.0;
   std::uint64_t seed = 0;
   int threads = 1;
@@ -105,6 +120,7 @@ int main(int argc, char** argv) {
     seed = static_cast<std::uint64_t>(flags->get_int("seed", 2017));
     threads = static_cast<int>(flags->get_int("threads", 1));
     csv_path = flags->get_string("csv", "");
+    metrics_path = flags->get_string("metrics-json", "");
     quiet = flags->get_bool("quiet", false);
   } catch (const std::exception& e) {
     return usage(e.what());
@@ -132,6 +148,17 @@ int main(int argc, char** argv) {
 
   util::set_shared_thread_count(threads);
 
+  std::unique_ptr<obs::JsonLinesSink> metrics_sink;
+  if (!metrics_path.empty()) {
+    try {
+      metrics_sink = std::make_unique<obs::JsonLinesSink>(metrics_path);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+    obs::set_sink(metrics_sink.get());
+    obs::set_enabled(true);
+  }
+
   auction::MelodyAuction mechanism(rule);
   util::Rng population_rng(seed);
   sim::Platform platform(
@@ -139,6 +166,12 @@ int main(int argc, char** argv) {
       sim::sample_population(scenario.population_config(), population_rng),
       seed + 1);
   const auto records = platform.run_all();
+
+  if (metrics_sink != nullptr) {
+    metrics_sink->append_registry(obs::registry());
+    obs::set_sink(nullptr);
+    obs::set_enabled(false);
+  }
 
   if (!csv_path.empty()) {
     util::CsvWriter csv(csv_path);
@@ -179,5 +212,9 @@ int main(int argc, char** argv) {
   std::printf("  mean total payment:     %.2f (budget %.2f)\n",
               summary.mean_total_payment, scenario.budget);
   if (!csv_path.empty()) std::printf("  per-run CSV: %s\n", csv_path.c_str());
+  if (metrics_sink != nullptr) {
+    std::printf("  metrics JSON-lines: %s (%zu lines)\n", metrics_path.c_str(),
+                metrics_sink->lines_written());
+  }
   return 0;
 }
