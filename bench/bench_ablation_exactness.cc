@@ -37,7 +37,7 @@ int main() {
     const auto tasks = scenario.sample_tasks(rng);
     const auto config = scenario.auction_config();
     auction::MelodyAuction melody;
-    const auto mel = melody.run(workers, tasks, config).requester_utility();
+    const auto mel = melody.run({workers, tasks, config}).requester_utility();
     const auto opt = auction::exact_sra_optimum(workers, tasks, config);
     const auto ub = auction::opt_upper_bound(workers, tasks, config);
     if (mel > 0) {

@@ -56,7 +56,7 @@ int main() {
       if (config.qualifies(w)) ++qualified;
     }
     auction::MelodyAuction melody;
-    const auto result = melody.run(workers, tasks, config);
+    const auto result = melody.run({workers, tasks, config});
     char interval_q[48], interval_c[48];
     std::snprintf(interval_q, sizeof interval_q, "[%.1f, %.1f]", c.tm, c.tM);
     std::snprintf(interval_c, sizeof interval_c, "[%.1f, %.1f]", c.cm, c.cM);

@@ -59,7 +59,7 @@ Outcome run(bool oracle_scores) {
     }
     const auto tasks = scenario.sample_tasks(rng);
     const auto result =
-        mechanism.run(profiles, tasks, scenario.auction_config());
+        mechanism.run({profiles, tasks, scenario.auction_config()});
 
     std::unordered_map<auction::WorkerId, lds::ScoreSet> collected;
     for (const auto& task : tasks) {

@@ -45,7 +45,7 @@ GapStats measure(auction::PaymentRule rule, int num_tasks) {
     const auto workers = scenario.sample_workers(rng);
     const auto tasks = scenario.sample_tasks(rng);
     const auto config = scenario.auction_config();
-    const auto truthful = auction.run(workers, tasks, config);
+    const auto truthful = auction.run({workers, tasks, config});
     for (std::size_t w = 0; w < workers.size(); w += 6) {
       const double true_cost = workers[w].bid.cost;
       const double base = utility_of(truthful, workers[w].id, true_cost);
@@ -53,7 +53,7 @@ GapStats measure(auction::PaymentRule rule, int num_tasks) {
         auto bids = workers;
         bids[w].bid.cost = true_cost * factor;
         const double gain =
-            utility_of(auction.run(bids, tasks, config), workers[w].id,
+            utility_of(auction.run({bids, tasks, config}), workers[w].id,
                        true_cost) -
             base;
         ++stats.probes;

@@ -39,7 +39,7 @@ int main() {
     auto primal_config = config;
     primal_config.budget = dual.required_budget + 1e-9;
     auction::MelodyAuction primal;
-    const auto primal_result = primal.run(workers, tasks, primal_config);
+    const auto primal_result = primal.run({workers, tasks, primal_config});
     table.add_row(std::to_string(target),
                   {dual.required_budget,
                    static_cast<double>(primal_result.requester_utility())},

@@ -45,9 +45,9 @@ Point evaluate(const sim::SraScenario& scenario, double x, std::uint64_t seed0) 
     point.opt_ub += static_cast<double>(
         auction::opt_upper_bound(workers, tasks, config));
     point.melody += static_cast<double>(
-        melody.run(workers, tasks, config).requester_utility());
+        melody.run({workers, tasks, config}).requester_utility());
     point.random += static_cast<double>(
-        random.run(workers, tasks, config).requester_utility());
+        random.run({workers, tasks, config}).requester_utility());
   }
   point.opt_ub /= kSeedsPerPoint;
   point.melody /= kSeedsPerPoint;

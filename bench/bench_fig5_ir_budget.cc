@@ -33,7 +33,7 @@ int main() {
   const auto tasks = scenario.sample_tasks(rng);
   const auto config = scenario.auction_config();
   auction::MelodyAuction melody;
-  const auto result = melody.run(workers, tasks, config);
+  const auto result = melody.run({workers, tasks, config});
 
   bench::Reporter csv_a("fig5a_individual_rationality.csv",
                         {"worker", "total_cost", "total_payment"});
@@ -90,7 +90,7 @@ int main() {
     const auto sweep_workers = swept.sample_workers(sweep_rng);
     const auto sweep_tasks = swept.sample_tasks(sweep_rng);
     const double paid =
-        melody.run(sweep_workers, sweep_tasks, swept.auction_config())
+        melody.run({sweep_workers, sweep_tasks, swept.auction_config()})
             .total_payment();
     feasible = feasible && paid <= budget + 1e-9;
     table.add_row(util::TablePrinter::format(budget, 0), {paid}, 2);

@@ -36,7 +36,7 @@ void sweep_cost(const std::vector<auction::WorkerProfile>& workers,
     auto bids = workers;
     bids[target].bid.cost = true_cost * factor;
     auction::MelodyAuction auction;
-    const auto result = auction.run(bids, tasks, config);
+    const auto result = auction.run({bids, tasks, config});
     const double utility = utility_of(result, workers[target].id, true_cost);
     if (utility > best_utility) {
       best_utility = utility;
@@ -63,7 +63,7 @@ void sweep_frequency(const std::vector<auction::WorkerProfile>& workers,
     auto bids = workers;
     bids[target].bid.frequency = frequency;
     auction::MelodyAuction auction;
-    const auto result = auction.run(bids, tasks, config);
+    const auto result = auction.run({bids, tasks, config});
     const double utility = utility_of(result, workers[target].id, true_cost);
     table.add_row(util::TablePrinter::format(frequency, 0), {utility}, 4);
     csv.row({label, "frequency", std::to_string(frequency),
@@ -88,7 +88,7 @@ int main() {
   const auto config = scenario.auction_config();
 
   auction::MelodyAuction melody;
-  const auto truthful = melody.run(workers, tasks, config);
+  const auto truthful = melody.run({workers, tasks, config});
 
   // Pick one winner and one loser (first of each in id order).
   std::size_t winner = workers.size(), loser = workers.size();
@@ -130,7 +130,7 @@ int main() {
   const auto single_config = single.auction_config();
   auction::MelodyAuction single_auction;
   const auto single_result =
-      single_auction.run(single_workers, single_tasks, single_config);
+      single_auction.run({single_workers, single_tasks, single_config});
   std::size_t single_winner = single_workers.size();
   for (std::size_t w = 0; w < single_workers.size(); ++w) {
     if (single_result.tasks_assigned_to(single_workers[w].id) > 0) {

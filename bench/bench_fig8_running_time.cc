@@ -53,7 +53,7 @@ void run_auction(benchmark::State& state, int workers, int tasks) {
   const auto config = scenario.auction_config();
   auction::MelodyAuction melody;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(melody.run(worker_profiles, task_list, config));
+    benchmark::DoNotOptimize(melody.run({worker_profiles, task_list, config}));
   }
   state.SetComplexityN(static_cast<std::int64_t>(workers) * tasks);
 
@@ -65,7 +65,7 @@ void run_auction(benchmark::State& state, int workers, int tasks) {
   {
     obs::ScopedEnable enable(true);
     for (int i = 0; i < kInstrumentedReps; ++i) {
-      benchmark::DoNotOptimize(melody.run(worker_profiles, task_list, config));
+      benchmark::DoNotOptimize(melody.run({worker_profiles, task_list, config}));
     }
   }
   const obs::MetricsSnapshot after = obs::registry().snapshot();

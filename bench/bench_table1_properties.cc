@@ -38,14 +38,14 @@ bool check_truthfulness() {
     const auto tasks = scenario.sample_tasks(rng);
     const auto config = scenario.auction_config();
     auction::MelodyAuction auction;
-    const auto truthful = auction.run(workers, tasks, config);
+    const auto truthful = auction.run({workers, tasks, config});
     for (std::size_t w = 0; w < workers.size(); ++w) {
       const double base = utility_of(truthful, workers[w].id,
                                      workers[w].bid.cost);
       for (double factor = 0.5; factor <= 2.0; factor += 0.125) {
         auto bids = workers;
         bids[w].bid.cost = workers[w].bid.cost * factor;
-        if (utility_of(auction.run(bids, tasks, config), workers[w].id,
+        if (utility_of(auction.run({bids, tasks, config}), workers[w].id,
                        workers[w].bid.cost) > base + 1e-9) {
           return false;
         }
@@ -67,7 +67,7 @@ bool check_ir_and_budget(double* worst_ratio) {
     const auto tasks = scenario.sample_tasks(rng);
     const auto config = scenario.auction_config();
     auction::MelodyAuction auction;
-    const auto result = auction.run(workers, tasks, config);
+    const auto result = auction.run({workers, tasks, config});
     if (!auction::check_budget_feasibility(result, config).empty()) return false;
     for (const auto& a : result.assignments) {
       if (a.payment < workers[static_cast<std::size_t>(a.worker)].bid.cost -
@@ -96,7 +96,7 @@ bool check_efficiency(double* seconds_per_million) {
   const auto tasks = scenario.sample_tasks(rng);
   auction::MelodyAuction auction;
   const auto start = std::chrono::steady_clock::now();
-  auction.run(workers, tasks, scenario.auction_config());
+  auction.run({workers, tasks, scenario.auction_config()});
   const auto elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - start).count();
   *seconds_per_million = elapsed * 1e6 / (500.0 * 500.0);

@@ -42,7 +42,7 @@ Measured measure(double mu, double bid_factor) {
     workers.push_back({999, {true_cost * bid_factor, 3}, mu});
     const auto tasks = scenario.sample_tasks(rng);
     auction::MelodyAuction auction;
-    const auto result = auction.run(workers, tasks, scenario.auction_config());
+    const auto result = auction.run({workers, tasks, scenario.auction_config()});
     const int count = result.tasks_assigned_to(999);
     if (count > 0) {
       ++assigned_trials;

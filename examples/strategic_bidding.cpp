@@ -32,7 +32,7 @@ void sweep(const char* title, const sim::SraScenario& scenario,
   const auto tasks = scenario.sample_tasks(rng);
   const auto config = scenario.auction_config();
   auction::MelodyAuction auction;
-  const auto truthful = auction.run(workers, tasks, config);
+  const auto truthful = auction.run({workers, tasks, config});
 
   // Pick the first truthful winner as our strategist.
   std::size_t strategist = 0;
@@ -55,7 +55,7 @@ void sweep(const char* title, const sim::SraScenario& scenario,
   for (double factor = 0.7; factor <= 1.6; factor += 0.15) {
     auto reports = workers;
     reports[strategist].bid.cost = true_cost * factor;
-    const auto outcome = auction.run(reports, tasks, config);
+    const auto outcome = auction.run({reports, tasks, config});
     std::printf("  %13.3f | %9d | %7.4f\n", reports[strategist].bid.cost,
                 outcome.tasks_assigned_to(workers[strategist].id),
                 utility_of(outcome, workers[strategist].id, true_cost));

@@ -8,6 +8,10 @@
 #include "auction/types.h"
 #include "obs/sink.h"
 
+namespace melody::sim {
+struct FaultPlan;  // sim/fault.h — carried by pointer, never dereferenced here
+}  // namespace melody::sim
+
 namespace melody::auction {
 
 /// Everything one auction run consumes, bundled: the worker profiles and
@@ -15,19 +19,26 @@ namespace melody::auction {
 /// run()), the per-run configuration, and an optional observability sink
 /// for auction-level events.
 ///
-/// This is the primary entry-point type since the obs layer landed
-/// (previously mechanisms took three positional arguments). Migration path:
-/// existing `run(workers, tasks, config)` call sites keep compiling through
-/// the non-virtual shim on Mechanism below, which wraps the arguments in a
-/// context with a null sink; new call sites (Platform, tools) construct the
-/// context directly and attach a sink. Mechanism implementations override
-/// only the context form.
+/// This is the sole entry-point type: the deprecated three-argument shim
+/// has been removed, so every caller constructs a context —
+/// `mechanism.run({workers, tasks, config})` is the
+/// minimal form. Long-term callers (the simulation platform) additionally
+/// stamp the run index and the active fault plan so mechanisms and their
+/// event streams can tell runs apart without a second overload.
 struct AuctionContext {
   std::span<const WorkerProfile> workers;
   std::span<const Task> tasks;
   const AuctionConfig& config;
   /// Receiver for auction-level events; nullptr drops them for free.
   obs::Sink* sink = nullptr;
+  /// 1-based run index within a long-term simulation; 0 for standalone
+  /// auctions (tools, tests, single-run benches).
+  int run = 0;
+  /// The fault plan active in the enclosing simulation, if any. Mechanisms
+  /// must never let it influence the allocation — faults are applied by
+  /// the platform before and after the auction — but it is part of the
+  /// run's provenance and may be surfaced in events.
+  const sim::FaultPlan* faults = nullptr;
 
   /// Emit a structured event to this context's sink, falling back to the
   /// process-wide obs::sink() when none was attached.
@@ -52,18 +63,8 @@ class Mechanism {
  public:
   virtual ~Mechanism() = default;
 
-  /// Primary entry point. Implementations should also pull in the shim
-  /// below with `using Mechanism::run;` so three-argument call sites keep
-  /// resolving on concrete mechanism types.
+  /// Sole entry point: `mechanism.run({workers, tasks, config})`.
   virtual AllocationResult run(const AuctionContext& context) = 0;
-
-  /// Back-compat shim for pre-AuctionContext call sites: wraps the
-  /// arguments in a context (null sink) and delegates to run(context).
-  AllocationResult run(std::span<const WorkerProfile> workers,
-                       std::span<const Task> tasks,
-                       const AuctionConfig& config) {
-    return run(AuctionContext{workers, tasks, config});
-  }
 
   /// Human-readable mechanism name for bench tables.
   virtual std::string name() const = 0;

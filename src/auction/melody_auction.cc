@@ -34,6 +34,7 @@ AllocationResult MelodyAuction::run(const AuctionContext& context) {
   }
   context.emit("auction/result",
                {{"mechanism", "MELODY"},
+                {"run", context.run},
                 {"workers", context.workers.size()},
                 {"tasks", context.tasks.size()},
                 {"qualified", queue.size()},

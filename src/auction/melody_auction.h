@@ -40,7 +40,6 @@ class MelodyAuction final : public Mechanism {
   explicit MelodyAuction(PaymentRule rule = PaymentRule::kCriticalValue)
       : rule_(rule) {}
 
-  using Mechanism::run;
   AllocationResult run(const AuctionContext& context) override;
 
   std::string name() const override { return "MELODY"; }

@@ -21,7 +21,6 @@ class RandomAuction final : public Mechanism {
  public:
   explicit RandomAuction(std::uint64_t seed = 1) : rng_(seed) {}
 
-  using Mechanism::run;
   AllocationResult run(const AuctionContext& context) override;
 
   std::string name() const override { return "RANDOM"; }

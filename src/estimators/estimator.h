@@ -7,6 +7,7 @@
 // returns the quality mu_i to use in the *next* run's auction.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <string>
 
@@ -42,6 +43,18 @@ class QualityEstimator {
   virtual double estimate(auction::WorkerId id) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Persist all learned per-worker state as a versioned text snapshot
+  /// (each implementation writes its own magic+version header line), so a
+  /// restarted platform resumes exactly where the old one stopped —
+  /// estimates after load() are bit-identical to the saved instance's.
+  /// Configuration is never part of a snapshot: construct the new estimator
+  /// with the same config before load(). load() replaces all existing state
+  /// wholesale. Both throw std::runtime_error on I/O failure or malformed
+  /// input. Callers hold these through the base class — no downcasting to a
+  /// concrete estimator is needed for persistence.
+  virtual void save(std::ostream& out) const = 0;
+  virtual void load(std::istream& in) = 0;
 };
 
 }  // namespace melody::estimators

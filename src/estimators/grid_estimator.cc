@@ -1,5 +1,10 @@
 #include "estimators/grid_estimator.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace melody::estimators {
@@ -49,6 +54,68 @@ double GridEstimator::posterior_mean(auction::WorkerId id) const {
 
 double GridEstimator::posterior_variance(auction::WorkerId id) const {
   return filters_.at(id)->variance();
+}
+
+namespace {
+constexpr char kGridHeader[] = "MELODY_GRID v1";
+}
+
+void GridEstimator::save(std::ostream& out) const {
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(filters_.size());
+  for (const auto& [id, filter] : filters_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << kGridHeader << '\n' << ids.size() << '\n';
+  // precision 17 round-trips every finite double exactly, so the restored
+  // density is bit-identical to the saved one.
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    const auto weights = filters_.at(id)->posterior().weights();
+    out << id << ' ' << weights.size();
+    for (double w : weights) out << ' ' << w;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("GridEstimator::save: write failed");
+}
+
+void GridEstimator::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kGridHeader) {
+    throw std::runtime_error("GridEstimator::load: bad snapshot header");
+  }
+  std::size_t worker_count = 0;
+  if (!(in >> worker_count)) {
+    throw std::runtime_error("GridEstimator::load: missing worker count");
+  }
+  std::unordered_map<auction::WorkerId, std::unique_ptr<lds::GridFilter>>
+      loaded;
+  loaded.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auction::WorkerId id = -1;
+    std::size_t grid_size = 0;
+    if (!(in >> id >> grid_size)) {
+      throw std::runtime_error("GridEstimator::load: truncated record");
+    }
+    if (grid_size != config_.grid_points) {
+      throw std::runtime_error(
+          "GridEstimator::load: grid size does not match the configuration");
+    }
+    std::vector<double> weights(grid_size);
+    for (double& weight : weights) {
+      if (!(in >> weight)) {
+        throw std::runtime_error("GridEstimator::load: truncated density");
+      }
+    }
+    auto filter = std::make_unique<lds::GridFilter>(
+        lds::GridDensity(config_.quality_min, config_.quality_max,
+                         config_.grid_points),
+        config_.initial_posterior, config_.params, config_.emission);
+    filter->restore_posterior(weights);
+    loaded.emplace(id, std::move(filter));
+  }
+  filters_ = std::move(loaded);
 }
 
 }  // namespace melody::estimators

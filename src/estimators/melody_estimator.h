@@ -92,8 +92,10 @@ class MelodyEstimator final : public QualityEstimator {
   /// restart without losing what it learned. The configuration itself is
   /// not saved — construct the estimator with the same config before
   /// load(). Throws std::runtime_error on I/O failure or malformed input.
-  void save(std::ostream& out) const;
-  void load(std::istream& in);
+  /// These implement the QualityEstimator persistence interface, so callers
+  /// that only hold the base class can snapshot without downcasting.
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
 
   /// Number of registered workers (inspection/tests).
   std::size_t worker_count() const noexcept { return states_.size(); }
@@ -115,5 +117,18 @@ class MelodyEstimator final : public QualityEstimator {
   MelodyEstimatorConfig config_;
   std::unordered_map<auction::WorkerId, State> states_;
 };
+
+/// Deprecated MELODY-only persistence entry points, kept as thin wrappers
+/// for one release. Persistence is now part of the QualityEstimator
+/// interface itself: call estimator.save(out) / estimator.load(in) through
+/// the base class instead — no concrete tracker type needed.
+[[deprecated("use QualityEstimator::save")]] inline void save_tracker(
+    const MelodyEstimator& tracker, std::ostream& out) {
+  tracker.save(out);
+}
+[[deprecated("use QualityEstimator::load")]] inline void load_tracker(
+    MelodyEstimator& tracker, std::istream& in) {
+  tracker.load(in);
+}
 
 }  // namespace melody::estimators

@@ -1,5 +1,12 @@
 #include "estimators/ml_ar_estimator.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 namespace melody::estimators {
 
 void MlAllRunsEstimator::register_worker(auction::WorkerId id) {
@@ -17,6 +24,48 @@ double MlAllRunsEstimator::estimate(auction::WorkerId id) const {
   const State& state = states_.at(id);
   if (state.score_count == 0) return initial_estimate_;
   return state.score_sum / state.score_count;
+}
+
+namespace {
+constexpr char kMlArHeader[] = "MELODY_ML_AR v1";
+}
+
+void MlAllRunsEstimator::save(std::ostream& out) const {
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, state] : states_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << kMlArHeader << '\n' << ids.size() << '\n';
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    const State& s = states_.at(id);
+    out << id << ' ' << s.score_sum << ' ' << s.score_count << '\n';
+  }
+  if (!out) throw std::runtime_error("MlAllRunsEstimator::save: write failed");
+}
+
+void MlAllRunsEstimator::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kMlArHeader) {
+    throw std::runtime_error("MlAllRunsEstimator::load: bad snapshot header");
+  }
+  std::size_t worker_count = 0;
+  if (!(in >> worker_count)) {
+    throw std::runtime_error("MlAllRunsEstimator::load: missing worker count");
+  }
+  std::unordered_map<auction::WorkerId, State> loaded;
+  loaded.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auction::WorkerId id = -1;
+    State s;
+    if (!(in >> id >> s.score_sum >> s.score_count)) {
+      throw std::runtime_error("MlAllRunsEstimator::load: truncated record");
+    }
+    loaded.emplace(id, s);
+  }
+  states_ = std::move(loaded);
 }
 
 }  // namespace melody::estimators

@@ -1,5 +1,12 @@
 #include "estimators/ml_cr_estimator.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 namespace melody::estimators {
 
 void MlCurrentRunEstimator::register_worker(auction::WorkerId id) {
@@ -14,6 +21,52 @@ void MlCurrentRunEstimator::observe(auction::WorkerId id,
 
 double MlCurrentRunEstimator::estimate(auction::WorkerId id) const {
   return estimates_.at(id);
+}
+
+namespace {
+constexpr char kMlCrHeader[] = "MELODY_ML_CR v1";
+}
+
+void MlCurrentRunEstimator::save(std::ostream& out) const {
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(estimates_.size());
+  for (const auto& [id, estimate] : estimates_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << kMlCrHeader << '\n' << ids.size() << '\n';
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    out << id << ' ' << estimates_.at(id) << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("MlCurrentRunEstimator::save: write failed");
+  }
+}
+
+void MlCurrentRunEstimator::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kMlCrHeader) {
+    throw std::runtime_error(
+        "MlCurrentRunEstimator::load: bad snapshot header");
+  }
+  std::size_t worker_count = 0;
+  if (!(in >> worker_count)) {
+    throw std::runtime_error(
+        "MlCurrentRunEstimator::load: missing worker count");
+  }
+  std::unordered_map<auction::WorkerId, double> loaded;
+  loaded.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auction::WorkerId id = -1;
+    double estimate = 0.0;
+    if (!(in >> id >> estimate)) {
+      throw std::runtime_error(
+          "MlCurrentRunEstimator::load: truncated record");
+    }
+    loaded.emplace(id, estimate);
+  }
+  estimates_ = std::move(loaded);
 }
 
 }  // namespace melody::estimators

@@ -1,6 +1,11 @@
 #include "estimators/static_estimator.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace melody::estimators {
 
@@ -20,6 +25,50 @@ double StaticEstimator::estimate(auction::WorkerId id) const {
   const State& state = states_.at(id);
   if (state.score_count == 0) return initial_estimate_;
   return state.score_sum / state.score_count;
+}
+
+namespace {
+constexpr char kStaticHeader[] = "MELODY_STATIC v1";
+}
+
+void StaticEstimator::save(std::ostream& out) const {
+  // Sorted by id so snapshots are byte-identical across runs.
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, state] : states_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << kStaticHeader << '\n' << ids.size() << '\n';
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    const State& s = states_.at(id);
+    out << id << ' ' << s.runs_seen << ' ' << s.score_sum << ' '
+        << s.score_count << '\n';
+  }
+  if (!out) throw std::runtime_error("StaticEstimator::save: write failed");
+}
+
+void StaticEstimator::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != kStaticHeader) {
+    throw std::runtime_error("StaticEstimator::load: bad snapshot header");
+  }
+  std::size_t worker_count = 0;
+  if (!(in >> worker_count)) {
+    throw std::runtime_error("StaticEstimator::load: missing worker count");
+  }
+  std::unordered_map<auction::WorkerId, State> loaded;
+  loaded.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auction::WorkerId id = -1;
+    State s;
+    if (!(in >> id >> s.runs_seen >> s.score_sum >> s.score_count)) {
+      throw std::runtime_error("StaticEstimator::load: truncated record");
+    }
+    loaded.emplace(id, s);
+  }
+  states_ = std::move(loaded);
 }
 
 }  // namespace melody::estimators

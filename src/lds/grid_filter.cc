@@ -81,6 +81,19 @@ void GridDensity::assign(const std::function<double(double)>& density) {
   normalize();
 }
 
+void GridDensity::set_weights(std::span<const double> weights) {
+  if (weights.size() != weights_.size()) {
+    throw std::invalid_argument("GridDensity::set_weights: size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w >= 0.0)) {  // also rejects NaN
+      throw std::invalid_argument(
+          "GridDensity::set_weights: negative or NaN weight");
+    }
+  }
+  weights_.assign(weights.begin(), weights.end());
+}
+
 void GridDensity::normalize() {
   double total = 0.0;
   for (double w : weights_) total += w;

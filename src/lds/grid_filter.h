@@ -58,6 +58,12 @@ class GridDensity {
   std::span<const double> weights() const noexcept { return weights_; }
   double cell_width() const;
 
+  /// Overwrite the density values verbatim (checkpoint restore). The values
+  /// are taken as already normalized — no renormalization happens, so a
+  /// weights() -> set_weights() round trip is bit-exact. Throws
+  /// std::invalid_argument on a size mismatch.
+  void set_weights(std::span<const double> weights);
+
  private:
   friend class GridFilter;
   void normalize();
@@ -80,6 +86,12 @@ class GridFilter {
   /// the scores' joint emission likelihood. Empty score lists perform the
   /// prediction only. Returns the log marginal likelihood of the scores.
   double step(std::span<const double> scores);
+
+  /// Overwrite the posterior density verbatim (checkpoint restore; see
+  /// GridDensity::set_weights for the exactness contract).
+  void restore_posterior(std::span<const double> weights) {
+    posterior_.set_weights(weights);
+  }
 
   const GridDensity& posterior() const noexcept { return posterior_; }
   double mean() const { return posterior_.mean(); }

@@ -22,6 +22,15 @@ struct RunRecord {
   double total_payment = 0.0;
   std::size_t assignments = 0;
   std::size_t qualified_workers = 0;
+  /// Fault-injection tallies (all zero when no FaultPlan is active):
+  /// workers absent this run by the no-show coin vs. a churn window, and
+  /// scores lost or replaced by outliers before the estimator saw them.
+  std::size_t no_shows = 0;
+  std::size_t churned_out = 0;
+  std::size_t scores_dropped = 0;
+  std::size_t scores_corrupted = 0;
+
+  bool operator==(const RunRecord&) const = default;
 };
 
 /// Averages over a window of runs.

@@ -32,20 +32,56 @@ void Platform::add_worker(SimWorker worker) {
   workers_.push_back(std::move(worker));
 }
 
+void Platform::set_fault_plan(FaultPlan plan) {
+  plan.validate();
+  fault_plan_ = plan;
+}
+
 RunRecord Platform::step() {
   ++run_;
   RunRecord record;
   record.run = run_;
 
   const auction::AuctionConfig config = scenario_.auction_config();
+  const bool faults_active = fault_plan_.active();
   obs::ScopedTimer step_timer(obs::timer_if_enabled("platform/step"));
 
-  // 1) Collect bids and the platform's quality estimates.
+  // 0) Fault layer, part one: absence decisions. Each worker's absence is a
+  //    pure function of (seed, plan, worker, run), so this stage is
+  //    deterministic regardless of when the plan was installed or resumed.
+  //    `present[i]` parallels workers_[i]; an absent worker submits no bid,
+  //    wins nothing, and is scored as an empty set (the estimator's
+  //    missing-observation path).
+  std::vector<char> present(workers_.size(), 1);
+  if (faults_active) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      switch (absence_for(fault_plan_, master_seed_, workers_[i].id(), run_,
+                          scenario_.runs)) {
+        case Absence::kPresent:
+          break;
+        case Absence::kNoShow:
+          present[i] = 0;
+          ++record.no_shows;
+          break;
+        case Absence::kChurned:
+          present[i] = 0;
+          ++record.churned_out;
+          break;
+      }
+    }
+  }
+
+  // 1) Collect bids and the platform's quality estimates from the workers
+  //    who showed up. `bidders[k]` is the SimWorker behind profiles[k].
   std::vector<auction::WorkerProfile> profiles;
+  std::vector<const SimWorker*> bidders;
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/bid_collection"));
     profiles.reserve(workers_.size());
-    for (const SimWorker& w : workers_) {
+    bidders.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!present[i]) continue;
+      const SimWorker& w = workers_[i];
       auction::WorkerProfile p;
       p.id = w.id();
       const auto policy = policies_.find(w.id());
@@ -54,16 +90,19 @@ RunRecord Platform::step() {
                   : w.submitted_bid(policy->second, rng_);
       p.estimated_quality = estimator_.estimate(w.id());
       profiles.push_back(p);
+      bidders.push_back(&w);
     }
   }
 
   // 2) Publish this run's tasks and run the reverse auction through the
-  //    context entry point, forwarding the process-wide event sink.
+  //    context entry point, forwarding the process-wide event sink plus
+  //    this run's provenance (run index, active fault plan).
   const std::vector<auction::Task> tasks = scenario_.sample_tasks(rng_);
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/auction"));
-    last_result_ = mechanism_.run(
-        auction::AuctionContext{profiles, tasks, config, obs::sink()});
+    last_result_ = mechanism_.run(auction::AuctionContext{
+        profiles, tasks, config, obs::sink(), run_,
+        faults_active ? &fault_plan_ : nullptr});
   }
   record.estimated_utility = last_result_.requester_utility();
   record.total_payment = last_result_.total_payment();
@@ -88,23 +127,26 @@ RunRecord Platform::step() {
     }
     double error_sum = 0.0;
     std::size_t qualified = 0;
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-      if (!config.qualifies(profiles[i])) continue;
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+      if (!config.qualifies(profiles[k])) continue;
       ++qualified;
-      error_sum += std::abs(workers_[i].latent_quality(run_) -
-                            profiles[i].estimated_quality);
+      error_sum += std::abs(bidders[k]->latent_quality(run_) -
+                            profiles[k].estimated_quality);
     }
     record.qualified_workers = qualified;
     record.estimation_error = qualified > 0 ? error_sum / qualified : 0.0;
   }
 
   // 4) Workers complete tasks, the requester scores the answers, and the
-  //    estimator digests the scores (empty sets for idle workers). Each
-  //    worker's scores come from his own (worker, run) stream, so this
-  //    stage shards across the pool without changing a single bit of
-  //    output relative to the serial loop.
+  //    estimator digests the scores (empty sets for idle or absent
+  //    workers). Each worker's scores come from his own (worker, run)
+  //    stream — and fault decisions from a separate per-(worker, run)
+  //    fault stream — so this stage shards across the pool without
+  //    changing a single bit of output relative to the serial loop.
   std::vector<auction::WorkerId> ids(workers_.size());
   std::vector<lds::ScoreSet> scores(workers_.size());
+  std::vector<ScoreFaultCounts> fault_counts(
+      faults_active ? workers_.size() : 0);
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/score_gen"));
     util::parallel_for(
@@ -117,8 +159,14 @@ RunRecord Platform::step() {
               master_seed_, static_cast<std::uint64_t>(w.id()),
               static_cast<std::uint64_t>(run_)));
           ids[i] = w.id();
-          scores[i] = generate_scores(scenario_.score_model,
-                                      w.latent_quality(run_), count, stream);
+          scores[i] = faults_active
+                          ? generate_faulted_scores(
+                                fault_plan_, scenario_.score_model,
+                                w.latent_quality(run_), count, stream,
+                                master_seed_, w.id(), run_, fault_counts[i])
+                          : generate_scores(scenario_.score_model,
+                                            w.latent_quality(run_), count,
+                                            stream);
         },
         /*min_grain=*/64);
   }
@@ -128,6 +176,30 @@ RunRecord Platform::step() {
   }
   for (const SimWorker& w : workers_) {
     total_utility_[w.id()] += w.utility(last_result_);
+  }
+
+  // Fault tallies: reduced on the main thread (deterministic order) and
+  // mirrored into the registry so long-running deployments can watch
+  // degradation rates without parsing per-run records.
+  if (faults_active) {
+    for (const ScoreFaultCounts& c : fault_counts) {
+      record.scores_dropped += static_cast<std::size_t>(c.dropped);
+      record.scores_corrupted += static_cast<std::size_t>(c.corrupted);
+    }
+    if (obs::enabled()) {
+      static obs::Counter& no_shows =
+          obs::registry().counter("faults/no_shows");
+      static obs::Counter& churned =
+          obs::registry().counter("faults/churned_out");
+      static obs::Counter& dropped =
+          obs::registry().counter("faults/scores_dropped");
+      static obs::Counter& corrupted =
+          obs::registry().counter("faults/scores_corrupted");
+      no_shows.add(record.no_shows);
+      churned.add(record.churned_out);
+      dropped.add(record.scores_dropped);
+      corrupted.add(record.scores_corrupted);
+    }
   }
 
   // Per-run structured event: emitted from the main thread, after every
@@ -140,6 +212,14 @@ RunRecord Platform::step() {
              {"total_payment", record.total_payment},
              {"assignments", record.assignments},
              {"qualified_workers", record.qualified_workers}});
+  if (faults_active) {
+    obs::emit("platform/faults",
+              {{"run", record.run},
+               {"no_shows", record.no_shows},
+               {"churned_out", record.churned_out},
+               {"scores_dropped", record.scores_dropped},
+               {"scores_corrupted", record.scores_corrupted}});
+  }
   return record;
 }
 

@@ -3,12 +3,15 @@
 // update, repeated over runs.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "auction/mechanism.h"
 #include "estimators/estimator.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "sim/worker_model.h"
@@ -41,6 +44,14 @@ class Platform {
   /// Add a newcomer mid-simulation (registered with the estimator).
   void add_worker(SimWorker worker);
 
+  /// Install a fault plan. Faults are generated from dedicated
+  /// counter-based streams (see sim/fault.h), so a faulted simulation
+  /// keeps the full determinism contract: bit-identical at any thread
+  /// count and across checkpoint/resume. Replaces any previous plan;
+  /// install before the affected runs (typically before the first step).
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
+
   /// Execute one run: auction, scoring, estimator update. Returns metrics.
   /// Stage timings land in obs::registry() under "platform/*" and one
   /// "platform/run" event per run goes to obs::sink() (both no-ops unless
@@ -69,6 +80,21 @@ class Platform {
 
   const std::vector<SimWorker>& workers() const noexcept { return workers_; }
 
+  /// Persist the complete platform state as a versioned binary snapshot
+  /// (magic "MLDYCKPT" + format version): run index, workers (including
+  /// their latent trajectories), bid policies, cumulative utilities, the
+  /// sequential RNG position, the fault plan, and the estimator state via
+  /// QualityEstimator::save. Resuming from a snapshot is bit-identical to
+  /// never having stopped, at any thread count. The scenario and the
+  /// mechanism are NOT saved: construct the new platform with the same
+  /// scenario and a stateless mechanism (MelodyAuction is; RandomAuction's
+  /// internal RNG position is not restored) plus a same-config estimator
+  /// before load(). The last_result() of the interrupted step is not part
+  /// of a snapshot — it is re-established by the next step().
+  /// Both throw std::runtime_error on I/O failure or malformed input.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
  private:
   LongTermScenario scenario_;
   auction::Mechanism& mechanism_;
@@ -80,6 +106,14 @@ class Platform {
   util::Rng rng_;
   std::uint64_t master_seed_ = 0;
   int run_ = 0;
+  FaultPlan fault_plan_;
 };
+
+/// Crash-safe checkpoint files: save() writes to `path + ".tmp"` and
+/// renames over `path`, so a crash mid-write never destroys the previous
+/// checkpoint. load_checkpoint restores a platform from such a file.
+/// Both throw std::runtime_error on I/O failure.
+void save_checkpoint(const Platform& platform, const std::string& path);
+void load_checkpoint(Platform& platform, const std::string& path);
 
 }  // namespace melody::sim

@@ -1,0 +1,221 @@
+// Versioned binary snapshots of the Platform (checkpoint/resume support).
+//
+// Layout (all integers little-endian, see util/binio.h):
+//   magic "MLDYCKPT" (8 bytes) | u32 version
+//   u64 master_seed | i32 run
+//   sequential RNG: 4 x u64 words | f64 cached_normal | u8 cached_valid
+//   fault plan: f64 no_show | f64 drop | f64 corrupt | f64 churn
+//               | i32 churn_min | i32 churn_max | u64 salt
+//   workers: u64 count, then per worker (in platform order — bid collection
+//            iterates this order against the sequential RNG, so it is part
+//            of the deterministic state, NOT sorted):
+//            i32 id | f64 cost | i32 frequency | u64 len | f64 latent...
+//   policies: u64 count, sorted by id (map iteration order is not
+//             deterministic; sorting keeps snapshot bytes reproducible):
+//             i32 id | f64 cheat_p | u8 direction | u8 cheat_cost
+//             | u8 cheat_freq | f64 cost_mag | i32 freq_mag
+//   utilities: u64 count, sorted by id: i32 id | f64 total
+//   estimator: length-prefixed blob produced by QualityEstimator::save
+//
+// Version policy: bump kVersion on any layout change; load() rejects
+// versions it does not understand rather than guessing.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/platform.h"
+#include "util/binio.h"
+
+namespace melody::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'D', 'Y', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+namespace binio = util::binio;
+
+}  // namespace
+
+void Platform::save(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  binio::write_u32(out, kVersion);
+  binio::write_u64(out, master_seed_);
+  binio::write_i32(out, run_);
+
+  const util::Rng::State rng = rng_.state();
+  for (int i = 0; i < 4; ++i) binio::write_u64(out, rng.words[i]);
+  binio::write_f64(out, rng.cached_normal);
+  binio::write_u8(out, rng.cached_normal_valid ? 1 : 0);
+
+  binio::write_f64(out, fault_plan_.no_show_rate);
+  binio::write_f64(out, fault_plan_.score_drop_rate);
+  binio::write_f64(out, fault_plan_.score_corrupt_rate);
+  binio::write_f64(out, fault_plan_.churn_rate);
+  binio::write_i32(out, fault_plan_.churn_min_absence);
+  binio::write_i32(out, fault_plan_.churn_max_absence);
+  binio::write_u64(out, fault_plan_.salt);
+
+  binio::write_u64(out, workers_.size());
+  for (const SimWorker& w : workers_) {
+    binio::write_i32(out, w.id());
+    binio::write_f64(out, w.true_bid().cost);
+    binio::write_i32(out, w.true_bid().frequency);
+    const int horizon = w.horizon();
+    binio::write_u64(out, static_cast<std::uint64_t>(horizon));
+    for (int r = 1; r <= horizon; ++r) {
+      binio::write_f64(out, w.latent_quality(r));
+    }
+  }
+
+  std::vector<std::pair<auction::WorkerId, BidPolicy>> policies(
+      policies_.begin(), policies_.end());
+  std::sort(policies.begin(), policies.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  binio::write_u64(out, policies.size());
+  for (const auto& [id, p] : policies) {
+    binio::write_i32(out, id);
+    binio::write_f64(out, p.cheat_probability);
+    binio::write_u8(out, static_cast<std::uint8_t>(p.direction));
+    binio::write_u8(out, p.cheat_cost ? 1 : 0);
+    binio::write_u8(out, p.cheat_frequency ? 1 : 0);
+    binio::write_f64(out, p.cost_magnitude);
+    binio::write_i32(out, p.frequency_magnitude);
+  }
+
+  std::vector<std::pair<auction::WorkerId, double>> utilities(
+      total_utility_.begin(), total_utility_.end());
+  std::sort(utilities.begin(), utilities.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  binio::write_u64(out, utilities.size());
+  for (const auto& [id, total] : utilities) {
+    binio::write_i32(out, id);
+    binio::write_f64(out, total);
+  }
+
+  std::ostringstream blob;
+  estimator_.save(blob);
+  binio::write_bytes(out, blob.str());
+
+  if (!out) throw std::runtime_error("platform snapshot: write failure");
+}
+
+void Platform::load(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof magic) ||
+      !std::equal(magic, magic + sizeof magic, kMagic)) {
+    throw std::runtime_error("platform snapshot: bad magic");
+  }
+  const std::uint32_t version = binio::read_u32(in, "snapshot version");
+  if (version != kVersion) {
+    throw std::runtime_error("platform snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+
+  const std::uint64_t master_seed = binio::read_u64(in, "master seed");
+  const std::int32_t run = binio::read_i32(in, "run index");
+  if (run < 0) throw std::runtime_error("platform snapshot: negative run");
+
+  util::Rng::State rng;
+  for (int i = 0; i < 4; ++i) {
+    rng.words[i] = binio::read_u64(in, "rng words");
+  }
+  rng.cached_normal = binio::read_f64(in, "rng cached normal");
+  rng.cached_normal_valid = binio::read_u8(in, "rng cached flag") != 0;
+
+  FaultPlan plan;
+  plan.no_show_rate = binio::read_f64(in, "fault no-show rate");
+  plan.score_drop_rate = binio::read_f64(in, "fault drop rate");
+  plan.score_corrupt_rate = binio::read_f64(in, "fault corrupt rate");
+  plan.churn_rate = binio::read_f64(in, "fault churn rate");
+  plan.churn_min_absence = binio::read_i32(in, "fault churn min");
+  plan.churn_max_absence = binio::read_i32(in, "fault churn max");
+  plan.salt = binio::read_u64(in, "fault salt");
+  plan.validate();
+
+  const std::uint64_t worker_count = binio::read_u64(in, "worker count");
+  if (worker_count > (1ull << 32)) {
+    throw std::runtime_error("platform snapshot: implausible worker count");
+  }
+  std::vector<SimWorker> workers;
+  workers.reserve(static_cast<std::size_t>(worker_count));
+  for (std::uint64_t k = 0; k < worker_count; ++k) {
+    const auction::WorkerId id = binio::read_i32(in, "worker id");
+    auction::Bid bid;
+    bid.cost = binio::read_f64(in, "worker cost");
+    bid.frequency = binio::read_i32(in, "worker frequency");
+    const std::uint64_t len = binio::read_u64(in, "trajectory length");
+    if (len > (1ull << 32)) {
+      throw std::runtime_error("platform snapshot: implausible trajectory");
+    }
+    std::vector<double> latent(static_cast<std::size_t>(len));
+    for (double& q : latent) q = binio::read_f64(in, "latent quality");
+    workers.emplace_back(id, bid, std::move(latent));
+  }
+
+  const std::uint64_t policy_count = binio::read_u64(in, "policy count");
+  std::unordered_map<auction::WorkerId, BidPolicy> policies;
+  for (std::uint64_t k = 0; k < policy_count; ++k) {
+    const auction::WorkerId id = binio::read_i32(in, "policy id");
+    BidPolicy p;
+    p.cheat_probability = binio::read_f64(in, "policy cheat probability");
+    const std::uint8_t direction = binio::read_u8(in, "policy direction");
+    if (direction > 2) {
+      throw std::runtime_error("platform snapshot: bad misreport direction");
+    }
+    p.direction = static_cast<MisreportDirection>(direction);
+    p.cheat_cost = binio::read_u8(in, "policy cheat cost") != 0;
+    p.cheat_frequency = binio::read_u8(in, "policy cheat frequency") != 0;
+    p.cost_magnitude = binio::read_f64(in, "policy cost magnitude");
+    p.frequency_magnitude = binio::read_i32(in, "policy frequency magnitude");
+    policies[id] = p;
+  }
+
+  const std::uint64_t utility_count = binio::read_u64(in, "utility count");
+  std::unordered_map<auction::WorkerId, double> utilities;
+  for (std::uint64_t k = 0; k < utility_count; ++k) {
+    const auction::WorkerId id = binio::read_i32(in, "utility id");
+    utilities[id] = binio::read_f64(in, "utility total");
+  }
+
+  const std::string blob = binio::read_bytes(in, "estimator blob");
+
+  // Everything parsed: commit wholesale. The estimator's own load replaces
+  // its state (including the registered-worker set), so workers registered
+  // at construction do not linger as stale entries.
+  std::istringstream blob_stream(blob);
+  estimator_.load(blob_stream);
+  master_seed_ = master_seed;
+  run_ = run;
+  rng_.restore(rng);
+  fault_plan_ = plan;
+  workers_ = std::move(workers);
+  policies_ = std::move(policies);
+  total_utility_ = std::move(utilities);
+  last_result_ = auction::AllocationResult{};
+}
+
+void save_checkpoint(const Platform& platform, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp);
+    }
+    platform.save(out);
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: rename failed: " + path);
+  }
+}
+
+void load_checkpoint(Platform& platform, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  platform.load(in);
+}
+
+}  // namespace melody::sim

@@ -16,16 +16,22 @@ Flags::Flags(int argc, const char* const* argv) {
       throw std::invalid_argument("Flags: malformed flag " + arg);
     }
     const auto equals = body.find('=');
+    std::string name;
+    std::string value;
     if (equals != std::string::npos) {
-      values_[body.substr(0, equals)] = body.substr(equals + 1);
-      continue;
-    }
-    // "--key value" when the next token is not itself a flag; otherwise a
-    // bare switch.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[body] = argv[++i];
+      name = body.substr(0, equals);
+      value = body.substr(equals + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // "--key value" when the next token is not itself a flag; otherwise a
+      // bare switch.
+      name = body;
+      value = argv[++i];
     } else {
-      values_[body] = "true";
+      name = body;
+      value = "true";
+    }
+    if (!values_.emplace(name, std::move(value)).second) {
+      throw std::invalid_argument("Flags: duplicate flag --" + name);
     }
   }
 }

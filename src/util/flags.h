@@ -14,7 +14,9 @@ namespace melody::util {
 class Flags {
  public:
   /// Parse argv (argv[0] is skipped). Throws std::invalid_argument on a
-  /// malformed flag (e.g. "---x" or empty flag name).
+  /// malformed flag (e.g. "---x" or empty flag name) or on a flag given
+  /// more than once (in any mix of --k=v / --k v forms): a silently ignored
+  /// repeat almost always means the caller edited the wrong occurrence.
   Flags(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;

@@ -113,6 +113,33 @@ class Rng {
   /// Derive an independent child generator (for per-worker streams).
   Rng fork() noexcept { return Rng((*this)()); }
 
+  /// Complete generator state for checkpointing. The cached Box-Muller
+  /// deviate is part of the state: normal() produces deviates in pairs, so
+  /// restoring the raw xoshiro words alone would desynchronize a stream
+  /// captured between the two halves of a pair.
+  struct State {
+    std::uint64_t words[4]{};
+    double cached_normal = 0.0;
+    bool cached_normal_valid = false;
+
+    bool operator==(const State&) const = default;
+  };
+
+  /// Capture the full state; restore() on any Rng resumes the exact stream.
+  State state() const noexcept {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cached_normal = cached_normal_;
+    s.cached_normal_valid = cached_normal_valid_;
+    return s;
+  }
+
+  void restore(const State& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cached_normal_ = s.cached_normal;
+    cached_normal_valid_ = s.cached_normal_valid;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

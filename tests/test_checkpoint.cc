@@ -1,0 +1,344 @@
+// Crash-resume robustness: a platform restored from a checkpoint must
+// continue bit-identically to one that never stopped — same RunRecord
+// stream, same estimator state, same snapshot bytes — at any thread count,
+// with and without an active fault plan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "estimators/melody_estimator.h"
+#include "sim/platform.h"
+#include "util/binio.h"
+#include "util/thread_pool.h"
+
+namespace melody::sim {
+namespace {
+
+LongTermScenario small_scenario() {
+  LongTermScenario s;
+  s.num_workers = 40;
+  s.num_tasks = 30;
+  s.runs = 16;
+  s.budget = 120.0;
+  return s;
+}
+
+estimators::MelodyEstimatorConfig tracker_config(const LongTermScenario& s) {
+  estimators::MelodyEstimatorConfig config;
+  config.initial_posterior = {s.initial_mu, s.initial_sigma};
+  config.reestimation_period = s.reestimation_period;
+  return config;
+}
+
+FaultPlan test_plan() {
+  FaultPlan plan;
+  plan.no_show_rate = 0.1;
+  plan.score_drop_rate = 0.1;
+  plan.score_corrupt_rate = 0.05;
+  plan.churn_rate = 0.2;
+  plan.churn_min_absence = 2;
+  plan.churn_max_absence = 5;
+  return plan;
+}
+
+constexpr std::uint64_t kPopulationSeed = 3;
+constexpr std::uint64_t kPlatformSeed = 44;
+
+/// One self-owning simulation: Platform borrows its mechanism and
+/// estimator, so every independent run needs its own copies.
+struct Rig {
+  LongTermScenario scenario;
+  auction::MelodyAuction mechanism;
+  estimators::MelodyEstimator estimator;
+  Platform platform;
+
+  Rig(const LongTermScenario& s, std::vector<SimWorker> workers)
+      : scenario(s),
+        estimator(tracker_config(s)),
+        platform(scenario, mechanism, estimator, std::move(workers),
+                 kPlatformSeed) {}
+};
+
+std::vector<SimWorker> population(const LongTermScenario& s) {
+  util::Rng rng(kPopulationSeed);
+  return sample_population(s.population_config(), rng);
+}
+
+struct Outcome {
+  std::vector<RunRecord> records;
+  std::string snapshot;
+  std::unordered_map<auction::WorkerId, double> estimates;
+};
+
+Outcome finish(Rig& rig, std::vector<RunRecord> prefix) {
+  auto rest = rig.platform.run_all();
+  prefix.insert(prefix.end(), rest.begin(), rest.end());
+  std::ostringstream snap;
+  rig.platform.save(snap);
+  Outcome outcome{std::move(prefix), snap.str(), {}};
+  for (const auto& w : rig.platform.workers()) {
+    outcome.estimates[w.id()] = rig.estimator.estimate(w.id());
+  }
+  return outcome;
+}
+
+Outcome run_straight(const LongTermScenario& s, const FaultPlan& plan) {
+  Rig rig(s, population(s));
+  if (plan.active()) rig.platform.set_fault_plan(plan);
+  return finish(rig, {});
+}
+
+Outcome run_resumed(const LongTermScenario& s, const FaultPlan& plan,
+                    int interrupt_after) {
+  std::string checkpoint;
+  std::vector<RunRecord> prefix;
+  {
+    Rig rig(s, population(s));
+    if (plan.active()) rig.platform.set_fault_plan(plan);
+    for (int r = 0; r < interrupt_after; ++r) {
+      prefix.push_back(rig.platform.step());
+    }
+    std::ostringstream snap;
+    rig.platform.save(snap);
+    checkpoint = snap.str();
+  }  // the "crashed" process is gone; only the checkpoint bytes survive
+  // The resumed platform starts from an EMPTY population: everything it
+  // needs — workers, trajectories, RNG position, fault plan, estimator
+  // state — must come out of the snapshot.
+  Rig rig(s, {});
+  std::istringstream snap(checkpoint);
+  rig.platform.load(snap);
+  EXPECT_EQ(rig.platform.fault_plan().active(), plan.active());
+  EXPECT_EQ(rig.platform.current_run(), interrupt_after + 1);
+  return finish(rig, std::move(prefix));
+}
+
+void expect_identical(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]) << "run " << i + 1;
+  }
+  EXPECT_EQ(a.snapshot, b.snapshot);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (const auto& [id, estimate] : a.estimates) {
+    const auto it = b.estimates.find(id);
+    ASSERT_NE(it, b.estimates.end()) << "worker " << id;
+    EXPECT_DOUBLE_EQ(estimate, it->second) << "worker " << id;
+  }
+}
+
+class CheckpointThreadMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { util::set_shared_thread_count(GetParam()); }
+  void TearDown() override { util::set_shared_thread_count(1); }
+};
+
+TEST_P(CheckpointThreadMatrix, ResumeIsBitIdenticalWithoutFaults) {
+  const auto scenario = small_scenario();
+  const auto straight = run_straight(scenario, FaultPlan{});
+  for (const int k : {1, 7, scenario.runs - 1}) {
+    expect_identical(straight, run_resumed(scenario, FaultPlan{}, k));
+  }
+}
+
+TEST_P(CheckpointThreadMatrix, ResumeIsBitIdenticalWithFaults) {
+  const auto scenario = small_scenario();
+  const auto straight = run_straight(scenario, test_plan());
+  for (const int k : {1, 7, scenario.runs - 1}) {
+    expect_identical(straight, run_resumed(scenario, test_plan(), k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CheckpointThreadMatrix,
+                         ::testing::Values(1, 2, 8));
+
+TEST(Checkpoint, SerialAndParallelRunsProduceIdenticalOutcomes) {
+  const auto scenario = small_scenario();
+  util::set_shared_thread_count(1);
+  const auto serial = run_straight(scenario, test_plan());
+  for (const int threads : {2, 8}) {
+    util::set_shared_thread_count(threads);
+    expect_identical(serial, run_straight(scenario, test_plan()));
+  }
+  util::set_shared_thread_count(1);
+}
+
+TEST(Checkpoint, SnapshotBytesAreDeterministic) {
+  const auto scenario = small_scenario();
+  Rig rig(scenario, population(scenario));
+  rig.platform.set_policy(5, BidPolicy{.cheat_probability = 0.5});
+  for (int r = 0; r < 5; ++r) rig.platform.step();
+  std::ostringstream a, b;
+  rig.platform.save(a);
+  rig.platform.save(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Checkpoint, PoliciesSurviveResume) {
+  const auto scenario = small_scenario();
+  BidPolicy overbid;
+  overbid.cheat_probability = 1.0;
+  overbid.direction = MisreportDirection::kHigher;
+  overbid.cost_magnitude = 10.0;
+
+  auto with_policy = [&](bool through_snapshot) {
+    Rig rig(scenario, population(scenario));
+    rig.platform.set_policy(rig.platform.workers().front().id(), overbid);
+    if (through_snapshot) {
+      std::stringstream snap;
+      rig.platform.save(snap);
+      Rig restored(scenario, {});
+      restored.platform.load(snap);
+      return finish(restored, {});
+    }
+    return finish(rig, {});
+  };
+  expect_identical(with_policy(false), with_policy(true));
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  std::istringstream bad("NOTACKPT garbage");
+  Rig rig(small_scenario(), {});
+  EXPECT_THROW(rig.platform.load(bad), std::runtime_error);
+}
+
+TEST(Checkpoint, UnsupportedVersionRejected) {
+  std::ostringstream out;
+  out.write("MLDYCKPT", 8);
+  util::binio::write_u32(out, 999);
+  std::istringstream in(out.str());
+  Rig rig(small_scenario(), {});
+  EXPECT_THROW(rig.platform.load(in), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncatedSnapshotRejected) {
+  const auto scenario = small_scenario();
+  Rig rig(scenario, population(scenario));
+  for (int r = 0; r < 3; ++r) rig.platform.step();
+  std::ostringstream snap;
+  rig.platform.save(snap);
+  const std::string bytes = snap.str();
+  for (const std::size_t cut :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    std::istringstream truncated(bytes.substr(0, cut));
+    Rig target(scenario, {});
+    EXPECT_THROW(target.platform.load(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Checkpoint, FileHelpersRoundTripAtomically) {
+  const auto scenario = small_scenario();
+  const std::string path =
+      ::testing::TempDir() + "melody_checkpoint_test.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  Rig rig(scenario, population(scenario));
+  for (int r = 0; r < 4; ++r) rig.platform.step();
+  save_checkpoint(rig.platform, path);
+  // The temp file was renamed away, the checkpoint is in place.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  Rig restored(scenario, {});
+  load_checkpoint(restored.platform, path);
+  EXPECT_EQ(restored.platform.current_run(), rig.platform.current_run());
+  expect_identical(finish(rig, {}), finish(restored, {}));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadFromMissingFileThrows) {
+  Rig rig(small_scenario(), {});
+  EXPECT_THROW(
+      load_checkpoint(rig.platform,
+                      ::testing::TempDir() + "melody_no_such_checkpoint.bin"),
+      std::runtime_error);
+}
+
+/// Forwards everything to a wrapped MELODY estimator while counting the
+/// register_worker calls per id — the instrument for the newcomer test.
+class CountingEstimator final : public estimators::QualityEstimator {
+ public:
+  explicit CountingEstimator(const estimators::MelodyEstimatorConfig& config)
+      : inner_(config) {}
+
+  void register_worker(auction::WorkerId id) override {
+    ++registrations_[id];
+    inner_.register_worker(id);
+  }
+  void observe(auction::WorkerId id, const lds::ScoreSet& scores) override {
+    inner_.observe(id, scores);
+  }
+  void observe_run(std::span<const auction::WorkerId> ids,
+                   std::span<const lds::ScoreSet> scores) override {
+    inner_.observe_run(ids, scores);
+  }
+  double estimate(auction::WorkerId id) const override {
+    return inner_.estimate(id);
+  }
+  std::string name() const override { return inner_.name(); }
+  void save(std::ostream& out) const override { inner_.save(out); }
+  void load(std::istream& in) override { inner_.load(in); }
+
+  int registrations(auction::WorkerId id) const {
+    const auto it = registrations_.find(id);
+    return it == registrations_.end() ? 0 : it->second;
+  }
+
+ private:
+  estimators::MelodyEstimator inner_;
+  std::unordered_map<auction::WorkerId, int> registrations_;
+};
+
+TEST(Checkpoint, NewcomerAfterResumeIsRegisteredExactlyOnce) {
+  auto scenario = small_scenario();
+  scenario.runs = 10;
+  const auto config = tracker_config(scenario);
+
+  std::string checkpoint;
+  {
+    auction::MelodyAuction mechanism;
+    CountingEstimator estimator(config);
+    Platform platform(scenario, mechanism, estimator, population(scenario),
+                      kPlatformSeed);
+    for (int r = 0; r < 3; ++r) platform.step();
+    std::ostringstream snap;
+    platform.save(snap);
+    checkpoint = snap.str();
+  }
+
+  auction::MelodyAuction mechanism;
+  CountingEstimator estimator(config);
+  Platform platform(scenario, mechanism, estimator, {}, kPlatformSeed);
+  std::istringstream snap(checkpoint);
+  platform.load(snap);
+  // The restored estimator state covers the whole population even though
+  // this platform was constructed with nobody to register.
+  EXPECT_EQ(estimator.registrations(population(scenario).front().id()), 0);
+  EXPECT_NO_THROW(estimator.estimate(population(scenario).front().id()));
+
+  const auction::WorkerId newcomer_id = 1000;
+  TrajectoryConfig traj;
+  traj.kind = TrajectoryKind::kStable;
+  traj.start_level = 9.0;
+  util::Rng rng(8);
+  SimWorker newcomer(newcomer_id, {1.0, 5},
+                     generate_trajectory(traj, scenario.runs, rng));
+  platform.add_worker(std::move(newcomer));
+  EXPECT_EQ(estimator.registrations(newcomer_id), 1);
+
+  // The newcomer participates immediately and never gets re-registered.
+  platform.run_all();
+  EXPECT_EQ(estimator.registrations(newcomer_id), 1);
+  EXPECT_NO_THROW(estimator.estimate(newcomer_id));
+}
+
+}  // namespace
+}  // namespace melody::sim

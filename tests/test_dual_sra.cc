@@ -79,7 +79,7 @@ TEST(DualSra, AgreesWithPrimalAtItsOwnBudget) {
       // the dual's running sum and the primal's running subtraction.
       config.budget = dual.required_budget + 1e-9;
       MelodyAuction primal;
-      const auto primal_result = primal.run(workers, tasks, config);
+      const auto primal_result = primal.run({workers, tasks, config});
       EXPECT_GE(primal_result.requester_utility(), target)
           << "seed " << seed << " target " << target;
     }

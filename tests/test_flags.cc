@@ -84,9 +84,23 @@ TEST(Flags, UnusedDetection) {
   EXPECT_EQ(unused[0], "typo");
 }
 
-TEST(Flags, LastValueWins) {
-  const Flags f = parse({"--n=1", "--n=2"});
-  EXPECT_EQ(f.get_int("n", 0), 2);
+TEST(Flags, DuplicateEqualsFormThrows) {
+  EXPECT_THROW(parse({"--n=1", "--n=2"}), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateSpaceFormThrows) {
+  EXPECT_THROW(parse({"--n", "1", "--n", "2"}), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateAcrossFormsThrows) {
+  EXPECT_THROW(parse({"--n=1", "--n", "2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--quiet", "--quiet"}), std::invalid_argument);
+}
+
+TEST(Flags, DistinctFlagsDoNotThrow) {
+  const Flags f = parse({"--n=1", "--m", "2"});
+  EXPECT_EQ(f.get_int("n", 0), 1);
+  EXPECT_EQ(f.get_int("m", 0), 2);
 }
 
 }  // namespace

@@ -72,7 +72,7 @@ TEST(MechanismProperties, IndividualRationalityAndFeasibilityOver1kAuctions) {
   for (int i = 0; i < kInstances; ++i) {
     const Instance instance = sample_instance(rng, 40);
     const auto result =
-        auction.run(instance.workers, instance.tasks, instance.config);
+        auction.run({instance.workers, instance.tasks, instance.config});
     if (!result.assignments.empty()) ++nonempty;
 
     // IR, per assignment (stronger than the portfolio claim p_i >= n_i c_i,
@@ -108,7 +108,7 @@ TEST(MechanismProperties, PaperPaymentRuleAlsoIrAndBudgetFeasible) {
   for (int i = 0; i < kInstances; ++i) {
     const Instance instance = sample_instance(rng, 40);
     const auto result =
-        auction.run(instance.workers, instance.tasks, instance.config);
+        auction.run({instance.workers, instance.tasks, instance.config});
     for (const auto& a : result.assignments) {
       const WorkerProfile* w = profile_of(instance, a.worker);
       ASSERT_NE(w, nullptr);
@@ -133,7 +133,7 @@ TEST(MechanismProperties, SingleTaskTruthfulnessOver1kAuctions) {
   for (int i = 0; i < kInstances; ++i) {
     const Instance instance = sample_instance(rng, /*max_tasks=*/1);
     const auto truthful =
-        auction.run(instance.workers, instance.tasks, instance.config);
+        auction.run({instance.workers, instance.tasks, instance.config});
     // Probe one uniformly chosen worker per instance (probing all 60 x 11
     // re-auctions x 1000 instances would dominate the suite's runtime
     // without adding coverage: the deviator is already random).
@@ -146,7 +146,7 @@ TEST(MechanismProperties, SingleTaskTruthfulnessOver1kAuctions) {
       auto deviated = instance.workers;
       deviated[probe].bid.cost = true_cost * factor;
       const auto outcome =
-          auction.run(deviated, instance.tasks, instance.config);
+          auction.run({deviated, instance.tasks, instance.config});
       if (utility_of(outcome, id, true_cost) > baseline + kEps) ++violations;
       ++probes;
     }
@@ -163,7 +163,7 @@ TEST(MechanismProperties, MultiTaskDeviationLosesInAggregate) {
   for (int i = 0; i < 250; ++i) {  // 250 x 11 grid = 2750 re-auctions
     const Instance instance = sample_instance(rng, 40);
     const auto truthful =
-        auction.run(instance.workers, instance.tasks, instance.config);
+        auction.run({instance.workers, instance.tasks, instance.config});
     const std::size_t probe = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(instance.workers.size()) - 1));
     const double true_cost = instance.workers[probe].bid.cost;
@@ -173,7 +173,7 @@ TEST(MechanismProperties, MultiTaskDeviationLosesInAggregate) {
       auto deviated = instance.workers;
       deviated[probe].bid.cost = true_cost * factor;
       const auto outcome =
-          auction.run(deviated, instance.tasks, instance.config);
+          auction.run({deviated, instance.tasks, instance.config});
       const double gain = utility_of(outcome, id, true_cost) - baseline;
       total_gain += gain;
       max_gain = std::max(max_gain, gain);

@@ -26,7 +26,7 @@ TEST(MelodyAuction, HandComputedSingleTask) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
 
   // Prefix w0 + w1 covers 6; reference worker is w2 with c/mu = 0.5.
   ASSERT_EQ(result.selected_tasks.size(), 1u);
@@ -44,7 +44,7 @@ TEST(MelodyAuction, HandComputedTwoTasksPaperRule) {
   MelodyAuction auction(PaymentRule::kPaperNextInQueue);
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
 
   ASSERT_EQ(result.selected_tasks.size(), 2u);
   // Task 1 needs w0+w1+w2 = 11 >= 10; reference is w3 with c/mu = 1.
@@ -61,7 +61,7 @@ TEST(MelodyAuction, CriticalRuleDropsMonopolizedTask) {
   MelodyAuction auction(PaymentRule::kCriticalValue);
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
   ASSERT_EQ(result.selected_tasks.size(), 1u);
   EXPECT_EQ(result.selected_tasks[0], 0);
   EXPECT_DOUBLE_EQ(result.total_payment(), 3.5);
@@ -75,7 +75,7 @@ TEST(MelodyAuction, CriticalRuleReferencesCompletionWithoutWinner) {
   MelodyAuction auction(PaymentRule::kCriticalValue);
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 7.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
   ASSERT_EQ(result.selected_tasks.size(), 1u);
   EXPECT_DOUBLE_EQ(result.payment_to(0), 0.5 * 4.0);
   EXPECT_DOUBLE_EQ(result.payment_to(1), 0.5 * 3.0);
@@ -86,7 +86,7 @@ TEST(MelodyAuction, BudgetSelectsCheapestTasks) {
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}};
   // P_0 = 3.5, P_1 = 11: a budget of 10 only affords task 0.
-  const auto result = auction.run(workers, tasks, open_config(10.0));
+  const auto result = auction.run({workers, tasks, open_config(10.0)});
   ASSERT_EQ(result.selected_tasks.size(), 1u);
   EXPECT_EQ(result.selected_tasks[0], 0);
   EXPECT_DOUBLE_EQ(result.total_payment(), 3.5);
@@ -96,7 +96,7 @@ TEST(MelodyAuction, ZeroBudgetSelectsNothing) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}};
-  const auto result = auction.run(workers, tasks, open_config(0.0));
+  const auto result = auction.run({workers, tasks, open_config(0.0)});
   EXPECT_TRUE(result.selected_tasks.empty());
   EXPECT_TRUE(result.assignments.empty());
 }
@@ -105,7 +105,7 @@ TEST(MelodyAuction, FrequencyLimitsReuse) {
   MelodyAuction auction;
   const auto workers = four_workers(/*frequency=*/1);
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
   // Task 0 exhausts w0 and w1; the rest (w2 + w3 = 6) cannot cover 10.
   ASSERT_EQ(result.selected_tasks.size(), 1u);
   EXPECT_EQ(result.selected_tasks[0], 0);
@@ -117,7 +117,7 @@ TEST(MelodyAuction, TaskNeedingWholeQueueIsDropped) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 12.5}};  // total quality is 13
-  const auto result = auction.run(workers, tasks, open_config(1000.0));
+  const auto result = auction.run({workers, tasks, open_config(1000.0)});
   EXPECT_TRUE(result.selected_tasks.empty());
 }
 
@@ -125,7 +125,7 @@ TEST(MelodyAuction, UncoverableTaskIsDropped) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 14.0}};  // exceeds total quality 13
-  const auto result = auction.run(workers, tasks, open_config(1000.0));
+  const auto result = auction.run({workers, tasks, open_config(1000.0)});
   EXPECT_TRUE(result.selected_tasks.empty());
 }
 
@@ -135,7 +135,7 @@ TEST(MelodyAuction, TasksProcessedInThresholdOrder) {
   // Given in reverse order; the easy task (id 7) must still be pre-allocated
   // first and win the scarce workers.
   const std::vector<Task> tasks{{3, 10.0}, {7, 6.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
   ASSERT_EQ(result.selected_tasks.size(), 1u);
   EXPECT_EQ(result.selected_tasks[0], 7);
 }
@@ -149,7 +149,7 @@ TEST(MelodyAuction, QualificationFilterExcludesWorkers) {
   const std::vector<Task> tasks{{0, 10.0}};
   // Qualified queue: w0, w1, w2 with total 11; covering 10 needs all three,
   // leaving no critical worker -> dropped.
-  const auto result = auction.run(workers, tasks, config);
+  const auto result = auction.run({workers, tasks, config});
   EXPECT_TRUE(result.selected_tasks.empty());
 }
 
@@ -159,7 +159,7 @@ TEST(MelodyAuction, CostFilterExcludesWorkers) {
   config.cost_max = 1.5;  // w2, w3 excluded
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 3.0}};
-  const auto result = auction.run(workers, tasks, config);
+  const auto result = auction.run({workers, tasks, config});
   // Queue: w0, w1. Task needs w0 only (4 >= 3); without w0 coverage
   // completes at w1 (3 >= 3), so w0 pays ratio 1/3.
   ASSERT_EQ(result.selected_tasks.size(), 1u);
@@ -178,7 +178,7 @@ TEST(MelodyAuction, InvalidWorkersIgnored) {
       {4, {1.0, 3}, 4.0},   // valid (critical reference)
   };
   const std::vector<Task> tasks{{0, 4.0}};
-  const auto result = auction.run(workers, tasks, open_config(100.0));
+  const auto result = auction.run({workers, tasks, open_config(100.0)});
   ASSERT_EQ(result.assignments.size(), 1u);
   EXPECT_EQ(result.assignments[0].worker, 3);
 }
@@ -189,9 +189,9 @@ TEST(MelodyAuction, EmptyInputs) {
   const std::vector<Task> no_tasks;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}};
-  EXPECT_TRUE(auction.run(no_workers, tasks, open_config(10.0))
+  EXPECT_TRUE(auction.run({no_workers, tasks, open_config(10.0)})
                   .selected_tasks.empty());
-  EXPECT_TRUE(auction.run(workers, no_tasks, open_config(10.0))
+  EXPECT_TRUE(auction.run({workers, no_tasks, open_config(10.0)})
                   .selected_tasks.empty());
 }
 
@@ -201,7 +201,7 @@ TEST(MelodyAuction, PaymentNeverBelowCost) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}, {2, 8.0}};
-  const auto result = auction.run(workers, tasks, open_config(1000.0));
+  const auto result = auction.run({workers, tasks, open_config(1000.0)});
   for (const auto& a : result.assignments) {
     const double cost = workers[static_cast<std::size_t>(a.worker)].bid.cost;
     EXPECT_GE(a.payment, cost - 1e-12);
@@ -213,7 +213,7 @@ TEST(MelodyAuction, ResultPassesAllValidators) {
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}, {2, 8.0}, {3, 3.0}};
   const auto config = open_config(20.0);
-  const auto result = auction.run(workers, tasks, config);
+  const auto result = auction.run({workers, tasks, config});
   EXPECT_EQ(check_budget_feasibility(result, config), "");
   EXPECT_EQ(check_frequency_feasibility(result, workers), "");
   EXPECT_EQ(check_task_satisfaction(result, workers, tasks), "");
@@ -223,8 +223,8 @@ TEST(MelodyAuction, DeterministicAcrossCalls) {
   MelodyAuction auction;
   const auto workers = four_workers();
   const std::vector<Task> tasks{{0, 6.0}, {1, 10.0}};
-  const auto a = auction.run(workers, tasks, open_config(50.0));
-  const auto b = auction.run(workers, tasks, open_config(50.0));
+  const auto a = auction.run({workers, tasks, open_config(50.0)});
+  const auto b = auction.run({workers, tasks, open_config(50.0)});
   EXPECT_EQ(a.selected_tasks, b.selected_tasks);
   ASSERT_EQ(a.assignments.size(), b.assignments.size());
   for (std::size_t i = 0; i < a.assignments.size(); ++i) {

@@ -367,16 +367,17 @@ TEST(ObsSink, AuctionContextRoutesEventsToItsSink) {
   }
   EXPECT_TRUE(saw_result_event);
 
-  // The 3-arg shim (no sink) must produce the identical allocation.
-  const auto shim_result = mechanism.run(workers, tasks, config);
-  ASSERT_EQ(shim_result.assignments.size(),
+  // A minimal context (no sink, run 0, no fault plan) must produce the
+  // identical allocation: the optional fields are provenance only.
+  const auto minimal_result = mechanism.run({workers, tasks, config});
+  ASSERT_EQ(minimal_result.assignments.size(),
             context_result.assignments.size());
-  for (std::size_t a = 0; a < shim_result.assignments.size(); ++a) {
-    EXPECT_EQ(shim_result.assignments[a].worker,
+  for (std::size_t a = 0; a < minimal_result.assignments.size(); ++a) {
+    EXPECT_EQ(minimal_result.assignments[a].worker,
               context_result.assignments[a].worker);
-    EXPECT_EQ(shim_result.assignments[a].task,
+    EXPECT_EQ(minimal_result.assignments[a].task,
               context_result.assignments[a].task);
-    EXPECT_EQ(shim_result.assignments[a].payment,
+    EXPECT_EQ(minimal_result.assignments[a].payment,
               context_result.assignments[a].payment);
   }
 }

@@ -107,7 +107,7 @@ TEST_P(BoundOrdering, MelodyLeqExactLeqUpperBound) {
   const auto config = scenario.auction_config();
 
   MelodyAuction melody;
-  const std::size_t mel = melody.run(workers, tasks, config).requester_utility();
+  const std::size_t mel = melody.run({workers, tasks, config}).requester_utility();
   const std::size_t opt = exact_sra_optimum(workers, tasks, config);
   const std::size_t ub = opt_upper_bound(workers, tasks, config);
 

@@ -187,10 +187,10 @@ TEST(ParallelDeterminism, LargeAuctionRankingAndPricingMatchSerial) {
   auction::MelodyAuction mechanism;
 
   util::set_shared_thread_count(1);
-  const auto serial = mechanism.run(workers, tasks, config);
+  const auto serial = mechanism.run({workers, tasks, config});
   for (int threads : {2, 8}) {
     util::set_shared_thread_count(threads);
-    const auto parallel = mechanism.run(workers, tasks, config);
+    const auto parallel = mechanism.run({workers, tasks, config});
     util::set_shared_thread_count(1);
     ASSERT_EQ(parallel.assignments.size(), serial.assignments.size());
     for (std::size_t a = 0; a < serial.assignments.size(); ++a) {

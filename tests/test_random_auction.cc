@@ -31,7 +31,7 @@ TEST(RandomAuction, FeasibilityOnRandomInstances) {
     const auto tasks = scenario.sample_tasks(rng);
     const auto config = scenario.auction_config();
     RandomAuction auction(seed);
-    const auto result = auction.run(workers, tasks, config);
+    const auto result = auction.run({workers, tasks, config});
     EXPECT_EQ(check_budget_feasibility(result, config), "") << "seed " << seed;
     EXPECT_EQ(check_frequency_feasibility(result, workers), "")
         << "seed " << seed;
@@ -46,7 +46,7 @@ TEST(RandomAuction, IndividualRationality) {
   const auto workers = scenario.sample_workers(rng);
   const auto tasks = scenario.sample_tasks(rng);
   RandomAuction auction(7);
-  const auto result = auction.run(workers, tasks, scenario.auction_config());
+  const auto result = auction.run({workers, tasks, scenario.auction_config()});
   for (const auto& a : result.assignments) {
     const auto& w = workers[static_cast<std::size_t>(a.worker)];
     // Winners have a higher quality/cost ratio than the excluded loser, so
@@ -61,8 +61,8 @@ TEST(RandomAuction, SameSeedSameOutcome) {
   const auto workers = scenario.sample_workers(rng);
   const auto tasks = scenario.sample_tasks(rng);
   RandomAuction a(123), b(123);
-  const auto ra = a.run(workers, tasks, scenario.auction_config());
-  const auto rb = b.run(workers, tasks, scenario.auction_config());
+  const auto ra = a.run({workers, tasks, scenario.auction_config()});
+  const auto rb = b.run({workers, tasks, scenario.auction_config()});
   EXPECT_EQ(ra.selected_tasks, rb.selected_tasks);
   EXPECT_DOUBLE_EQ(ra.total_payment(), rb.total_payment());
 }
@@ -80,9 +80,9 @@ TEST(RandomAuction, TypicallyWorseThanMelody) {
     MelodyAuction melody;
     RandomAuction random(seed * 31);
     melody_total += static_cast<double>(
-        melody.run(workers, tasks, config).requester_utility());
+        melody.run({workers, tasks, config}).requester_utility());
     random_total += static_cast<double>(
-        random.run(workers, tasks, config).requester_utility());
+        random.run({workers, tasks, config}).requester_utility());
   }
   EXPECT_GT(melody_total, random_total);
 }
@@ -93,10 +93,10 @@ TEST(RandomAuction, EmptyInputs) {
   config.budget = 100.0;
   const std::vector<WorkerProfile> no_workers;
   const std::vector<Task> tasks{{0, 5.0}};
-  EXPECT_TRUE(auction.run(no_workers, tasks, config).selected_tasks.empty());
+  EXPECT_TRUE(auction.run({no_workers, tasks, config}).selected_tasks.empty());
   const std::vector<WorkerProfile> workers{{0, {1.0, 2}, 3.0}};
   const std::vector<Task> no_tasks;
-  EXPECT_TRUE(auction.run(workers, no_tasks, config).selected_tasks.empty());
+  EXPECT_TRUE(auction.run({workers, no_tasks, config}).selected_tasks.empty());
 }
 
 TEST(RandomAuction, SingleWorkerCannotWin) {
@@ -106,7 +106,7 @@ TEST(RandomAuction, SingleWorkerCannotWin) {
   config.budget = 100.0;
   const std::vector<WorkerProfile> workers{{0, {1.0, 5}, 4.0}};
   const std::vector<Task> tasks{{0, 3.0}};
-  const auto result = auction.run(workers, tasks, config);
+  const auto result = auction.run({workers, tasks, config});
   EXPECT_TRUE(result.selected_tasks.empty());
 }
 
@@ -135,7 +135,7 @@ TEST(RandomAuction, CostMisreportLosesInAggregateWithFixedDraws) {
   int probes = 0;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     RandomAuction truthful_auction(seed);
-    const auto truthful = truthful_auction.run(workers, tasks, config);
+    const auto truthful = truthful_auction.run({workers, tasks, config});
     for (std::size_t w = 0; w < workers.size(); w += 5) {
       const double true_cost = workers[w].bid.cost;
       const double baseline = utility_of(truthful, workers[w].id, true_cost);
@@ -143,7 +143,7 @@ TEST(RandomAuction, CostMisreportLosesInAggregateWithFixedDraws) {
         auto misreported = workers;
         misreported[w].bid.cost = true_cost * factor;
         RandomAuction cheating_auction(seed);  // identical draw sequence
-        const auto outcome = cheating_auction.run(misreported, tasks, config);
+        const auto outcome = cheating_auction.run({misreported, tasks, config});
         total_gain +=
             utility_of(outcome, workers[w].id, true_cost) - baseline;
         ++probes;
@@ -160,7 +160,7 @@ TEST(RandomAuction, SelectedTasksHaveSufficientQuality) {
   const auto workers = scenario.sample_workers(rng);
   const auto tasks = scenario.sample_tasks(rng);
   RandomAuction auction(42);
-  const auto result = auction.run(workers, tasks, scenario.auction_config());
+  const auto result = auction.run({workers, tasks, scenario.auction_config()});
   EXPECT_EQ(check_task_satisfaction(result, workers, tasks), "");
   EXPECT_FALSE(result.selected_tasks.empty());
 }

@@ -47,7 +47,7 @@ TEST_P(SingleTaskTruthfulness, CostMisreportNeverProfits) {
   const auto tasks = scenario.sample_tasks(rng);
   const auto config = scenario.auction_config();
   MelodyAuction auction(PaymentRule::kCriticalValue);
-  const auto truthful = auction.run(workers, tasks, config);
+  const auto truthful = auction.run({workers, tasks, config});
 
   for (std::size_t w = 0; w < workers.size(); ++w) {
     const double true_cost = workers[w].bid.cost;
@@ -55,7 +55,7 @@ TEST_P(SingleTaskTruthfulness, CostMisreportNeverProfits) {
     for (double factor = 0.5; factor <= 2.0; factor += 0.1) {
       auto misreported = workers;
       misreported[w].bid.cost = true_cost * factor;
-      const auto outcome = auction.run(misreported, tasks, config);
+      const auto outcome = auction.run({misreported, tasks, config});
       EXPECT_LE(utility_of(outcome, workers[w].id, true_cost), baseline + 1e-9)
           << "worker " << w << " profited by reporting cost x" << factor;
     }
@@ -74,7 +74,7 @@ TEST_P(SingleTaskTruthfulness, WinnerPaymentIndependentOfOwnBid) {
   const auto tasks = scenario.sample_tasks(rng);
   const auto config = scenario.auction_config();
   MelodyAuction auction(PaymentRule::kCriticalValue);
-  const auto truthful = auction.run(workers, tasks, config);
+  const auto truthful = auction.run({workers, tasks, config});
 
   for (std::size_t w = 0; w < workers.size(); ++w) {
     if (truthful.tasks_assigned_to(workers[w].id) == 0) continue;
@@ -83,7 +83,7 @@ TEST_P(SingleTaskTruthfulness, WinnerPaymentIndependentOfOwnBid) {
       auto misreported = workers;
       misreported[w].bid.cost = workers[w].bid.cost * factor;
       if (!config.qualifies(misreported[w])) continue;
-      const auto outcome = auction.run(misreported, tasks, config);
+      const auto outcome = auction.run({misreported, tasks, config});
       if (outcome.tasks_assigned_to(workers[w].id) == 0) continue;  // lost
       EXPECT_NEAR(outcome.payment_to(workers[w].id), paid, 1e-9)
           << "worker " << w << "'s payment moved with his own bid";
@@ -122,7 +122,7 @@ class TruthfulnessSweep : public ::testing::TestWithParam<InstanceCase> {
 };
 
 TEST_P(TruthfulnessSweep, CostMisreportLosesInAggregate) {
-  const auto truthful = auction_.run(workers_, tasks_, config_);
+  const auto truthful = auction_.run({workers_, tasks_, config_});
   double total_gain = 0.0;
   int probes = 0;
   for (std::size_t w = 0; w < workers_.size(); w += workers_.size() / 12 + 1) {
@@ -131,7 +131,7 @@ TEST_P(TruthfulnessSweep, CostMisreportLosesInAggregate) {
     for (double factor : {0.55, 0.7, 0.85, 0.95, 1.05, 1.2, 1.5, 1.9}) {
       auto misreported = workers_;
       misreported[w].bid.cost = true_cost * factor;
-      const auto outcome = auction_.run(misreported, tasks_, config_);
+      const auto outcome = auction_.run({misreported, tasks_, config_});
       total_gain += utility_of(outcome, workers_[w].id, true_cost) - baseline;
       ++probes;
     }
@@ -144,7 +144,7 @@ TEST_P(TruthfulnessSweep, CostMisreportLosesInAggregate) {
 }
 
 TEST_P(TruthfulnessSweep, FrequencyUnderreportNeverProfits) {
-  const auto truthful = auction_.run(workers_, tasks_, config_);
+  const auto truthful = auction_.run({workers_, tasks_, config_});
   for (std::size_t w = 0; w < workers_.size(); w += workers_.size() / 8 + 1) {
     const double true_cost = workers_[w].bid.cost;
     const int true_frequency = workers_[w].bid.frequency;
@@ -152,7 +152,7 @@ TEST_P(TruthfulnessSweep, FrequencyUnderreportNeverProfits) {
     for (int frequency = 1; frequency < true_frequency; ++frequency) {
       auto misreported = workers_;
       misreported[w].bid.frequency = frequency;
-      const auto outcome = auction_.run(misreported, tasks_, config_);
+      const auto outcome = auction_.run({misreported, tasks_, config_});
       const double cheating = utility_of(outcome, workers_[w].id, true_cost);
       EXPECT_LE(cheating, baseline + 1e-9)
           << "worker " << w << " profited by underreporting frequency "
@@ -162,7 +162,7 @@ TEST_P(TruthfulnessSweep, FrequencyUnderreportNeverProfits) {
 }
 
 TEST_P(TruthfulnessSweep, IndividualRationality) {
-  const auto result = auction_.run(workers_, tasks_, config_);
+  const auto result = auction_.run({workers_, tasks_, config_});
   for (const auto& w : workers_) {
     EXPECT_GE(utility_of(result, w.id, w.bid.cost), -1e-9);
   }
@@ -175,7 +175,7 @@ TEST_P(TruthfulnessSweep, IndividualRationality) {
 
 TEST_P(TruthfulnessSweep, IndividualRationalityUnderPaperRule) {
   MelodyAuction paper(PaymentRule::kPaperNextInQueue);
-  const auto result = paper.run(workers_, tasks_, config_);
+  const auto result = paper.run({workers_, tasks_, config_});
   for (const auto& a : result.assignments) {
     const auto& w = workers_[static_cast<std::size_t>(a.worker)];
     EXPECT_GE(a.payment, w.bid.cost - 1e-9);
@@ -186,7 +186,7 @@ TEST_P(TruthfulnessSweep, BudgetAndConstraintFeasibility) {
   for (PaymentRule rule :
        {PaymentRule::kCriticalValue, PaymentRule::kPaperNextInQueue}) {
     MelodyAuction auction(rule);
-    const auto result = auction.run(workers_, tasks_, config_);
+    const auto result = auction.run({workers_, tasks_, config_});
     EXPECT_EQ(check_budget_feasibility(result, config_), "");
     EXPECT_EQ(check_frequency_feasibility(result, workers_), "");
     EXPECT_EQ(check_task_satisfaction(result, workers_, tasks_), "");
@@ -194,7 +194,7 @@ TEST_P(TruthfulnessSweep, BudgetAndConstraintFeasibility) {
 }
 
 TEST_P(TruthfulnessSweep, SelectedTasksAreExactlyAssignedTasks) {
-  const auto result = auction_.run(workers_, tasks_, config_);
+  const auto result = auction_.run({workers_, tasks_, config_});
   for (TaskId id : result.selected_tasks) {
     EXPECT_FALSE(result.workers_of(id).empty());
   }

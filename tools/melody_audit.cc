@@ -211,7 +211,7 @@ int main(int argc, char** argv) {
     }
 
     auction::MelodyAuction auction(rule);
-    print_allocation(auction.run(workers, tasks, config), workers, tasks,
+    print_allocation(auction.run({workers, tasks, config}), workers, tasks,
                      config);
     if (with_metrics) print_metrics_summary();
     return 0;

@@ -7,7 +7,8 @@
 //              [--reestimation-period T] [--exploration-beta BETA]
 //              [--payment-rule critical|paper] [--seed S]
 //              [--threads T] [--csv out.csv] [--metrics-json out.json]
-//              [--quiet]
+//              [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+//              [--faults SPEC] [--quiet]
 //
 // Prints the per-run series (downsampled) and the summary metrics; with
 // --csv, writes the full per-run records. With --metrics-json, enables the
@@ -16,6 +17,12 @@
 // (auction-phase timers, estimator update stats, thread-pool counters).
 // Metrics never perturb the simulation: outputs are bit-identical with the
 // flag on or off, at any --threads value.
+//
+// Robustness runtime: --checkpoint writes crash-safe platform snapshots
+// (every --checkpoint-every runs, plus one after the final run); --resume
+// restores one and continues, bit-identical to a run that never stopped.
+// --faults installs a deterministic fault plan (see sim/fault.h), e.g.
+// "no-show=0.05,drop=0.1,corrupt=0.02,churn=0.1".
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -49,7 +56,9 @@ int usage(const char* error) {
                "[--exploration-beta BETA]\n"
                "                  [--payment-rule critical|paper] [--seed S]\n"
                "                  [--threads T] [--csv out.csv]\n"
-               "                  [--metrics-json out.json] [--quiet]\n"
+               "                  [--metrics-json out.json]\n"
+               "                  [--checkpoint PATH] [--checkpoint-every N]\n"
+               "                  [--resume PATH] [--faults SPEC] [--quiet]\n"
                "  --threads T   total worker threads (0 = all hardware\n"
                "                threads, 1 = serial). Output is identical\n"
                "                for every T: per-(worker, run) RNG streams\n"
@@ -58,7 +67,22 @@ int usage(const char* error) {
                "                enable observability and write a JSON-lines\n"
                "                stream: per-run events plus auction-phase\n"
                "                timers, estimator update stats, and thread-\n"
-               "                pool counters. Does not change the outputs.\n");
+               "                pool counters. Does not change the outputs.\n"
+               "  --checkpoint PATH\n"
+               "                write crash-safe snapshots to PATH (atomic\n"
+               "                tmp+rename); one is always written after the\n"
+               "                final run.\n"
+               "  --checkpoint-every N\n"
+               "                also snapshot after every N-th run (requires\n"
+               "                --checkpoint).\n"
+               "  --resume PATH resume from a snapshot written with the same\n"
+               "                scenario flags; continuing is bit-identical\n"
+               "                to a run that never stopped.\n"
+               "  --faults SPEC deterministic fault injection, e.g.\n"
+               "                no-show=0.05,drop=0.1,corrupt=0.02,churn=0.1\n"
+               "                (keys: no-show drop corrupt churn churn-min\n"
+               "                churn-max salt). With --resume, overrides\n"
+               "                the plan stored in the snapshot.\n");
   return error != nullptr ? 1 : 0;
 }
 
@@ -103,6 +127,11 @@ int main(int argc, char** argv) {
   std::string payment_rule_name;
   std::string csv_path;
   std::string metrics_path;
+  std::string checkpoint_path;
+  std::string resume_path;
+  sim::FaultPlan fault_plan;
+  bool faults_given = false;
+  std::int64_t checkpoint_every = 0;
   double exploration_beta = 0.0;
   std::uint64_t seed = 0;
   int threads = 1;
@@ -121,6 +150,13 @@ int main(int argc, char** argv) {
     threads = static_cast<int>(flags->get_int("threads", 1));
     csv_path = flags->get_string("csv", "");
     metrics_path = flags->get_string("metrics-json", "");
+    checkpoint_path = flags->get_string("checkpoint", "");
+    checkpoint_every = flags->get_int("checkpoint-every", 0);
+    resume_path = flags->get_string("resume", "");
+    faults_given = flags->has("faults");
+    if (faults_given) {
+      fault_plan = sim::FaultPlan::parse(flags->get_string("faults", ""));
+    }
     quiet = flags->get_bool("quiet", false);
   } catch (const std::exception& e) {
     return usage(e.what());
@@ -128,6 +164,12 @@ int main(int argc, char** argv) {
   if (scenario.num_workers <= 0 || scenario.num_tasks <= 0 ||
       scenario.runs <= 0 || scenario.budget < 0.0) {
     return usage("workers/tasks/runs must be positive, budget non-negative");
+  }
+  if (checkpoint_every < 0) {
+    return usage("--checkpoint-every must be non-negative");
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    return usage("--checkpoint-every requires --checkpoint PATH");
   }
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
@@ -165,7 +207,27 @@ int main(int argc, char** argv) {
       scenario, mechanism, *estimator,
       sim::sample_population(scenario.population_config(), population_rng),
       seed + 1);
-  const auto records = platform.run_all();
+  try {
+    if (!resume_path.empty()) sim::load_checkpoint(platform, resume_path);
+    if (faults_given) platform.set_fault_plan(fault_plan);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  std::vector<sim::RunRecord> records;
+  const int first_run = platform.current_run();
+  if (checkpoint_path.empty()) {
+    records = platform.run_all();
+  } else {
+    records.reserve(static_cast<std::size_t>(scenario.runs));
+    while (platform.current_run() <= scenario.runs) {
+      records.push_back(platform.step());
+      if (checkpoint_every > 0 && records.back().run % checkpoint_every == 0) {
+        sim::save_checkpoint(platform, checkpoint_path);
+      }
+    }
+    sim::save_checkpoint(platform, checkpoint_path);
+  }
 
   if (metrics_sink != nullptr) {
     metrics_sink->append_registry(obs::registry());
@@ -176,21 +238,28 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     util::CsvWriter csv(csv_path);
     csv.write_row({"run", "estimated_utility", "true_utility",
-                   "estimation_error", "total_payment", "assignments"});
+                   "estimation_error", "total_payment", "assignments",
+                   "no_shows", "churned_out", "scores_dropped",
+                   "scores_corrupted"});
     for (const auto& r : records) {
       csv.write_numeric_row({static_cast<double>(r.run),
                              static_cast<double>(r.estimated_utility),
                              static_cast<double>(r.true_utility),
                              r.estimation_error, r.total_payment,
-                             static_cast<double>(r.assignments)});
+                             static_cast<double>(r.assignments),
+                             static_cast<double>(r.no_shows),
+                             static_cast<double>(r.churned_out),
+                             static_cast<double>(r.scores_dropped),
+                             static_cast<double>(r.scores_corrupted)});
     }
   }
 
-  if (!quiet) {
+  if (!quiet && !records.empty()) {
     util::TablePrinter table({"run", "true utility", "est. error", "payment"});
-    const int step = std::max(1, scenario.runs / 20);
-    for (int r = step - 1; r < scenario.runs; r += step) {
-      const auto& record = records[static_cast<std::size_t>(r)];
+    const std::size_t step =
+        std::max<std::size_t>(1, records.size() / 20);
+    for (std::size_t k = step - 1; k < records.size(); k += step) {
+      const auto& record = records[k];
       table.add_row(std::to_string(record.run),
                     {static_cast<double>(record.true_utility),
                      record.estimation_error, record.total_payment},
@@ -200,10 +269,17 @@ int main(int argc, char** argv) {
   }
 
   const auto summary = sim::summarize(records);
-  std::printf("\nsummary over %d runs (%s estimator, %d thread%s):\n",
-              scenario.runs, estimator_name.c_str(),
+  std::printf("\nsummary over %zu runs (%s estimator, %d thread%s):\n",
+              records.size(), estimator_name.c_str(),
               util::shared_thread_count(),
               util::shared_thread_count() == 1 ? "" : "s");
+  if (first_run > 1) {
+    std::printf("  resumed at run %d from %s\n", first_run,
+                resume_path.c_str());
+  }
+  if (platform.fault_plan().active()) {
+    std::printf("  fault plan: %s\n", platform.fault_plan().describe().c_str());
+  }
   std::printf("  mean true utility:      %.2f\n", summary.mean_true_utility);
   std::printf("  mean estimated utility: %.2f\n",
               summary.mean_estimated_utility);
@@ -212,6 +288,9 @@ int main(int argc, char** argv) {
   std::printf("  mean total payment:     %.2f (budget %.2f)\n",
               summary.mean_total_payment, scenario.budget);
   if (!csv_path.empty()) std::printf("  per-run CSV: %s\n", csv_path.c_str());
+  if (!checkpoint_path.empty()) {
+    std::printf("  checkpoint: %s\n", checkpoint_path.c_str());
+  }
   if (metrics_sink != nullptr) {
     std::printf("  metrics JSON-lines: %s (%zu lines)\n", metrics_path.c_str(),
                 metrics_sink->lines_written());
