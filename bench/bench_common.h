@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <initializer_list>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -25,6 +27,18 @@
 #include "util/csv.h"
 
 namespace melody::bench {
+
+/// Where a bench artifact lands: bare file names resolve into the ignored
+/// "out/" directory (created on demand, best-effort) so generated CSVs and
+/// metric sidecars never litter the repo root; a name that already carries
+/// a directory is used as given.
+inline std::string artifact_path(const std::string& name) {
+  if (name.find('/') != std::string::npos) return name;
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);  // failure -> CsvWriter
+                                                   // reports, mirror off
+  return "out/" + name;
+}
 
 /// CSV mirror for one figure/table. Construction opens the file and writes
 /// the header; an unwritable working directory disables the mirror (a note
@@ -48,18 +62,19 @@ class Reporter {
     if (columns_ == 0) {
       throw std::logic_error("bench::Reporter: empty header for " + csv_name);
     }
+    const std::string resolved = artifact_path(csv_name);
     try {
-      csv_ = std::make_unique<util::CsvWriter>(csv_name);
+      csv_ = std::make_unique<util::CsvWriter>(resolved);
       csv_->write_row(header);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "note: CSV mirror disabled (%s)\n", e.what());
       csv_ = nullptr;
     }
     if (options.metrics_sidecar) {
-      const std::string stem = csv_name.size() >= 4 &&
-                                       csv_name.ends_with(".csv")
-                                   ? csv_name.substr(0, csv_name.size() - 4)
-                                   : csv_name;
+      const std::string stem = resolved.size() >= 4 &&
+                                       resolved.ends_with(".csv")
+                                   ? resolved.substr(0, resolved.size() - 4)
+                                   : resolved;
       try {
         sink_ = std::make_unique<obs::JsonLinesSink>(stem + ".metrics.json");
         obs::set_sink(sink_.get());

@@ -230,6 +230,13 @@ std::vector<RunRecord> Platform::run_all() {
   return records;
 }
 
+const SimWorker* Platform::find_worker(auction::WorkerId id) const noexcept {
+  for (const SimWorker& w : workers_) {
+    if (w.id() == id) return &w;
+  }
+  return nullptr;
+}
+
 double Platform::worker_total_utility(auction::WorkerId id) const {
   const auto it = total_utility_.find(id);
   return it == total_utility_.end() ? 0.0 : it->second;

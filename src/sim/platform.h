@@ -64,6 +64,25 @@ class Platform {
   /// 1-based index of the next run to execute.
   int current_run() const noexcept { return run_ + 1; }
 
+  /// True once every scheduled run of the scenario has executed. step() may
+  /// legally be called past this point (trajectories hold their last value,
+  /// tasks keep being sampled) — long-running services outlive the scripted
+  /// horizon — but run_all() and the batch tools stop here.
+  bool finished() const noexcept { return run_ >= scenario_.runs; }
+
+  /// The scenario this platform was constructed with (incremental drivers
+  /// need the run horizon and per-run budget without carrying a copy).
+  const LongTermScenario& scenario() const noexcept { return scenario_; }
+
+  /// The master seed all per-(worker, run) streams derive from. Exposed so
+  /// online drivers can mint deterministic sub-streams (e.g. newcomer
+  /// trajectories) in the same key space as the simulation itself.
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+  /// The worker with the given id, or nullptr (linear scan — registration
+  /// and queries, not hot paths).
+  const SimWorker* find_worker(auction::WorkerId id) const noexcept;
+
   /// Cumulative true utility a worker has accrued so far (Definition 1).
   /// An id the platform has never seen — unregistered, or registered but
   /// never stepped — returns 0.0: a worker who never participated earned

@@ -1,0 +1,87 @@
+// ServiceLoop: the single consumer thread behind the bounded request queue.
+// Producers (connection handlers, the stdio driver, tests) call try_submit
+// from any thread; it never blocks. When the queue is full the submission is
+// rejected immediately and the caller sends the client an "overloaded"
+// response carrying retry_after_ms — backpressure is explicit and visible
+// on the wire, never an unbounded buffer or a silent stall.
+//
+// The loop thread is the only thread that touches the AuctionService. In
+// real-clock mode it feeds the service clock from a steady_clock epoch and
+// wakes early for the batcher's deadline trigger, so max_delay batches fire
+// even while no requests arrive.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "svc/protocol.h"
+#include "svc/queue.h"
+#include "svc/service.h"
+
+namespace melody::svc {
+
+/// One queued request plus the completion callback that delivers its
+/// response. The callback runs on the loop thread; it must be cheap and
+/// must not call back into the loop.
+struct Envelope {
+  Request request;
+  std::function<void(const Response&)> done;
+};
+
+class ServiceLoop {
+ public:
+  ServiceLoop(AuctionService& service, std::size_t queue_capacity)
+      : service_(service), queue_(queue_capacity) {}
+
+  /// Enqueue a request from any thread. kFull / kClosed results mean the
+  /// request was NOT accepted and `done` will never run — the caller should
+  /// send `rejection(...)` to the client instead.
+  PushResult try_submit(Request request,
+                        std::function<void(const Response&)> done);
+
+  /// The client-facing response for a failed try_submit: "overloaded" with
+  /// a retry_after_ms hint sized to the queue, or a terminal "shutting
+  /// down" once the queue is closed.
+  Response rejection(PushResult result, const Request& request) const;
+
+  /// Run until shutdown is requested and the queue has drained. Call from
+  /// the dedicated loop thread.
+  void run();
+
+  /// Process at most one queued envelope, waiting up to `timeout` for one,
+  /// then fire any due batches. Returns true if an envelope was processed.
+  /// This is run()'s body factored out for single-threaded drivers (the
+  /// stdio session, tests).
+  bool poll_once(std::chrono::nanoseconds timeout);
+
+  /// Stop accepting new requests; queued envelopes still drain.
+  void close() { queue_.close(); }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const noexcept { return queue_.capacity(); }
+  AuctionService& service() noexcept { return service_; }
+
+ private:
+  void process(Envelope& envelope);
+
+  AuctionService& service_;
+  BoundedQueue<Envelope> queue_;
+};
+
+/// Outcome tallies of one stdio session (melody_serve --stdin).
+struct StdioResult {
+  std::size_t requests = 0;      // lines parsed and applied
+  std::size_t parse_errors = 0;  // lines answered with a protocol error
+  std::size_t rejected = 0;      // lines rejected by backpressure
+  bool shutdown = false;         // session ended via a shutdown op
+};
+
+/// Drive a service from line-delimited requests on `in`, one response line
+/// on `out` per request, in order. Single-threaded: every line goes through
+/// try_submit + poll_once, exercising the same queue/backpressure path as
+/// the TCP server. Returns at EOF or after a shutdown op.
+StdioResult run_stdio_session(ServiceLoop& loop, std::istream& in,
+                              std::ostream& out);
+
+}  // namespace melody::svc

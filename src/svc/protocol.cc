@@ -1,0 +1,169 @@
+#include "svc/protocol.h"
+
+#include <cmath>
+
+namespace melody::svc {
+
+namespace {
+
+constexpr struct {
+  Op op;
+  std::string_view name;
+} kOps[] = {
+    {Op::kHello, "hello"},
+    {Op::kSubmitBid, "submit_bid"},
+    {Op::kSubmitTasks, "submit_tasks"},
+    {Op::kPostScores, "post_scores"},
+    {Op::kQueryWorker, "query_worker"},
+    {Op::kQueryRun, "query_run"},
+    {Op::kRunNow, "run_now"},
+    {Op::kTick, "tick"},
+    {Op::kStats, "stats"},
+    {Op::kCheckpoint, "checkpoint"},
+    {Op::kShutdown, "shutdown"},
+};
+
+Op op_from(const std::string& name) {
+  for (const auto& entry : kOps) {
+    if (entry.name == name) return entry.op;
+  }
+  throw WireError("protocol: unknown op '" + name + "'");
+}
+
+int int_field(const WireObject& object, std::string_view key, int fallback) {
+  const double value = object.number_or(key, fallback);
+  if (value != std::floor(value)) {
+    throw WireError("protocol: field " + std::string(key) +
+                    " must be an integer");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string_view to_string(Op op) noexcept {
+  for (const auto& entry : kOps) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+Request parse_request(std::string_view line) {
+  const WireObject object = parse_wire(line);
+  Request request;
+  request.op = op_from(object.text("op"));
+  request.id = static_cast<std::int64_t>(object.number_or("id", 0.0));
+  switch (request.op) {
+    case Op::kSubmitBid:
+      request.worker = object.text("worker");
+      request.has_bid = object.has("cost") || object.has("frequency");
+      request.cost = object.number_or("cost", 0.0);
+      request.frequency = int_field(object, "frequency", 0);
+      break;
+    case Op::kSubmitTasks:
+      request.task_count = int_field(object, "count", 0);
+      request.budget = object.number_or("budget", 0.0);
+      break;
+    case Op::kPostScores:
+      request.worker = object.text("worker");
+      request.scores = object.number_list("scores");
+      break;
+    case Op::kQueryWorker:
+      request.worker = object.text("worker");
+      break;
+    case Op::kQueryRun:
+      request.run = int_field(object, "run", 0);
+      break;
+    case Op::kTick:
+      request.seconds = object.number("seconds");
+      break;
+    case Op::kCheckpoint:
+      request.path = object.text_or("path", "");
+      break;
+    case Op::kHello:
+    case Op::kRunNow:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  return request;
+}
+
+std::string format_request(const Request& request) {
+  WireObject object;
+  object.set("op", WireValue::of(std::string(to_string(request.op))));
+  if (request.id != 0) object.set("id", WireValue::of(request.id));
+  switch (request.op) {
+    case Op::kSubmitBid:
+      object.set("worker", WireValue::of(request.worker));
+      if (request.has_bid) {
+        object.set("cost", WireValue::of(request.cost));
+        object.set("frequency",
+                   WireValue::of(static_cast<std::int64_t>(request.frequency)));
+      }
+      break;
+    case Op::kSubmitTasks:
+      object.set("count",
+                 WireValue::of(static_cast<std::int64_t>(request.task_count)));
+      object.set("budget", WireValue::of(request.budget));
+      break;
+    case Op::kPostScores:
+      object.set("worker", WireValue::of(request.worker));
+      object.set("scores", WireValue::of(request.scores));
+      break;
+    case Op::kQueryWorker:
+      object.set("worker", WireValue::of(request.worker));
+      break;
+    case Op::kQueryRun:
+      object.set("run", WireValue::of(static_cast<std::int64_t>(request.run)));
+      break;
+    case Op::kTick:
+      object.set("seconds", WireValue::of(request.seconds));
+      break;
+    case Op::kCheckpoint:
+      if (!request.path.empty()) {
+        object.set("path", WireValue::of(request.path));
+      }
+      break;
+    case Op::kHello:
+    case Op::kRunNow:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  return format_wire(object);
+}
+
+std::string format_response(const Response& response) {
+  WireObject object;
+  object.set("ok", WireValue::of(response.ok));
+  if (response.id != 0) object.set("id", WireValue::of(response.id));
+  if (!response.ok) object.set("error", WireValue::of(response.error));
+  if (response.retry_after_ms > 0) {
+    object.set("retry_after_ms", WireValue::of(response.retry_after_ms));
+  }
+  for (const auto& [key, value] : response.fields.entries()) {
+    object.set(key, value);
+  }
+  return format_wire(object);
+}
+
+Response parse_response(std::string_view line) {
+  const WireObject object = parse_wire(line);
+  Response response;
+  response.ok = object.boolean_or("ok", false);
+  response.id = static_cast<std::int64_t>(object.number_or("id", 0.0));
+  response.error = object.text_or("error", "");
+  response.retry_after_ms =
+      static_cast<std::int64_t>(object.number_or("retry_after_ms", 0.0));
+  for (const auto& [key, value] : object.entries()) {
+    if (key == "ok" || key == "id" || key == "error" ||
+        key == "retry_after_ms") {
+      continue;
+    }
+    response.fields.set(key, value);
+  }
+  return response;
+}
+
+}  // namespace melody::svc

@@ -1,0 +1,110 @@
+// Typed request/response schema of the service wire protocol, layered on
+// the flat-JSON codec in svc/wire.h. One request line in, one response line
+// out, in order, per client.
+//
+// Request lines:
+//   {"op":"hello","id":1}
+//   {"op":"submit_bid","id":2,"worker":"w17","cost":1.4,"frequency":3}
+//   {"op":"submit_tasks","id":3,"count":500,"budget":800}
+//   {"op":"post_scores","id":4,"worker":"w17","scores":[6.5,7.1]}
+//   {"op":"query_worker","id":5,"worker":"w17"}
+//   {"op":"query_run","id":6,"run":12}
+//   {"op":"run_now","id":7}
+//   {"op":"tick","id":8,"seconds":0.25}
+//   {"op":"stats","id":9}
+//   {"op":"checkpoint","id":10,"path":"svc.ckpt"}
+//   {"op":"shutdown","id":11}
+//
+// Response lines always carry "ok" plus the echoed "id" (when the request
+// had one). Failures carry "error"; overload rejections additionally carry
+// "retry_after_ms" — the client-visible half of the backpressure contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/wire.h"
+
+namespace melody::svc {
+
+enum class Op {
+  kHello,
+  kSubmitBid,
+  kSubmitTasks,
+  kPostScores,
+  kQueryWorker,
+  kQueryRun,
+  kRunNow,
+  kTick,
+  kStats,
+  kCheckpoint,
+  kShutdown,
+};
+
+std::string_view to_string(Op op) noexcept;
+
+/// One parsed client request. Fields are meaningful per op (see the schema
+/// above); unused fields keep their defaults.
+struct Request {
+  Op op = Op::kHello;
+  std::int64_t id = 0;      // client correlation id; 0 = none
+  std::string worker;       // submit_bid / post_scores / query_worker
+  double cost = 0.0;        // submit_bid (newcomer registration)
+  int frequency = 0;        // submit_bid (newcomer registration)
+  bool has_bid = false;     // true when cost/frequency were present
+  int task_count = 0;       // submit_tasks
+  double budget = 0.0;      // submit_tasks (budget-accumulation trigger)
+  std::vector<double> scores;  // post_scores
+  int run = 0;              // query_run
+  double seconds = 0.0;     // tick
+  std::string path;         // checkpoint
+
+  bool operator==(const Request&) const = default;
+};
+
+/// One response under construction. `fields` carries the op-specific
+/// payload; ok/error/retry_after_ms render first so failures are obvious
+/// even when eyeballing raw logs.
+struct Response {
+  bool ok = true;
+  std::int64_t id = 0;
+  std::string error;          // set when !ok
+  std::int64_t retry_after_ms = 0;  // > 0 only on overload rejections
+  WireObject fields;
+
+  static Response success(std::int64_t id) {
+    Response r;
+    r.id = id;
+    return r;
+  }
+  static Response failure(std::int64_t id, std::string message) {
+    Response r;
+    r.ok = false;
+    r.id = id;
+    r.error = std::move(message);
+    return r;
+  }
+  static Response overloaded(std::int64_t id, std::int64_t retry_after_ms) {
+    Response r = failure(id, "overloaded");
+    r.retry_after_ms = retry_after_ms;
+    return r;
+  }
+};
+
+/// Parse one request line. Throws WireError on malformed JSON, an unknown
+/// op, or missing/mistyped required fields.
+Request parse_request(std::string_view line);
+
+/// Render a request as one wire line (load generator, trace recording).
+/// parse_request(format_request(r)) == r for every valid request.
+std::string format_request(const Request& request);
+
+/// Render a response as one wire line (no trailing newline).
+std::string format_response(const Response& response);
+
+/// Parse a response line back into its parts (load generator, tests).
+Response parse_response(std::string_view line);
+
+}  // namespace melody::svc

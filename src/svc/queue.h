@@ -1,0 +1,99 @@
+// Thread-safe bounded MPSC queue feeding the service event loop.
+//
+// Producers (connection handlers, the stdio driver) call try_push, which
+// NEVER blocks: a full queue is reported to the caller so it can answer the
+// client with an explicit overload rejection (backpressure) instead of
+// stalling the socket and hiding the pressure from everyone. The single
+// consumer (the event loop) pops with a timeout so it can interleave
+// deadline-triggered batching and shutdown checks with request processing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace melody::svc {
+
+enum class PushResult {
+  kOk,      // enqueued; the consumer will see it
+  kFull,    // at capacity — reject the request with retry-after
+  kClosed,  // queue closed (shutdown in progress) — reject permanently
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity must be at least 1; a zero-capacity queue could never accept.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue with explicit backpressure.
+  PushResult try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking dequeue with timeout. Returns nullopt on timeout, or when the
+  /// queue was closed and fully drained (check closed() to tell apart).
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_for(lock, timeout,
+                    [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking dequeue (tests, drain loops).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop accepting new items; queued items remain poppable (drain).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace melody::svc

@@ -1,0 +1,530 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "estimators/melody_estimator.h"
+#include "estimators/ml_ar_estimator.h"
+#include "estimators/ml_cr_estimator.h"
+#include "estimators/static_estimator.h"
+#include "lds/gaussian.h"
+#include "obs/metrics.h"
+#include "sim/trajectory.h"
+#include "util/binio.h"
+#include "util/rng.h"
+
+namespace melody::svc {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'D', 'Y', 'S', 'V', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+// Sub-stream salt for newcomer trajectories: outside the per-(worker, run)
+// key space Platform::step() uses (runs are small positive integers), so a
+// newcomer's curve never aliases a score stream.
+constexpr std::uint64_t kNewcomerSalt = 0x4E45'5743'6A6F'696Eull;  // "NEWCjoin"
+namespace binio = util::binio;
+
+WireValue of_int(std::int64_t v) { return WireValue::of(v); }
+
+ServiceConfig normalize(ServiceConfig config) {
+  if (config.scenario.num_workers <= 0 || config.scenario.num_tasks <= 0 ||
+      config.scenario.runs <= 0 || config.scenario.budget < 0.0) {
+    throw std::invalid_argument(
+        "svc: workers/tasks/runs must be positive, budget non-negative");
+  }
+  if (config.checkpoint_every < 0) {
+    throw std::invalid_argument("svc: checkpoint_every must be non-negative");
+  }
+  if (config.checkpoint_every > 0 && config.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "svc: checkpoint_every requires a checkpoint path");
+  }
+  // No trigger configured: one run per full participation round, matching
+  // the batch simulator's every-worker-bids-every-run model.
+  if (!config.batch.active()) {
+    config.batch.min_bids = config.scenario.num_workers;
+  }
+  return config;
+}
+
+}  // namespace
+
+std::unique_ptr<estimators::QualityEstimator> make_estimator(
+    const std::string& name, const sim::LongTermScenario& scenario,
+    double exploration_beta) {
+  if (name == "static") {
+    return std::make_unique<estimators::StaticEstimator>(scenario.initial_mu,
+                                                         50);
+  }
+  if (name == "ml-cr") {
+    return std::make_unique<estimators::MlCurrentRunEstimator>(
+        scenario.initial_mu);
+  }
+  if (name == "ml-ar") {
+    return std::make_unique<estimators::MlAllRunsEstimator>(
+        scenario.initial_mu);
+  }
+  if (name == "melody") {
+    estimators::MelodyEstimatorConfig config;
+    config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
+    config.reestimation_period = scenario.reestimation_period;
+    config.exploration_beta = exploration_beta;
+    return std::make_unique<estimators::MelodyEstimator>(config);
+  }
+  return nullptr;
+}
+
+AuctionService::AuctionService(ServiceConfig config)
+    : config_(normalize(std::move(config))),
+      mechanism_(config_.payment_rule),
+      estimator_(make_estimator(config_.estimator, config_.scenario,
+                                config_.exploration_beta)),
+      batcher_(config_.batch) {
+  if (estimator_ == nullptr) {
+    throw std::invalid_argument(
+        "svc: estimator must be one of melody|static|ml-cr|ml-ar");
+  }
+  // Mirror melody_sim's construction exactly (same seed derivations) so a
+  // manual-clock trace reproduces the batch run bit for bit.
+  util::Rng population_rng(config_.seed);
+  platform_.emplace(
+      config_.scenario, mechanism_, *estimator_,
+      sim::sample_population(config_.scenario.population_config(),
+                             population_rng),
+      config_.seed + 1);
+  if (config_.faults.active()) platform_->set_fault_plan(config_.faults);
+  for (const sim::SimWorker& w : platform_->workers()) {
+    registry_.bind("w" + std::to_string(w.id()), w.id());
+  }
+  first_session_run_ = platform_->current_run();
+}
+
+void AuctionService::restore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("svc: cannot open checkpoint: " + path);
+  load_state(in);
+}
+
+Response AuctionService::apply(const Request& request) {
+  ++requests_total_;
+  if (obs::enabled()) {
+    static obs::Counter& requests = obs::registry().counter("svc/requests");
+    requests.add();
+  }
+  obs::ScopedTimer timer(obs::timer_if_enabled("svc/request_time"));
+  try {
+    return dispatch(request);
+  } catch (const std::exception& e) {
+    return Response::failure(request.id, e.what());
+  }
+}
+
+Response AuctionService::dispatch(const Request& request) {
+  Response response = Response::success(request.id);
+  switch (request.op) {
+    case Op::kHello:
+      handle_hello(response);
+      break;
+    case Op::kSubmitBid:
+      handle_submit_bid(request, response);
+      break;
+    case Op::kSubmitTasks:
+      handle_submit_tasks(request, response);
+      break;
+    case Op::kPostScores:
+      handle_post_scores(request, response);
+      break;
+    case Op::kQueryWorker:
+      handle_query_worker(request, response);
+      break;
+    case Op::kQueryRun:
+      handle_query_run(request, response);
+      break;
+    case Op::kRunNow: {
+      const int batch = batcher_.pending_bids();
+      batcher_.consume(now_);
+      execute_one_run(batch);
+      response.fields.set("runs_executed", of_int(1));
+      response.fields.set("run", of_int(platform_->current_run() - 1));
+      break;
+    }
+    case Op::kTick:
+      if (!config_.manual_clock) {
+        response = Response::failure(
+            request.id, "tick: service is on the real clock (manual-clock "
+                        "mode only)");
+        break;
+      }
+      if (!(request.seconds >= 0.0)) {
+        response = Response::failure(request.id,
+                                     "tick: seconds must be non-negative");
+        break;
+      }
+      now_ += request.seconds;
+      execute_due_runs(&response);
+      response.fields.set("now", WireValue::of(now_));
+      break;
+    case Op::kStats:
+      handle_stats(response);
+      break;
+    case Op::kCheckpoint:
+      handle_checkpoint(request, response);
+      break;
+    case Op::kShutdown:
+      request_shutdown();
+      finalize();
+      response.fields.set("runs_total", of_int(platform_->current_run() - 1));
+      if (!config_.checkpoint_path.empty()) {
+        response.fields.set("checkpoint",
+                            WireValue::of(config_.checkpoint_path));
+      }
+      break;
+  }
+  return response;
+}
+
+void AuctionService::handle_hello(Response& response) {
+  response.fields.set("service", WireValue::of("melody_svc"));
+  response.fields.set("protocol", of_int(1));
+  response.fields.set("estimator", WireValue::of(estimator_->name()));
+  response.fields.set("next_run", of_int(platform_->current_run()));
+  response.fields.set("scenario_runs", of_int(config_.scenario.runs));
+  response.fields.set("workers", of_int(static_cast<std::int64_t>(
+                                     platform_->workers().size())));
+  response.fields.set("manual_clock", WireValue::of(config_.manual_clock));
+  response.fields.set("min_bids", of_int(config_.batch.min_bids));
+  response.fields.set("max_delay", WireValue::of(config_.batch.max_delay));
+  response.fields.set("budget_target",
+                      WireValue::of(config_.batch.budget_target));
+}
+
+void AuctionService::handle_submit_bid(const Request& request,
+                                       Response& response) {
+  if (request.worker.empty()) {
+    response = Response::failure(request.id, "submit_bid: worker required");
+    return;
+  }
+  const auto existing = registry_.find(request.worker);
+  auction::WorkerId id = 0;
+  bool created = false;
+  if (existing.has_value()) {
+    id = *existing;
+  } else {
+    if (!request.has_bid) {
+      response = Response::failure(
+          request.id, "submit_bid: unknown worker \"" + request.worker +
+                          "\" (newcomers must carry cost and frequency)");
+      return;
+    }
+    if (!std::isfinite(request.cost) || request.cost <= 0.0 ||
+        request.frequency < 1) {
+      response = Response::failure(
+          request.id,
+          "submit_bid: newcomer needs cost > 0 and frequency >= 1");
+      return;
+    }
+    id = registry_.intern(request.worker, &created);
+    // A newcomer's latent trajectory is sampled from the scenario mix out
+    // of a dedicated counter-based stream keyed by his dense id, so joining
+    // order and timing never perturb anyone else's randomness.
+    util::Rng stream(util::derive_stream(platform_->master_seed(),
+                                         kNewcomerSalt,
+                                         static_cast<std::uint64_t>(id)));
+    const sim::TrajectoryKind kind =
+        sim::sample_kind(config_.scenario.mix, stream);
+    const sim::TrajectoryConfig trajectory =
+        sim::sample_config(kind, config_.scenario.runs, stream);
+    platform_->add_worker(sim::SimWorker(
+        id, auction::Bid{request.cost, request.frequency},
+        sim::generate_trajectory(trajectory, config_.scenario.runs, stream)));
+  }
+  registry_.count_bid(id);
+  batcher_.note_bid(now_);
+  response.fields.set("worker", WireValue::of(request.worker));
+  response.fields.set("internal_id", of_int(id));
+  if (created) response.fields.set("registered", WireValue::of(true));
+  execute_due_runs(&response);
+  response.fields.set("pending_bids", of_int(batcher_.pending_bids()));
+}
+
+void AuctionService::handle_submit_tasks(const Request& request,
+                                         Response& response) {
+  if (request.task_count < 0) {
+    response = Response::failure(request.id,
+                                 "submit_tasks: count must be non-negative");
+    return;
+  }
+  if (!std::isfinite(request.budget) || request.budget < 0.0) {
+    response = Response::failure(
+        request.id, "submit_tasks: budget must be finite and non-negative");
+    return;
+  }
+  batcher_.note_budget(request.budget);
+  execute_due_runs(&response);
+  response.fields.set("accrued_budget",
+                      WireValue::of(batcher_.accrued_budget()));
+  response.fields.set("pending_bids", of_int(batcher_.pending_bids()));
+}
+
+void AuctionService::handle_post_scores(const Request& request,
+                                        Response& response) {
+  const auto id = registry_.find(request.worker);
+  if (!id.has_value()) {
+    response = Response::failure(
+        request.id, "post_scores: unknown worker \"" + request.worker + "\"");
+    return;
+  }
+  if (request.scores.empty()) {
+    response =
+        Response::failure(request.id, "post_scores: scores must be non-empty");
+    return;
+  }
+  for (const double s : request.scores) {
+    if (!std::isfinite(s)) {
+      response =
+          Response::failure(request.id, "post_scores: scores must be finite");
+      return;
+    }
+  }
+  // Out-of-band observation: advances this worker's estimator chain by one
+  // step, exactly like one platform run's worth of scores. Traces that must
+  // stay bit-identical to a batch run simply do not use this op.
+  estimator_->observe(*id, lds::ScoreSet::from(request.scores));
+  if (obs::enabled()) {
+    static obs::Counter& posted =
+        obs::registry().counter("svc/out_of_band_scores");
+    posted.add(request.scores.size());
+  }
+  response.fields.set("worker", WireValue::of(request.worker));
+  response.fields.set("scores", of_int(static_cast<std::int64_t>(
+                                    request.scores.size())));
+  response.fields.set("estimate", WireValue::of(estimator_->estimate(*id)));
+}
+
+void AuctionService::handle_query_worker(const Request& request,
+                                         Response& response) {
+  const auto id = registry_.find(request.worker);
+  if (!id.has_value()) {
+    response = Response::failure(
+        request.id, "query_worker: unknown worker \"" + request.worker + "\"");
+    return;
+  }
+  response.fields.set("worker", WireValue::of(request.worker));
+  response.fields.set("internal_id", of_int(*id));
+  response.fields.set("estimate", WireValue::of(estimator_->estimate(*id)));
+  response.fields.set("total_utility",
+                      WireValue::of(platform_->worker_total_utility(*id)));
+  response.fields.set("bids_submitted", of_int(static_cast<std::int64_t>(
+                                            registry_.bids_submitted(*id))));
+}
+
+void AuctionService::handle_query_run(const Request& request,
+                                      Response& response) {
+  const int first = first_session_run_;
+  const int last = first + static_cast<int>(records_.size()) - 1;
+  if (request.run < 1) {
+    response = Response::failure(request.id, "query_run: run is 1-based");
+    return;
+  }
+  if (request.run < first) {
+    response = Response::failure(
+        request.id, "query_run: run " + std::to_string(request.run) +
+                        " predates this session (run records are not part of "
+                        "a checkpoint)");
+    return;
+  }
+  if (request.run > last) {
+    response = Response::failure(
+        request.id, "query_run: run " + std::to_string(request.run) +
+                        " has not executed yet");
+    return;
+  }
+  const sim::RunRecord& r =
+      records_[static_cast<std::size_t>(request.run - first)];
+  response.fields.set("run", of_int(r.run));
+  response.fields.set("estimated_utility",
+                      of_int(static_cast<std::int64_t>(r.estimated_utility)));
+  response.fields.set("true_utility",
+                      of_int(static_cast<std::int64_t>(r.true_utility)));
+  response.fields.set("estimation_error", WireValue::of(r.estimation_error));
+  response.fields.set("total_payment", WireValue::of(r.total_payment));
+  response.fields.set("assignments",
+                      of_int(static_cast<std::int64_t>(r.assignments)));
+  response.fields.set("qualified_workers",
+                      of_int(static_cast<std::int64_t>(r.qualified_workers)));
+  if (platform_->fault_plan().active()) {
+    response.fields.set("no_shows",
+                        of_int(static_cast<std::int64_t>(r.no_shows)));
+    response.fields.set("churned_out",
+                        of_int(static_cast<std::int64_t>(r.churned_out)));
+    response.fields.set("scores_dropped",
+                        of_int(static_cast<std::int64_t>(r.scores_dropped)));
+    response.fields.set(
+        "scores_corrupted",
+        of_int(static_cast<std::int64_t>(r.scores_corrupted)));
+  }
+}
+
+void AuctionService::handle_stats(Response& response) {
+  response.fields.set("next_run", of_int(platform_->current_run()));
+  response.fields.set("runs_total", of_int(platform_->current_run() - 1));
+  response.fields.set("runs_this_session",
+                      of_int(static_cast<std::int64_t>(records_.size())));
+  response.fields.set("pending_bids", of_int(batcher_.pending_bids()));
+  response.fields.set("accrued_budget",
+                      WireValue::of(batcher_.accrued_budget()));
+  response.fields.set("workers", of_int(static_cast<std::int64_t>(
+                                     platform_->workers().size())));
+  response.fields.set("sessions",
+                      of_int(static_cast<std::int64_t>(registry_.size())));
+  response.fields.set("requests",
+                      of_int(static_cast<std::int64_t>(requests_total_)));
+  response.fields.set("overload_rejects",
+                      of_int(static_cast<std::int64_t>(overload_rejects_)));
+  response.fields.set("queue_depth",
+                      of_int(static_cast<std::int64_t>(last_queue_depth_)));
+  response.fields.set("finished", WireValue::of(platform_->finished()));
+}
+
+void AuctionService::handle_checkpoint(const Request& request,
+                                       Response& response) {
+  const std::string& path =
+      request.path.empty() ? config_.checkpoint_path : request.path;
+  if (path.empty()) {
+    response = Response::failure(
+        request.id,
+        "checkpoint: no path in the request and none configured");
+    return;
+  }
+  write_checkpoint(path);
+  response.fields.set("path", WireValue::of(path));
+  response.fields.set("run", of_int(platform_->current_run() - 1));
+}
+
+int AuctionService::execute_due_runs(Response* response) {
+  int executed = 0;
+  while (batcher_.should_fire(now_)) {
+    const int batch = batcher_.pending_bids();
+    batcher_.consume(now_);
+    execute_one_run(batch);
+    ++executed;
+  }
+  if (executed > 0 && response != nullptr) {
+    response->fields.set("runs_executed", of_int(executed));
+    response->fields.set("run", of_int(platform_->current_run() - 1));
+  }
+  return executed;
+}
+
+void AuctionService::execute_one_run(int batch_bids) {
+  {
+    obs::ScopedTimer timer(obs::timer_if_enabled("svc/run_time"));
+    records_.push_back(platform_->step());
+  }
+  if (obs::enabled()) {
+    static obs::Counter& runs = obs::registry().counter("svc/runs");
+    static obs::Summary& batch = obs::registry().summary("svc/batch_size");
+    runs.add();
+    batch.record(batch_bids);
+  }
+  const int run = records_.back().run;
+  if (config_.checkpoint_every > 0 && run % config_.checkpoint_every == 0) {
+    write_checkpoint(config_.checkpoint_path);
+  }
+  if (config_.exit_after_runs > 0 &&
+      static_cast<int>(records_.size()) >= config_.exit_after_runs) {
+    shutdown_requested_ = true;
+  }
+}
+
+int AuctionService::poll_batches() { return execute_due_runs(nullptr); }
+
+void AuctionService::advance_clock(double seconds_since_start) {
+  if (config_.manual_clock) return;
+  now_ = std::max(now_, seconds_since_start);
+}
+
+double AuctionService::seconds_until_deadline() const noexcept {
+  return batcher_.seconds_until_deadline(now_);
+}
+
+void AuctionService::note_queue_depth(std::size_t depth) {
+  last_queue_depth_ = depth;
+  if (obs::enabled()) {
+    static obs::Gauge& gauge = obs::registry().gauge("svc/queue_depth");
+    gauge.set(static_cast<double>(depth));
+  }
+}
+
+void AuctionService::note_overload_reject() {
+  ++overload_rejects_;
+  if (obs::enabled()) {
+    static obs::Counter& rejects =
+        obs::registry().counter("svc/overload_rejects");
+    rejects.add();
+  }
+}
+
+void AuctionService::finalize() {
+  if (finalized_) return;
+  if (!config_.checkpoint_path.empty()) {
+    write_checkpoint(config_.checkpoint_path);
+  }
+  finalized_ = true;
+}
+
+void AuctionService::save_state(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  binio::write_u32(out, kVersion);
+  binio::write_f64(out, now_);
+  binio::write_i32(out, batcher_.pending_bids());
+  binio::write_f64(out, batcher_.oldest_bid_time());
+  binio::write_f64(out, batcher_.accrued_budget());
+  registry_.save(out);
+  platform_->save(out);
+  if (!out) throw std::runtime_error("svc: checkpoint write failure");
+}
+
+void AuctionService::load_state(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof magic) ||
+      !std::equal(magic, magic + sizeof magic, kMagic)) {
+    throw std::runtime_error("svc: bad checkpoint magic");
+  }
+  const std::uint32_t version = binio::read_u32(in, "svc version");
+  if (version != kVersion) {
+    throw std::runtime_error("svc: unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  const double now = binio::read_f64(in, "svc clock");
+  const int pending = binio::read_i32(in, "svc pending bids");
+  const double oldest = binio::read_f64(in, "svc oldest bid time");
+  const double accrued = binio::read_f64(in, "svc accrued budget");
+  registry_.load(in);
+  platform_->load(in);
+  now_ = now;
+  batcher_.restore(pending, oldest, accrued);
+  first_session_run_ = platform_->current_run();
+  records_.clear();
+  finalized_ = false;
+}
+
+void AuctionService::write_checkpoint(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("svc: cannot open " + tmp);
+    save_state(out);
+    out.flush();
+    if (!out) throw std::runtime_error("svc: write failure on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("svc: cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace melody::svc

@@ -1,0 +1,160 @@
+// AuctionService: the online serving runtime around sim::Platform. One
+// instance owns the full mechanism/estimator/platform stack and is driven
+// by a single thread (the event loop in svc/loop.h, or a test calling
+// apply() directly); thread-safety lives in the queue in front of it, not
+// here.
+//
+// Execution model: requests mutate accumulation state (pending bids via the
+// session registry + RunBatcher, accrued budget), and whenever the batch
+// policy fires the service executes Platform::step() — the same auction →
+// scoring → estimator-update pipeline the batch tools run, through the same
+// AuctionContext entry point. With the service in manual-clock mode
+// (--stdin traces, tests) every run outcome is a pure function of the
+// request trace, bit-identical to the equivalent melody_sim batch run.
+//
+// Checkpoints wrap the PR-3 platform snapshot with the service-level state
+// (logical clock, batcher accumulation, session registry) under the magic
+// "MLDYSVCK"; writes are atomic (tmp + rename). Run records are not part of
+// a checkpoint — query_run over pre-resume runs reports them unavailable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "estimators/estimator.h"
+#include "sim/fault.h"
+#include "sim/platform.h"
+#include "svc/batcher.h"
+#include "svc/protocol.h"
+#include "svc/session.h"
+
+namespace melody::svc {
+
+/// The estimator menu shared by melody_sim and melody_serve (both must
+/// build the identical stack for serve-vs-batch equivalence). Returns
+/// nullptr for an unknown name; valid names: melody|static|ml-cr|ml-ar.
+std::unique_ptr<estimators::QualityEstimator> make_estimator(
+    const std::string& name, const sim::LongTermScenario& scenario,
+    double exploration_beta);
+
+struct ServiceConfig {
+  sim::LongTermScenario scenario;
+  std::string estimator = "melody";
+  double exploration_beta = 0.0;
+  auction::PaymentRule payment_rule = auction::PaymentRule::kCriticalValue;
+  std::uint64_t seed = 2017;
+  /// Batch triggers; an inactive policy defaults to
+  /// min_bids = scenario.num_workers (a run per full participation round).
+  BatchPolicy batch;
+  sim::FaultPlan faults;
+  /// Checkpoint file; empty disables automatic and shutdown checkpoints
+  /// (explicit checkpoint requests with a path still work).
+  std::string checkpoint_path;
+  /// Also checkpoint after every N-th run (0: only on shutdown/request).
+  int checkpoint_every = 0;
+  /// Logical clock driven by tick requests instead of the event loop's
+  /// wall clock — deterministic traces (tests, --stdin replays).
+  bool manual_clock = false;
+  /// Request shutdown automatically once this many runs have executed in
+  /// this session (0: never). Lets demos and CI pipelines terminate.
+  int exit_after_runs = 0;
+};
+
+class AuctionService {
+ public:
+  /// Builds mechanism + estimator + platform exactly as melody_sim does
+  /// (same seed derivations), binds the scenario population as "w<id>" in
+  /// the session registry. Throws std::invalid_argument on a bad config.
+  explicit AuctionService(ServiceConfig config);
+
+  AuctionService(const AuctionService&) = delete;
+  AuctionService& operator=(const AuctionService&) = delete;
+
+  /// Resume from a service checkpoint written by this class. Replaces the
+  /// registry, platform state, clock, and batcher accumulation wholesale;
+  /// must be called before any request is applied. Throws
+  /// std::runtime_error on I/O failure or malformed input.
+  void restore(const std::string& path);
+
+  /// Process one request. Must only be called from one thread (the event
+  /// loop). Never throws for client errors — they become ok:false
+  /// responses; only I/O failures during checkpointing propagate as an
+  /// error response too (the service stays usable).
+  Response apply(const Request& request);
+
+  /// Fire any due batches without an attached request (deadline trigger
+  /// while idle). Returns the number of runs executed.
+  int poll_batches();
+
+  /// Real-clock mode: the event loop feeds elapsed seconds; the clock never
+  /// goes backwards. No-op in manual-clock mode.
+  void advance_clock(double seconds_since_start);
+
+  /// Seconds until the batcher's deadline trigger fires (negative: none
+  /// pending) — the event loop's poll timeout hint.
+  double seconds_until_deadline() const noexcept;
+
+  /// Loop-side statistics hooks (queue depth gauge, overload tally).
+  void note_queue_depth(std::size_t depth);
+  void note_overload_reject();
+
+  void request_shutdown() noexcept { shutdown_requested_ = true; }
+  bool shutdown_requested() const noexcept { return shutdown_requested_; }
+
+  /// Final checkpoint if one is configured (idempotent; also invoked by
+  /// the shutdown op). Throws std::runtime_error on I/O failure.
+  void finalize();
+
+  bool manual_clock() const noexcept { return config_.manual_clock; }
+  const ServiceConfig& config() const noexcept { return config_; }
+  const sim::Platform& platform() const noexcept { return *platform_; }
+  const SessionRegistry& registry() const noexcept { return registry_; }
+  const RunBatcher& batcher() const noexcept { return batcher_; }
+  /// Records of the runs executed in this session (post-restore only).
+  const std::vector<sim::RunRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Serialize / deserialize the full service state (checkpoint body).
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
+ private:
+  Response dispatch(const Request& request);
+  void handle_submit_bid(const Request& request, Response& response);
+  void handle_submit_tasks(const Request& request, Response& response);
+  void handle_post_scores(const Request& request, Response& response);
+  void handle_query_worker(const Request& request, Response& response);
+  void handle_query_run(const Request& request, Response& response);
+  void handle_stats(Response& response);
+  void handle_checkpoint(const Request& request, Response& response);
+  void handle_hello(Response& response);
+
+  /// Execute platform runs while the batch policy fires; annotate the
+  /// response (if any) with runs_executed / last run index.
+  int execute_due_runs(Response* response);
+  void execute_one_run(int batch_bids);
+  void write_checkpoint(const std::string& path) const;
+
+  ServiceConfig config_;
+  auction::MelodyAuction mechanism_;
+  std::unique_ptr<estimators::QualityEstimator> estimator_;
+  std::optional<sim::Platform> platform_;
+  SessionRegistry registry_;
+  RunBatcher batcher_;
+  std::vector<sim::RunRecord> records_;
+  int first_session_run_ = 1;  // current_run() at construction/restore
+  double now_ = 0.0;           // service clock, seconds
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t overload_rejects_ = 0;
+  std::size_t last_queue_depth_ = 0;
+  bool shutdown_requested_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace melody::svc

@@ -1,8 +1,20 @@
 #include "util/flags.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace melody::util {
+
+namespace {
+
+std::string render_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +103,76 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   }
   throw std::invalid_argument("Flags: --" + name + " expects a boolean, got '" +
                               it->second + "'");
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback,
+                              const std::string& hint,
+                              const std::string& description) const {
+  document(name, hint, description,
+           fallback.empty() ? "" : "\"" + fallback + "\"");
+  return get_string(name, fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback,
+                            const std::string& hint,
+                            const std::string& description) const {
+  document(name, hint, description, std::to_string(fallback));
+  return get_int(name, fallback);
+}
+
+double Flags::get_double(const std::string& name, double fallback,
+                         const std::string& hint,
+                         const std::string& description) const {
+  document(name, hint, description, render_double(fallback));
+  return get_double(name, fallback);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback,
+                     const std::string& hint,
+                     const std::string& description) const {
+  document(name, hint, description, fallback ? "true" : "false");
+  return get_bool(name, fallback);
+}
+
+bool Flags::has_switch(const std::string& name,
+                       const std::string& description) const {
+  document(name, "", description, "");
+  return has(name);
+}
+
+void Flags::document(const std::string& name, const std::string& hint,
+                     const std::string& description,
+                     const std::string& rendered_default) const {
+  const bool known =
+      std::any_of(docs_.begin(), docs_.end(),
+                  [&name](const Doc& d) { return d.name == name; });
+  if (!known) docs_.push_back(Doc{name, hint, description, rendered_default});
+}
+
+std::string Flags::help(const std::string& program,
+                        const std::string& summary) const {
+  std::vector<Doc> docs = docs_;
+  docs.push_back(Doc{"help", "", "show this message and exit", ""});
+
+  std::string text = "usage: " + program + " [flags]\n";
+  if (!summary.empty()) text += "  " + summary + "\n";
+  text += "\nflags:\n";
+  std::size_t width = 0;
+  const auto label = [](const Doc& d) {
+    return "--" + d.name + (d.hint.empty() ? "" : " " + d.hint);
+  };
+  for (const Doc& d : docs) width = std::max(width, label(d).size());
+  for (const Doc& d : docs) {
+    std::string line = "  " + label(d);
+    line.append(width + 4 - (line.size() - 2), ' ');
+    line += d.description;
+    if (!d.rendered_default.empty()) {
+      line += " (default " + d.rendered_default + ")";
+    }
+    text += line + "\n";
+  }
+  return text;
 }
 
 std::vector<std::string> Flags::unused() const {

@@ -2,6 +2,14 @@
 // Supports --key=value, --key value, and bare --switch (value "true");
 // positional arguments are collected in order. No registration step: the
 // caller queries typed getters with defaults.
+//
+// Self-documenting variant: every getter has an overload taking a value
+// hint and a description. Those calls register the flag (in call order)
+// into the instance's documentation table, and help() renders a usage
+// message from it. A tool that funnels all its getter calls through one
+// read_options(Flags&) function can print help by running that function
+// over an empty Flags instance — the help text is generated from the same
+// calls that parse, so the two can never drift apart.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,10 @@ class Flags {
   /// repeat almost always means the caller edited the wrong occurrence.
   Flags(int argc, const char* const* argv);
 
+  /// An empty instance (nothing set): run the tool's read_options over one
+  /// to collect documentation for help().
+  Flags() = default;
+
   bool has(const std::string& name) const;
 
   std::string get_string(const std::string& name,
@@ -26,6 +38,37 @@ class Flags {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Documenting overloads: identical parse behavior, but also register
+  /// --name under `hint` (e.g. "N", "PATH"; empty for switches) with the
+  /// given description and the rendered default for help().
+  std::string get_string(const std::string& name, const std::string& fallback,
+                         const std::string& hint,
+                         const std::string& description) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback,
+                       const std::string& hint,
+                       const std::string& description) const;
+  double get_double(const std::string& name, double fallback,
+                    const std::string& hint,
+                    const std::string& description) const;
+  bool get_bool(const std::string& name, bool fallback,
+                const std::string& hint,
+                const std::string& description) const;
+  /// Documented bare switch (has() + registration, no default shown).
+  bool has_switch(const std::string& name,
+                  const std::string& description) const;
+
+  /// Register documentation without querying (rarely needed directly; the
+  /// documenting getters call this). First registration of a name wins.
+  void document(const std::string& name, const std::string& hint,
+                const std::string& description,
+                const std::string& rendered_default) const;
+
+  /// Usage text generated from every documented flag, in registration
+  /// order, e.g. help("melody_serve", "Serve the auction runtime.").
+  /// A trailing "--help" entry is appended automatically.
+  std::string help(const std::string& program,
+                   const std::string& summary) const;
 
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -36,8 +79,16 @@ class Flags {
   std::vector<std::string> unused() const;
 
  private:
+  struct Doc {
+    std::string name;
+    std::string hint;
+    std::string description;
+    std::string rendered_default;
+  };
+
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;
+  mutable std::vector<Doc> docs_;  // registration order
   std::vector<std::string> positional_;
 };
 

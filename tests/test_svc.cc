@@ -1,0 +1,673 @@
+// Service runtime (melody::svc): queue backpressure, batch triggers,
+// session registry persistence, wire/protocol codec round-trips, and the
+// headline contract — a stdin-mode service session driven by a request
+// trace produces bit-identical run outcomes to the equivalent melody_sim
+// batch run, including across a mid-trace checkpoint/kill/resume.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "sim/platform.h"
+#include "svc/batcher.h"
+#include "svc/loop.h"
+#include "svc/protocol.h"
+#include "svc/queue.h"
+#include "svc/service.h"
+#include "svc/session.h"
+#include "svc/wire.h"
+#include "util/rng.h"
+
+namespace melody::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- queue --
+
+TEST(BoundedQueue, BackpressureAndDrain) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), PushResult::kFull);  // full, never blocks
+  EXPECT_EQ(queue.size(), 2u);
+
+  queue.close();
+  EXPECT_EQ(queue.try_push(4), PushResult::kClosed);
+  // Queued items stay poppable after close (drain semantics).
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_EQ(queue.pop_for(1ms).value(), 2);
+  EXPECT_FALSE(queue.pop_for(1ms).has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, PopTimesOutOnEmpty) {
+  BoundedQueue<int> queue(1);
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(5ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - before, 4ms);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.try_push(7), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(8), PushResult::kFull);
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST(RunBatcher, CountTrigger) {
+  RunBatcher batcher({.min_bids = 3});
+  batcher.note_bid(0.0);
+  batcher.note_bid(0.1);
+  EXPECT_FALSE(batcher.should_fire(0.1));
+  batcher.note_bid(0.2);
+  EXPECT_TRUE(batcher.should_fire(0.2));
+  batcher.consume(0.2);
+  EXPECT_EQ(batcher.pending_bids(), 0);
+  EXPECT_FALSE(batcher.should_fire(10.0));  // nothing pending
+}
+
+TEST(RunBatcher, DeadlineTrigger) {
+  RunBatcher batcher({.max_delay = 5.0});
+  EXPECT_LT(batcher.seconds_until_deadline(0.0), 0.0);  // nothing pending
+  batcher.note_bid(1.0);
+  EXPECT_FALSE(batcher.should_fire(5.9));
+  EXPECT_DOUBLE_EQ(batcher.seconds_until_deadline(2.0), 4.0);
+  EXPECT_TRUE(batcher.should_fire(6.0));
+  // The deadline tracks the OLDEST pending bid: later bids don't extend it.
+  batcher.consume(6.0);
+  batcher.note_bid(10.0);
+  batcher.note_bid(14.0);
+  EXPECT_FALSE(batcher.should_fire(14.9));
+  EXPECT_TRUE(batcher.should_fire(15.0));
+}
+
+TEST(RunBatcher, BudgetTriggerCarriesOvershoot) {
+  RunBatcher batcher({.budget_target = 100.0});
+  batcher.note_budget(60.0);
+  EXPECT_FALSE(batcher.should_fire(0.0));
+  batcher.note_budget(90.0);  // 150 accrued
+  EXPECT_TRUE(batcher.should_fire(0.0));
+  batcher.consume(0.0);
+  // Overshoot carries: 50 remains, one more 60 re-arms the trigger.
+  EXPECT_DOUBLE_EQ(batcher.accrued_budget(), 50.0);
+  batcher.note_budget(60.0);
+  EXPECT_TRUE(batcher.should_fire(0.0));
+  batcher.consume(0.0);
+  EXPECT_DOUBLE_EQ(batcher.accrued_budget(), 10.0);
+  EXPECT_FALSE(batcher.should_fire(0.0));
+}
+
+TEST(RunBatcher, InactivePolicyNeverFires) {
+  RunBatcher batcher({});
+  batcher.note_bid(0.0);
+  batcher.note_budget(1e9);
+  EXPECT_FALSE(batcher.should_fire(1e9));
+}
+
+TEST(RunBatcher, RestoreReproducesAccumulationState) {
+  RunBatcher a({.min_bids = 5, .max_delay = 3.0, .budget_target = 40.0});
+  a.note_bid(1.5);
+  a.note_bid(2.0);
+  a.note_budget(17.0);
+  RunBatcher b(a.policy());
+  b.restore(a.pending_bids(), a.oldest_bid_time(), a.accrued_budget());
+  for (const double t : {1.5, 4.4, 4.5, 9.0}) {
+    EXPECT_EQ(a.should_fire(t), b.should_fire(t)) << "t=" << t;
+    EXPECT_DOUBLE_EQ(a.seconds_until_deadline(t), b.seconds_until_deadline(t));
+  }
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(SessionRegistry, InternAssignsDenseIdsInOrder) {
+  SessionRegistry registry;
+  registry.bind("w0", 0);
+  registry.bind("w1", 1);
+  bool created = false;
+  EXPECT_EQ(registry.intern("alice", &created), 2);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(registry.intern("alice", &created), 2);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(registry.find("w1").value(), 1);
+  EXPECT_FALSE(registry.find("nobody").has_value());
+  ASSERT_NE(registry.name_of(2), nullptr);
+  EXPECT_EQ(*registry.name_of(2), "alice");
+  EXPECT_EQ(registry.name_of(99), nullptr);
+}
+
+TEST(SessionRegistry, DuplicateBindThrows) {
+  SessionRegistry registry;
+  registry.bind("w0", 0);
+  EXPECT_THROW(registry.bind("w0", 1), std::invalid_argument);
+  EXPECT_THROW(registry.bind("other", 0), std::invalid_argument);
+}
+
+TEST(SessionRegistry, SaveLoadRoundTripPreservesOrderAndBids) {
+  SessionRegistry registry;
+  registry.bind("w0", 0);
+  registry.intern("alice");
+  registry.intern("bob");
+  registry.count_bid(0);
+  registry.count_bid(1);
+  registry.count_bid(1);
+
+  std::stringstream buffer;
+  registry.save(buffer);
+  SessionRegistry loaded;
+  loaded.intern("stale");  // load must replace wholesale
+  loaded.load(buffer);
+
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.find("alice").value(), 1);
+  EXPECT_EQ(loaded.bids_submitted(0), 1u);
+  EXPECT_EQ(loaded.bids_submitted(1), 2u);
+  EXPECT_EQ(loaded.bids_submitted(2), 0u);
+  // Interning after load continues from the persisted dense-id frontier.
+  EXPECT_EQ(loaded.intern("carol"), 3);
+  EXPECT_FALSE(loaded.find("stale").has_value());
+}
+
+TEST(SessionRegistry, LoadRejectsGarbage) {
+  SessionRegistry registry;
+  std::istringstream garbage("definitely not a registry blob");
+  EXPECT_THROW(registry.load(garbage), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- codec --
+
+std::vector<Request> every_op_request() {
+  std::vector<Request> requests;
+  Request r;
+  r.op = Op::kHello;
+  r.id = 1;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kSubmitBid;
+  r.id = 2;
+  r.worker = "w17";
+  requests.push_back(r);  // known worker: no bid payload
+  r = {};
+  r.op = Op::kSubmitBid;
+  r.id = 3;
+  r.worker = "alice@example";
+  r.cost = 1.375;
+  r.frequency = 3;
+  r.has_bid = true;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kSubmitTasks;
+  r.id = 4;
+  r.task_count = 500;
+  r.budget = 812.5;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kPostScores;
+  r.id = 5;
+  r.worker = "w17";
+  r.scores = {6.5, 7.125, -1.0};
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kQueryWorker;
+  r.id = 6;
+  r.worker = "w2";
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kQueryRun;
+  r.id = 7;
+  r.run = 12;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kRunNow;
+  r.id = 8;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kTick;
+  r.id = 9;
+  r.seconds = 0.25;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kStats;
+  r.id = 10;
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kCheckpoint;
+  r.id = 11;
+  r.path = "svc.ckpt";
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kShutdown;
+  r.id = 12;
+  requests.push_back(r);
+  return requests;
+}
+
+TEST(ProtocolCodec, RequestRoundTripsForEveryOp) {
+  for (const Request& request : every_op_request()) {
+    const std::string line = format_request(request);
+    EXPECT_EQ(parse_request(line), request) << line;
+  }
+}
+
+TEST(ProtocolCodec, ResponseRoundTrips) {
+  Response ok = Response::success(41);
+  ok.fields.set("run", WireValue::of(std::int64_t{7}));
+  ok.fields.set("estimation_error", WireValue::of(1.8656653187601029));
+  ok.fields.set("worker", WireValue::of("w3"));
+  const Response ok2 = parse_response(format_response(ok));
+  EXPECT_TRUE(ok2.ok);
+  EXPECT_EQ(ok2.id, 41);
+  EXPECT_EQ(ok2.fields.number("run"), 7.0);
+  // Full double precision survives the wire (the bit-identity tests below
+  // depend on comparing in-process state, but clients see exact values too).
+  EXPECT_EQ(ok2.fields.number("estimation_error"), 1.8656653187601029);
+
+  const Response overload = parse_response(
+      format_response(Response::overloaded(42, 1280)));
+  EXPECT_FALSE(overload.ok);
+  EXPECT_EQ(overload.error, "overloaded");
+  EXPECT_EQ(overload.retry_after_ms, 1280);
+}
+
+TEST(ProtocolCodec, RejectsMalformedLines) {
+  EXPECT_THROW(parse_request("not json"), WireError);
+  EXPECT_THROW(parse_request("{}"), WireError);  // missing op
+  EXPECT_THROW(parse_request(R"({"op":"warp_core_breach","id":1})"),
+               WireError);
+  EXPECT_THROW(parse_request(R"({"op":"submit_bid"})"), WireError);  // worker
+  EXPECT_THROW(parse_request(R"({"op":"tick","seconds":"fast"})"), WireError);
+  EXPECT_THROW(parse_request(R"({"op":"hello"} trailing)"), WireError);
+}
+
+// ----------------------------------------------------- loop backpressure --
+
+ServiceConfig tiny_config() {
+  ServiceConfig config;
+  config.scenario.num_workers = 8;
+  config.scenario.num_tasks = 6;
+  config.scenario.runs = 4;
+  config.scenario.budget = 30.0;
+  config.seed = 7;
+  config.manual_clock = true;
+  return config;
+}
+
+Request bid_for(int worker, std::int64_t id) {
+  Request r;
+  r.op = Op::kSubmitBid;
+  r.id = id;
+  r.worker = "w" + std::to_string(worker);
+  return r;
+}
+
+TEST(ServiceLoop, FullQueueRejectsWithRetryAfter) {
+  AuctionService service(tiny_config());
+  ServiceLoop loop(service, 2);
+  std::vector<Response> responses;
+  const auto capture = [&responses](const Response& r) {
+    responses.push_back(r);
+  };
+
+  EXPECT_EQ(loop.try_submit(bid_for(0, 1), capture), PushResult::kOk);
+  EXPECT_EQ(loop.try_submit(bid_for(1, 2), capture), PushResult::kOk);
+  const PushResult full = loop.try_submit(bid_for(2, 3), capture);
+  EXPECT_EQ(full, PushResult::kFull);
+
+  const Response rejection = loop.rejection(full, bid_for(2, 3));
+  EXPECT_FALSE(rejection.ok);
+  EXPECT_EQ(rejection.error, "overloaded");
+  EXPECT_EQ(rejection.id, 3);
+  EXPECT_GT(rejection.retry_after_ms, 0);
+
+  // The two accepted envelopes drain in order; the rejected one never ran.
+  EXPECT_TRUE(loop.poll_once(0ns));
+  EXPECT_TRUE(loop.poll_once(0ns));
+  EXPECT_FALSE(loop.poll_once(0ns));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].id, 1);
+  EXPECT_EQ(responses[1].id, 2);
+  EXPECT_TRUE(responses[0].ok);
+  // The service saw exactly the accepted submissions.
+  EXPECT_EQ(loop.service().batcher().pending_bids(), 2);
+}
+
+TEST(ServiceLoop, ClosedQueueRejectsPermanently) {
+  AuctionService service(tiny_config());
+  ServiceLoop loop(service, 4);
+  loop.close();
+  const PushResult closed = loop.try_submit(bid_for(0, 9), [](const Response&) {
+    FAIL() << "callback must not run for a rejected submission";
+  });
+  EXPECT_EQ(closed, PushResult::kClosed);
+  const Response rejection = loop.rejection(closed, bid_for(0, 9));
+  EXPECT_FALSE(rejection.ok);
+  EXPECT_EQ(rejection.retry_after_ms, 0);  // terminal, not retryable
+}
+
+// ------------------------------------------------------ service behavior --
+
+TEST(AuctionService, RejectsBadConfig) {
+  ServiceConfig config = tiny_config();
+  config.scenario.runs = 0;
+  EXPECT_THROW(AuctionService{config}, std::invalid_argument);
+  config = tiny_config();
+  config.estimator = "psychic";
+  EXPECT_THROW(AuctionService{config}, std::invalid_argument);
+  config = tiny_config();
+  config.checkpoint_every = 3;  // without a checkpoint path
+  EXPECT_THROW(AuctionService{config}, std::invalid_argument);
+}
+
+TEST(AuctionService, DeadlineTriggerFiresOnManualClock) {
+  ServiceConfig config = tiny_config();
+  config.batch.max_delay = 5.0;
+  AuctionService service(config);
+
+  Response r = service.apply(bid_for(0, 1));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fields.number("pending_bids"), 1.0);
+
+  Request tick;
+  tick.op = Op::kTick;
+  tick.seconds = 4.9;
+  r = service.apply(tick);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.fields.has("runs_executed"));  // 4.9s < 5s deadline
+
+  tick.seconds = 0.2;
+  r = service.apply(tick);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fields.number("runs_executed"), 1.0);
+  EXPECT_EQ(service.records().size(), 1u);
+  EXPECT_EQ(service.batcher().pending_bids(), 0);
+}
+
+TEST(AuctionService, NewcomerRegistration) {
+  AuctionService service(tiny_config());
+  const std::size_t base = service.platform().workers().size();
+
+  Request unknown = bid_for(0, 1);
+  unknown.worker = "alice";
+  Response r = service.apply(unknown);
+  EXPECT_FALSE(r.ok);  // no cost/frequency — not a valid newcomer
+  unknown.cost = -1.0;
+  unknown.frequency = 2;
+  unknown.has_bid = true;
+  EXPECT_FALSE(service.apply(unknown).ok);  // cost must be positive
+
+  unknown.cost = 1.25;
+  r = service.apply(unknown);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.fields.boolean_or("registered", false));
+  EXPECT_EQ(r.fields.number("internal_id"), static_cast<double>(base));
+  EXPECT_EQ(service.platform().workers().size(), base + 1);
+
+  // Re-bidding under the same name reuses the registration.
+  r = service.apply(unknown);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.fields.boolean_or("registered", false));
+  EXPECT_EQ(service.registry().bids_submitted(
+                static_cast<auction::WorkerId>(base)),
+            2u);
+}
+
+TEST(AuctionService, QueryRunBoundsAndStats) {
+  AuctionService service(tiny_config());
+  Request query;
+  query.op = Op::kQueryRun;
+  query.run = 1;
+  EXPECT_FALSE(service.apply(query).ok);  // nothing executed yet
+
+  Request run_now;
+  run_now.op = Op::kRunNow;
+  ASSERT_TRUE(service.apply(run_now).ok);
+  Response r = service.apply(query);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.fields.number("run"), 1.0);
+  // No fault plan active: the fault tallies stay off the wire.
+  EXPECT_FALSE(r.fields.has("no_shows"));
+
+  Request stats;
+  stats.op = Op::kStats;
+  r = service.apply(stats);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fields.number("runs_this_session"), 1.0);
+  EXPECT_EQ(r.fields.number("next_run"), 2.0);
+}
+
+// ------------------------------------------- stdio e2e and bit-identity --
+
+sim::LongTermScenario e2e_scenario() {
+  sim::LongTermScenario s;
+  s.num_workers = 40;
+  s.num_tasks = 30;
+  s.runs = 16;
+  s.budget = 120.0;
+  return s;
+}
+
+constexpr std::uint64_t kSeed = 2017;
+
+/// The melody_sim batch run the service must reproduce: identical
+/// construction recipe (same seed derivations through the same factories).
+std::vector<sim::RunRecord> batch_records(const sim::LongTermScenario& s,
+                                          const sim::FaultPlan& plan) {
+  auction::MelodyAuction mechanism(auction::PaymentRule::kCriticalValue);
+  auto estimator = make_estimator("melody", s, 0.0);
+  util::Rng population_rng(kSeed);
+  sim::Platform platform(
+      s, mechanism, *estimator,
+      sim::sample_population(s.population_config(), population_rng),
+      kSeed + 1);
+  if (plan.active()) platform.set_fault_plan(plan);
+  return platform.run_all();
+}
+
+/// One trace round: every population worker bids once. With the default
+/// batch policy (min_bids = num_workers) the last bid triggers the run.
+void append_round(std::ostream& trace, int workers, std::int64_t* next_id) {
+  for (int w = 0; w < workers; ++w) {
+    Request r = bid_for(w, (*next_id)++);
+    trace << format_request(r) << "\n";
+  }
+}
+
+ServiceConfig e2e_config() {
+  ServiceConfig config;
+  config.scenario = e2e_scenario();
+  config.seed = kSeed;
+  config.manual_clock = true;
+  return config;
+}
+
+TEST(StdioSession, BitIdenticalToBatchRun) {
+  const sim::LongTermScenario scenario = e2e_scenario();
+  const std::vector<sim::RunRecord> expected =
+      batch_records(scenario, sim::FaultPlan{});
+
+  AuctionService service(e2e_config());
+  ServiceLoop loop(service, 64);
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  for (int round = 0; round < scenario.runs; ++round) {
+    append_round(trace, scenario.num_workers, &next_id);
+  }
+  // Interleave queries mid-trace: reads must not perturb the run stream.
+  Request query;
+  query.op = Op::kQueryRun;
+  query.id = next_id++;
+  query.run = scenario.runs;
+  trace << format_request(query) << "\n";
+
+  std::ostringstream responses;
+  const StdioResult result = run_stdio_session(loop, trace, responses);
+  EXPECT_EQ(result.parse_errors, 0u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_FALSE(result.shutdown);
+
+  ASSERT_EQ(service.records().size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(service.records()[k], expected[k]) << "run " << k + 1;
+  }
+  // The wire answer for the final run carries the exact record values.
+  std::string line;
+  std::istringstream lines(responses.str());
+  std::string last;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) last = line;
+  }
+  const Response final_run = parse_response(last);
+  ASSERT_TRUE(final_run.ok) << final_run.error;
+  EXPECT_EQ(final_run.fields.number("estimation_error"),
+            expected.back().estimation_error);
+  EXPECT_EQ(final_run.fields.number("total_payment"),
+            expected.back().total_payment);
+}
+
+TEST(StdioSession, BitIdenticalWithFaultPlanAttached) {
+  sim::FaultPlan plan;
+  plan.no_show_rate = 0.1;
+  plan.score_drop_rate = 0.1;
+  plan.score_corrupt_rate = 0.05;
+  plan.churn_rate = 0.2;
+  plan.churn_min_absence = 2;
+  plan.churn_max_absence = 5;
+  const sim::LongTermScenario scenario = e2e_scenario();
+  const std::vector<sim::RunRecord> expected = batch_records(scenario, plan);
+
+  ServiceConfig config = e2e_config();
+  config.faults = plan;
+  AuctionService service(config);
+  ServiceLoop loop(service, 64);
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  for (int round = 0; round < scenario.runs; ++round) {
+    append_round(trace, scenario.num_workers, &next_id);
+  }
+  std::ostringstream responses;
+  run_stdio_session(loop, trace, responses);
+
+  ASSERT_EQ(service.records().size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(service.records()[k], expected[k]) << "run " << k + 1;
+  }
+}
+
+TEST(StdioSession, CheckpointKillResumeStaysBitIdentical) {
+  const sim::LongTermScenario scenario = e2e_scenario();
+  const std::vector<sim::RunRecord> expected =
+      batch_records(scenario, sim::FaultPlan{});
+  const int interrupt_after = scenario.runs / 2;
+  const std::string path =
+      ::testing::TempDir() + "/melody_svc_e2e.ckpt";
+
+  std::vector<sim::RunRecord> prefix;
+  {
+    AuctionService service(e2e_config());
+    ServiceLoop loop(service, 64);
+    std::stringstream trace;
+    std::int64_t next_id = 1;
+    for (int round = 0; round < interrupt_after; ++round) {
+      append_round(trace, scenario.num_workers, &next_id);
+    }
+    Request checkpoint;
+    checkpoint.op = Op::kCheckpoint;
+    checkpoint.id = next_id++;
+    checkpoint.path = path;
+    trace << format_request(checkpoint) << "\n";
+    std::ostringstream responses;
+    const StdioResult result = run_stdio_session(loop, trace, responses);
+    EXPECT_EQ(result.parse_errors, 0u);
+    prefix = service.records();
+    ASSERT_EQ(static_cast<int>(prefix.size()), interrupt_after);
+  }  // the "killed" service is gone; only the checkpoint file survives
+
+  AuctionService service(e2e_config());
+  service.restore(path);
+  EXPECT_EQ(service.platform().current_run(), interrupt_after + 1);
+  ServiceLoop loop(service, 64);
+  std::stringstream trace;
+  std::int64_t next_id = 100000;
+  for (int round = interrupt_after; round < scenario.runs; ++round) {
+    append_round(trace, scenario.num_workers, &next_id);
+  }
+  // Records from before the restore are gone by design.
+  Request stale;
+  stale.op = Op::kQueryRun;
+  stale.id = next_id++;
+  stale.run = 1;
+  trace << format_request(stale) << "\n";
+  Request shutdown;
+  shutdown.op = Op::kShutdown;
+  shutdown.id = next_id++;
+  trace << format_request(shutdown) << "\n";
+
+  std::ostringstream responses;
+  const StdioResult result = run_stdio_session(loop, trace, responses);
+  EXPECT_TRUE(result.shutdown);
+
+  std::vector<sim::RunRecord> all = prefix;
+  all.insert(all.end(), service.records().begin(), service.records().end());
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(all[k], expected[k]) << "run " << k + 1;
+  }
+
+  // The stale query_run answered with the predates-this-session error.
+  std::vector<Response> parsed;
+  std::istringstream lines(responses.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) parsed.push_back(parse_response(line));
+  }
+  ASSERT_GE(parsed.size(), 2u);
+  const Response& stale_answer = parsed[parsed.size() - 2];
+  EXPECT_FALSE(stale_answer.ok);
+  EXPECT_NE(stale_answer.error.find("predates"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StdioSession, ParseErrorsAnswerWithoutKillingTheSession) {
+  AuctionService service(tiny_config());
+  ServiceLoop loop(service, 8);
+  std::stringstream trace;
+  trace << "this is not a request\n";
+  trace << format_request(bid_for(0, 2)) << "\n";
+  std::ostringstream responses;
+  const StdioResult result = run_stdio_session(loop, trace, responses);
+  EXPECT_EQ(result.parse_errors, 1u);
+  EXPECT_EQ(result.requests, 1u);
+
+  std::istringstream lines(responses.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const Response bad = parse_response(line);
+  EXPECT_FALSE(bad.ok);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(parse_response(line).ok);
+}
+
+TEST(StdioSession, ExitAfterRunsRequestsShutdown) {
+  ServiceConfig config = tiny_config();
+  config.exit_after_runs = 1;
+  AuctionService service(config);
+  ServiceLoop loop(service, 64);
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  // Two full rounds queued, but the session must stop after round one.
+  append_round(trace, config.scenario.num_workers, &next_id);
+  append_round(trace, config.scenario.num_workers, &next_id);
+  std::ostringstream responses;
+  const StdioResult result = run_stdio_session(loop, trace, responses);
+  EXPECT_TRUE(result.shutdown);
+  EXPECT_EQ(service.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace melody::svc

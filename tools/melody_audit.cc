@@ -32,19 +32,55 @@ namespace {
 
 using namespace melody;
 
+struct Options {
+  std::string workers_path;
+  std::string tasks_path;
+  std::string rule_name;
+  auction::AuctionConfig config;
+  std::int64_t dual_target = -1;
+  bool with_metrics = false;
+};
+
+// All getter calls live here so the --help text is generated from the same
+// calls that parse (run over an empty Flags instance by usage()).
+Options read_options(const util::Flags& flags) {
+  Options o;
+  o.workers_path = flags.get_string(
+      "workers", "", "CSV",
+      "required; rows: id,cost,frequency,estimated_quality");
+  o.tasks_path = flags.get_string("tasks", "", "CSV",
+                                  "required; rows: id,quality_threshold");
+  o.config.budget = flags.get_double("budget", 0.0, "B", "auction budget");
+  o.config.theta_min = flags.get_double("theta-min", 0.0, "X",
+                                        "qualification: minimum quality");
+  o.config.theta_max = flags.get_double("theta-max", 1e18, "X",
+                                        "qualification: maximum quality");
+  o.config.cost_min =
+      flags.get_double("cost-min", 0.0, "X", "qualification: minimum cost");
+  o.config.cost_max =
+      flags.get_double("cost-max", 1e18, "X", "qualification: maximum cost");
+  o.rule_name = flags.get_string("payment-rule", "critical", "RULE",
+                                 "payment rule: critical|paper");
+  o.dual_target = flags.get_int(
+      "dual-target", -1, "U",
+      "run the dual form (footnote 6): report the minimum budget that "
+      "reaches target utility U");
+  o.with_metrics = flags.get_bool(
+      "metrics", false, "",
+      "print observability summaries (phase timers in ms, counters) "
+      "collected during the replay");
+  return o;
+}
+
 int usage(const char* error) {
-  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(
-      stderr,
-      "usage: melody_audit --workers workers.csv --tasks tasks.csv\n"
-      "                    --budget B [--payment-rule critical|paper]\n"
-      "                    [--theta-min X --theta-max X --cost-min X "
-      "--cost-max X]\n"
-      "                    [--dual-target U] [--metrics]\n"
-      "workers.csv rows: id,cost,frequency,estimated_quality\n"
-      "tasks.csv rows:   id,quality_threshold\n"
-      "--metrics prints the observability summaries (phase timers in ms,\n"
-      "counters) collected during the replay.\n");
+  util::Flags dummy;
+  read_options(dummy);
+  std::fputs(dummy.help("melody_audit",
+                        "Replay one MELODY auction from CSV bids/tasks and "
+                        "audit the allocation.")
+                 .c_str(),
+             stderr);
+  if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
   return error != nullptr ? 1 : 0;
 }
 
@@ -166,31 +202,25 @@ void print_metrics_summary() {
 int main(int argc, char** argv) {
   try {
     util::Flags flags(argc, argv);
+    const Options options = read_options(flags);
     if (flags.has("help")) return usage(nullptr);
-    const std::string workers_path = flags.get_string("workers", "");
-    const std::string tasks_path = flags.get_string("tasks", "");
+    const std::string& workers_path = options.workers_path;
+    const std::string& tasks_path = options.tasks_path;
     if (workers_path.empty() || tasks_path.empty()) {
       return usage("--workers and --tasks are required");
     }
 
-    auction::AuctionConfig config;
-    config.budget = flags.get_double("budget", 0.0);
-    config.theta_min = flags.get_double("theta-min", 0.0);
-    config.theta_max = flags.get_double("theta-max", 1e18);
-    config.cost_min = flags.get_double("cost-min", 0.0);
-    config.cost_max = flags.get_double("cost-max", 1e18);
-
-    const std::string rule_name = flags.get_string("payment-rule", "critical");
+    const auction::AuctionConfig& config = options.config;
     auction::PaymentRule rule;
-    if (rule_name == "critical") {
+    if (options.rule_name == "critical") {
       rule = auction::PaymentRule::kCriticalValue;
-    } else if (rule_name == "paper") {
+    } else if (options.rule_name == "paper") {
       rule = auction::PaymentRule::kPaperNextInQueue;
     } else {
       return usage("payment-rule must be critical or paper");
     }
-    const std::int64_t dual_target = flags.get_int("dual-target", -1);
-    const bool with_metrics = flags.get_bool("metrics", false);
+    const std::int64_t dual_target = options.dual_target;
+    const bool with_metrics = options.with_metrics;
     if (const auto unknown = flags.unused(); !unknown.empty()) {
       return usage(("unknown flag --" + unknown.front()).c_str());
     }

@@ -1,0 +1,402 @@
+// melody_loadgen — deterministic load generator for melody_serve.
+//
+// Each client connection replays a request stream derived from counter-based
+// RNG streams (util::derive_stream(seed, client, request)), so a given
+// --seed/--clients/--requests triple always produces the same operation
+// sequence regardless of scheduling. Two pacing modes:
+//
+//   * closed — send, wait for the response, think, repeat: latency under a
+//     fixed concurrency level (the classic closed-loop client);
+//   * open   — a sender thread paces requests at --rate per client while a
+//     receiver thread matches in-order responses to send timestamps: the
+//     server sees arrivals that do not slow down when it does, which is
+//     what actually drives the queue into backpressure.
+//
+// Latency percentiles over all completed requests are printed and mirrored
+// via bench::Reporter (CSV lands in out/). With --dry-run the request lines
+// go to stdout instead of a socket — piping them into `melody_serve
+// --stdin` replays the identical stream without networking.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "svc/protocol.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace melody;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::int64_t port = 7117;
+  std::string mode = "closed";
+  std::int64_t clients = 4;
+  std::int64_t requests = 200;
+  std::int64_t workers = 300;
+  double rate = 200.0;
+  double think_ms = 0.0;
+  double task_budget = 800.0;
+  std::int64_t seed = 1;
+  std::string csv;
+  bool dry_run = false;
+  bool quiet = false;
+};
+
+Options read_options(const util::Flags& flags) {
+  Options o;
+  o.host = flags.get_string("host", o.host, "HOST", "server address");
+  o.port = flags.get_int("port", o.port, "PORT", "server TCP port");
+  o.mode = flags.get_string("mode", o.mode, "MODE",
+                            "pacing: closed (send-wait-think) or open "
+                            "(fixed-rate arrivals)");
+  o.clients = flags.get_int("clients", o.clients, "C",
+                            "concurrent client connections");
+  o.requests =
+      flags.get_int("requests", o.requests, "N", "requests per client");
+  o.workers = flags.get_int(
+      "workers", o.workers, "N",
+      "worker name space size; names w0..w{N-1} match the server scenario");
+  o.rate = flags.get_double("rate", o.rate, "R",
+                            "open mode: requests per second per client");
+  o.think_ms = flags.get_double("think-ms", o.think_ms, "MS",
+                                "closed mode: delay between requests");
+  o.task_budget = flags.get_double("task-budget", o.task_budget, "B",
+                                   "budget carried by submit_tasks requests");
+  o.seed = flags.get_int("seed", o.seed, "S",
+                         "master seed for the per-client request streams");
+  o.csv = flags.get_string("csv", "loadgen_latency.csv", "NAME",
+                           "latency summary CSV (written under out/)");
+  o.dry_run = flags.has_switch(
+      "dry-run", "print request lines to stdout instead of connecting "
+                 "(pipe into melody_serve --stdin)");
+  o.quiet = flags.has_switch("quiet", "suppress the per-client progress");
+  return o;
+}
+
+int usage(const char* error) {
+  util::Flags dummy;
+  read_options(dummy);
+  std::fputs(dummy.help("melody_loadgen",
+                        "Deterministic closed/open-loop client for "
+                        "melody_serve.")
+                 .c_str(),
+             stderr);
+  if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
+  return error != nullptr ? 1 : 0;
+}
+
+/// The deterministic request stream of one client: request k of client c is
+/// a pure function of (seed, c, k).
+svc::Request make_request(const Options& options, int client, int index) {
+  util::Rng rng(util::derive_stream(static_cast<std::uint64_t>(options.seed),
+                                    static_cast<std::uint64_t>(client),
+                                    static_cast<std::uint64_t>(index)));
+  svc::Request request;
+  request.id = static_cast<std::int64_t>(client) * 1000000 + index + 1;
+  const double pick = rng.uniform01();
+  if (pick < 0.70) {
+    request.op = svc::Op::kSubmitBid;
+    request.worker =
+        "w" + std::to_string(rng.uniform_int(0, options.workers - 1));
+  } else if (pick < 0.72) {
+    // Newcomer registration: a fresh name carrying a bid.
+    request.op = svc::Op::kSubmitBid;
+    request.worker = "lg" + std::to_string(client) + "_" +
+                     std::to_string(index);
+    request.has_bid = true;
+    request.cost = rng.uniform(1.0, 2.0);
+    request.frequency = static_cast<int>(rng.uniform_int(1, 5));
+  } else if (pick < 0.82) {
+    request.op = svc::Op::kSubmitTasks;
+    request.task_count = static_cast<int>(rng.uniform_int(50, 500));
+    request.budget = options.task_budget * rng.uniform(0.05, 0.25);
+  } else if (pick < 0.92) {
+    request.op = svc::Op::kQueryWorker;
+    request.worker =
+        "w" + std::to_string(rng.uniform_int(0, options.workers - 1));
+  } else if (pick < 0.97) {
+    request.op = svc::Op::kQueryRun;
+    request.run = static_cast<int>(rng.uniform_int(1, 50));
+  } else {
+    request.op = svc::Op::kStats;
+  }
+  return request;
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t errors = 0;    // ok:false responses that are not overloads
+  std::size_t rejected = 0;  // overload rejections (retry_after_ms > 0)
+};
+
+int connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line, carrying leftover bytes across calls.
+bool recv_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void tally_response(const std::string& line, ClientResult& result) {
+  try {
+    const svc::Response response = svc::parse_response(line);
+    if (response.ok) {
+      ++result.ok;
+    } else if (response.retry_after_ms > 0) {
+      ++result.rejected;
+    } else {
+      ++result.errors;
+    }
+  } catch (const svc::WireError&) {
+    ++result.errors;
+  }
+}
+
+ClientResult run_closed_client(const Options& options, int client) {
+  ClientResult result;
+  const int fd = connect_to(options.host, static_cast<int>(options.port));
+  if (fd < 0) {
+    result.errors = static_cast<std::size_t>(options.requests);
+    return result;
+  }
+  std::string buffer;
+  std::string line;
+  for (int k = 0; k < options.requests; ++k) {
+    const svc::Request request = make_request(options, client, k);
+    const auto start = Clock::now();
+    if (!send_line(fd, svc::format_request(request)) ||
+        !recv_line(fd, buffer, line)) {
+      ++result.errors;
+      break;
+    }
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+    ++result.sent;
+    tally_response(line, result);
+    if (options.think_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.think_ms));
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+ClientResult run_open_client(const Options& options, int client) {
+  ClientResult result;
+  const int fd = connect_to(options.host, static_cast<int>(options.port));
+  if (fd < 0) {
+    result.errors = static_cast<std::size_t>(options.requests);
+    return result;
+  }
+  // Sender paces; receiver matches in-order responses to send timestamps.
+  std::mutex mutex;
+  std::deque<Clock::time_point> in_flight;
+  std::thread receiver([&] {
+    std::string buffer;
+    std::string line;
+    for (int k = 0; k < options.requests; ++k) {
+      if (!recv_line(fd, buffer, line)) break;
+      Clock::time_point sent_at;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (in_flight.empty()) break;  // protocol violation; bail out
+        sent_at = in_flight.front();
+        in_flight.pop_front();
+      }
+      result.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
+              .count());
+      tally_response(line, result);
+    }
+  });
+  const double interval_s = options.rate > 0.0 ? 1.0 / options.rate : 0.0;
+  const auto epoch = Clock::now();
+  for (int k = 0; k < options.requests; ++k) {
+    if (interval_s > 0.0) {
+      std::this_thread::sleep_until(
+          epoch + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(k * interval_s)));
+    }
+    const svc::Request request = make_request(options, client, k);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      in_flight.push_back(Clock::now());
+    }
+    if (!send_line(fd, svc::format_request(request))) {
+      ++result.errors;
+      break;
+    }
+    ++result.sent;
+  }
+  ::shutdown(fd, SHUT_WR);
+  receiver.join();
+  ::close(fd);
+  return result;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<util::Flags> flags;
+  try {
+    flags = std::make_unique<util::Flags>(argc, argv);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  Options options;
+  try {
+    options = read_options(*flags);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  if (flags->has("help")) return usage(nullptr);
+  if (const auto unknown = flags->unused(); !unknown.empty()) {
+    return usage(("unknown flag --" + unknown.front()).c_str());
+  }
+  if (options.mode != "closed" && options.mode != "open") {
+    return usage("--mode must be closed or open");
+  }
+  if (options.clients < 1 || options.requests < 1 || options.workers < 1) {
+    return usage("--clients/--requests/--workers must be positive");
+  }
+
+  if (options.dry_run) {
+    for (int c = 0; c < options.clients; ++c) {
+      for (int k = 0; k < options.requests; ++k) {
+        std::puts(svc::format_request(make_request(options, c, k)).c_str());
+      }
+    }
+    return 0;
+  }
+
+  std::vector<ClientResult> results(
+      static_cast<std::size_t>(options.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&options, &results, c] {
+      results[static_cast<std::size_t>(c)] =
+          options.mode == "closed" ? run_closed_client(options, c)
+                                   : run_open_client(options, c);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ClientResult total;
+  for (const ClientResult& r : results) {
+    total.sent += r.sent;
+    total.ok += r.ok;
+    total.errors += r.errors;
+    total.rejected += r.rejected;
+    total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
+                              r.latencies_ms.end());
+  }
+  if (total.sent == 0) {
+    std::fprintf(stderr,
+                 "melody_loadgen: no requests completed — is melody_serve "
+                 "running on %s:%d?\n",
+                 options.host.c_str(), static_cast<int>(options.port));
+    return 1;
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  double sum = 0.0;
+  for (const double v : total.latencies_ms) sum += v;
+  const double mean =
+      total.latencies_ms.empty()
+          ? 0.0
+          : sum / static_cast<double>(total.latencies_ms.size());
+  const double p50 = percentile(total.latencies_ms, 0.50);
+  const double p90 = percentile(total.latencies_ms, 0.90);
+  const double p99 = percentile(total.latencies_ms, 0.99);
+  const double max =
+      total.latencies_ms.empty() ? 0.0 : total.latencies_ms.back();
+
+  std::printf(
+      "melody_loadgen: %s loop, %lld clients x %lld requests against "
+      "%s:%d\n",
+      options.mode.c_str(), static_cast<long long>(options.clients),
+      static_cast<long long>(options.requests), options.host.c_str(),
+      static_cast<int>(options.port));
+  std::printf("  sent %zu  ok %zu  rejected %zu  errors %zu\n", total.sent,
+              total.ok, total.rejected, total.errors);
+  std::printf("  latency ms: mean %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max "
+              "%.3f\n",
+              mean, p50, p90, p99, max);
+
+  bench::Reporter reporter(options.csv,
+                           {"mode", "clients", "requests", "sent", "ok",
+                            "rejected", "errors", "mean_ms", "p50_ms",
+                            "p90_ms", "p99_ms", "max_ms"});
+  reporter.row({options.mode, std::to_string(options.clients),
+                std::to_string(options.requests), std::to_string(total.sent),
+                std::to_string(total.ok), std::to_string(total.rejected),
+                std::to_string(total.errors), std::to_string(mean),
+                std::to_string(p50), std::to_string(p90), std::to_string(p99),
+                std::to_string(max)});
+  if (reporter.active()) {
+    std::printf("  summary CSV: %s\n", reporter.path().c_str());
+  }
+  return 0;
+}

@@ -29,14 +29,11 @@
 #include <string>
 
 #include "auction/melody_auction.h"
-#include "estimators/melody_estimator.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
-#include "estimators/ml_ar_estimator.h"
-#include "estimators/ml_cr_estimator.h"
-#include "estimators/static_estimator.h"
 #include "sim/metrics.h"
 #include "sim/platform.h"
+#include "svc/service.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -46,69 +43,86 @@ namespace {
 
 using namespace melody;
 
-int usage(const char* error) {
-  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(stderr,
-               "usage: melody_sim [--workers N] [--tasks M] [--runs R]\n"
-               "                  [--budget B] [--estimator melody|static|"
-               "ml-cr|ml-ar]\n"
-               "                  [--reestimation-period T] "
-               "[--exploration-beta BETA]\n"
-               "                  [--payment-rule critical|paper] [--seed S]\n"
-               "                  [--threads T] [--csv out.csv]\n"
-               "                  [--metrics-json out.json]\n"
-               "                  [--checkpoint PATH] [--checkpoint-every N]\n"
-               "                  [--resume PATH] [--faults SPEC] [--quiet]\n"
-               "  --threads T   total worker threads (0 = all hardware\n"
-               "                threads, 1 = serial). Output is identical\n"
-               "                for every T: per-(worker, run) RNG streams\n"
-               "                make the simulation schedule-independent.\n"
-               "  --metrics-json PATH\n"
-               "                enable observability and write a JSON-lines\n"
-               "                stream: per-run events plus auction-phase\n"
-               "                timers, estimator update stats, and thread-\n"
-               "                pool counters. Does not change the outputs.\n"
-               "  --checkpoint PATH\n"
-               "                write crash-safe snapshots to PATH (atomic\n"
-               "                tmp+rename); one is always written after the\n"
-               "                final run.\n"
-               "  --checkpoint-every N\n"
-               "                also snapshot after every N-th run (requires\n"
-               "                --checkpoint).\n"
-               "  --resume PATH resume from a snapshot written with the same\n"
-               "                scenario flags; continuing is bit-identical\n"
-               "                to a run that never stopped.\n"
-               "  --faults SPEC deterministic fault injection, e.g.\n"
-               "                no-show=0.05,drop=0.1,corrupt=0.02,churn=0.1\n"
-               "                (keys: no-show drop corrupt churn churn-min\n"
-               "                churn-max salt). With --resume, overrides\n"
-               "                the plan stored in the snapshot.\n");
-  return error != nullptr ? 1 : 0;
+struct Options {
+  sim::LongTermScenario scenario;
+  std::string estimator_name;
+  std::string payment_rule_name;
+  std::string csv_path;
+  std::string metrics_path;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::string faults_spec;
+  std::int64_t checkpoint_every = 0;
+  double exploration_beta = 0.0;
+  std::uint64_t seed = 0;
+  int threads = 1;
+  bool quiet = false;
+};
+
+// All getter calls live here so the --help text is generated from the same
+// calls that parse (run over an empty Flags instance by usage()).
+Options read_options(const util::Flags& flags) {
+  Options o;
+  o.scenario.num_workers = static_cast<int>(
+      flags.get_int("workers", 300, "N", "worker population size"));
+  o.scenario.num_tasks = static_cast<int>(
+      flags.get_int("tasks", 500, "M", "tasks published per run"));
+  o.scenario.runs =
+      static_cast<int>(flags.get_int("runs", 1000, "R", "number of runs"));
+  o.scenario.budget =
+      flags.get_double("budget", 800.0, "B", "per-run auction budget");
+  o.scenario.reestimation_period = static_cast<int>(flags.get_int(
+      "reestimation-period", 10, "T", "estimator re-estimation period"));
+  o.estimator_name =
+      flags.get_string("estimator", "melody", "NAME",
+                       "quality estimator: melody|static|ml-cr|ml-ar");
+  o.payment_rule_name = flags.get_string("payment-rule", "critical", "RULE",
+                                         "payment rule: critical|paper");
+  o.exploration_beta = flags.get_double("exploration-beta", 0.0, "BETA",
+                                        "exploration bonus weight");
+  o.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", 2017, "S", "master seed"));
+  o.threads = static_cast<int>(flags.get_int(
+      "threads", 1, "T",
+      "worker threads (0: all hardware threads, 1: serial); output is "
+      "bit-identical for every T"));
+  o.csv_path = flags.get_string("csv", "", "PATH",
+                                "write the full per-run records as CSV");
+  o.metrics_path = flags.get_string(
+      "metrics-json", "", "PATH",
+      "enable observability and write a JSON-lines stream (per-run events, "
+      "phase timers, estimator stats); never changes the outputs");
+  o.checkpoint_path = flags.get_string(
+      "checkpoint", "", "PATH",
+      "write crash-safe snapshots (atomic tmp+rename); one is always "
+      "written after the final run");
+  o.checkpoint_every = flags.get_int(
+      "checkpoint-every", 0, "N",
+      "also snapshot after every N-th run (requires --checkpoint)");
+  o.resume_path = flags.get_string(
+      "resume", "", "PATH",
+      "resume from a snapshot written with the same scenario flags; "
+      "bit-identical to a run that never stopped");
+  o.faults_spec = flags.get_string(
+      "faults", "", "SPEC",
+      "deterministic fault injection, e.g. "
+      "no-show=0.05,drop=0.1,corrupt=0.02,churn=0.1 (keys: no-show drop "
+      "corrupt churn churn-min churn-max salt); with --resume, overrides "
+      "the plan in the snapshot");
+  o.quiet = flags.get_bool("quiet", false, "", "suppress the run table");
+  return o;
 }
 
-std::unique_ptr<estimators::QualityEstimator> make_estimator(
-    const std::string& name, const sim::LongTermScenario& scenario,
-    double exploration_beta) {
-  if (name == "static") {
-    return std::make_unique<estimators::StaticEstimator>(scenario.initial_mu,
-                                                         50);
-  }
-  if (name == "ml-cr") {
-    return std::make_unique<estimators::MlCurrentRunEstimator>(
-        scenario.initial_mu);
-  }
-  if (name == "ml-ar") {
-    return std::make_unique<estimators::MlAllRunsEstimator>(
-        scenario.initial_mu);
-  }
-  if (name == "melody") {
-    estimators::MelodyEstimatorConfig config;
-    config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
-    config.reestimation_period = scenario.reestimation_period;
-    config.exploration_beta = exploration_beta;
-    return std::make_unique<estimators::MelodyEstimator>(config);
-  }
-  return nullptr;
+int usage(const char* error) {
+  util::Flags dummy;
+  read_options(dummy);
+  std::fputs(dummy.help("melody_sim",
+                        "Long-term crowdsourcing simulation (the Table-4 "
+                        "experiment with every knob exposed).")
+                 .c_str(),
+             stderr);
+  if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
+  return error != nullptr ? 1 : 0;
 }
 
 }  // namespace
@@ -120,44 +134,30 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     return usage(e.what());
   }
+  Options options;
+  try {
+    options = read_options(*flags);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
   if (flags->has("help")) return usage(nullptr);
 
-  sim::LongTermScenario scenario;
-  std::string estimator_name;
-  std::string payment_rule_name;
-  std::string csv_path;
-  std::string metrics_path;
-  std::string checkpoint_path;
-  std::string resume_path;
+  sim::LongTermScenario& scenario = options.scenario;
+  const std::string& estimator_name = options.estimator_name;
+  const std::string& payment_rule_name = options.payment_rule_name;
+  const std::string& csv_path = options.csv_path;
+  const std::string& metrics_path = options.metrics_path;
+  const std::string& checkpoint_path = options.checkpoint_path;
+  const std::string& resume_path = options.resume_path;
   sim::FaultPlan fault_plan;
-  bool faults_given = false;
-  std::int64_t checkpoint_every = 0;
-  double exploration_beta = 0.0;
-  std::uint64_t seed = 0;
-  int threads = 1;
-  bool quiet = false;
+  const bool faults_given = !options.faults_spec.empty();
+  const std::int64_t checkpoint_every = options.checkpoint_every;
+  const double exploration_beta = options.exploration_beta;
+  const std::uint64_t seed = options.seed;
+  const int threads = options.threads;
+  const bool quiet = options.quiet;
   try {
-    scenario.num_workers = static_cast<int>(flags->get_int("workers", 300));
-    scenario.num_tasks = static_cast<int>(flags->get_int("tasks", 500));
-    scenario.runs = static_cast<int>(flags->get_int("runs", 1000));
-    scenario.budget = flags->get_double("budget", 800.0);
-    scenario.reestimation_period =
-        static_cast<int>(flags->get_int("reestimation-period", 10));
-    estimator_name = flags->get_string("estimator", "melody");
-    payment_rule_name = flags->get_string("payment-rule", "critical");
-    exploration_beta = flags->get_double("exploration-beta", 0.0);
-    seed = static_cast<std::uint64_t>(flags->get_int("seed", 2017));
-    threads = static_cast<int>(flags->get_int("threads", 1));
-    csv_path = flags->get_string("csv", "");
-    metrics_path = flags->get_string("metrics-json", "");
-    checkpoint_path = flags->get_string("checkpoint", "");
-    checkpoint_every = flags->get_int("checkpoint-every", 0);
-    resume_path = flags->get_string("resume", "");
-    faults_given = flags->has("faults");
-    if (faults_given) {
-      fault_plan = sim::FaultPlan::parse(flags->get_string("faults", ""));
-    }
-    quiet = flags->get_bool("quiet", false);
+    if (faults_given) fault_plan = sim::FaultPlan::parse(options.faults_spec);
   } catch (const std::exception& e) {
     return usage(e.what());
   }
@@ -175,7 +175,8 @@ int main(int argc, char** argv) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
 
-  auto estimator = make_estimator(estimator_name, scenario, exploration_beta);
+  auto estimator =
+      svc::make_estimator(estimator_name, scenario, exploration_beta);
   if (estimator == nullptr) {
     return usage("estimator must be one of melody|static|ml-cr|ml-ar");
   }
