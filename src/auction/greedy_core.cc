@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 
 #include "obs/metrics.h"
@@ -15,56 +17,172 @@ namespace {
 // serial path is also the reference the determinism tests compare against.
 constexpr std::size_t kParallelSortThreshold = 4096;
 constexpr std::size_t kParallelPricingWork = std::size_t{1} << 17;
+// Below this the counting passes cost more than comparison sorting.
+constexpr std::size_t kRadixSortThreshold = 2048;
+
+/// Sort key for the ranking queue: the quality-per-cost ratio precomputed
+/// once per worker (the AoS comparator divided twice per comparison), plus
+/// the source position in the caller's worker span for the scatter.
+struct RankEntry {
+  double ratio = 0.0;  // mu-hat_i / c_i
+  WorkerId id = 0;
+  std::uint32_t src = 0;
+};
+
+/// Radix-sort element: the ratio mapped to a descending-order integer key
+/// plus the source position. Qualified ratios are positive (quality and
+/// cost are both > 0 after the filter), and for non-negative IEEE-754
+/// doubles the raw bit pattern is monotone in the value — so the
+/// complemented bits sort descending-by-ratio, bit-exactly the comparator
+/// order.
+struct RankKey {
+  std::uint64_t key = 0;
+  std::uint32_t src = 0;
+};
+
+/// Per-thread scratch reused across auction runs so the hot path performs
+/// no allocations once warm. Everything here is dead when its function
+/// returns — only RankingQueue (owning) crosses call boundaries — so
+/// thread-local reuse is safe even with mechanisms running concurrently on
+/// pool threads (ParallelSweep), where each thread runs one auction at a
+/// time end to end.
+struct GreedyArena {
+  std::vector<RankEntry> entries;       // build_ranking_queue
+  std::vector<RankKey> rank_keys;       // radix rank sort
+  std::vector<RankKey> rank_scratch;    // radix ping-pong buffer
+  std::vector<std::size_t> task_order;  // pre_allocate
+  std::vector<int> available;           // pre_allocate
+};
+
+GreedyArena& arena() {
+  static thread_local GreedyArena scratch;
+  return scratch;
+}
+
+/// Stable LSD radix sort of `keys`, ascending by RankKey::key: six 11-bit
+/// counting passes ping-ponging through `scratch`, with passes whose digit
+/// is constant across the input skipped (for ratios from a narrow market
+/// range the sign/exponent passes collapse). Stability is what transports
+/// the tie-break: the caller only takes this path when the entries arrive
+/// in strictly ascending id order, so equal ratios keep ascending ids —
+/// exactly the comparator's (ratio desc, id asc) total order, and since
+/// that order is total (ids unique), the permutation is identical to the
+/// comparison sort's.
+void radix_rank_sort(std::vector<RankKey>& keys,
+                     std::vector<RankKey>& scratch) {
+  constexpr int kDigitBits = 11;
+  constexpr std::uint32_t kDigits = 1u << kDigitBits;
+  scratch.resize(keys.size());
+  std::uint32_t count[kDigits];
+  for (int shift = 0; shift < 64; shift += kDigitBits) {
+    std::fill(std::begin(count), std::end(count), 0u);
+    for (const RankKey& e : keys) ++count[(e.key >> shift) & (kDigits - 1)];
+    if (count[(keys[0].key >> shift) & (kDigits - 1)] == keys.size()) {
+      continue;  // constant digit: the pass would be the identity
+    }
+    std::uint32_t offset = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t bucket = c;
+      c = offset;
+      offset += bucket;
+    }
+    for (const RankKey& e : keys) {
+      scratch[count[(e.key >> shift) & (kDigits - 1)]++] = e;
+    }
+    std::swap(keys, scratch);
+  }
+}
 
 }  // namespace
 
-std::vector<const WorkerProfile*> build_ranking_queue(
-    std::span<const WorkerProfile> workers, const AuctionConfig& config) {
+RankingQueue build_ranking_queue(std::span<const WorkerProfile> workers,
+                                 const AuctionConfig& config) {
   // Line 1: qualification filter W <- {i : Theta_m <= mu_i <= Theta_M,
   // C_m <= c_i <= C_M}. Workers with non-positive cost, quality, or
   // frequency can never participate meaningfully and are excluded.
-  std::vector<const WorkerProfile*> queue;
-  queue.reserve(workers.size());
-  for (const auto& w : workers) {
+  std::vector<RankEntry>& entries = arena().entries;
+  entries.clear();
+  entries.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerProfile& w = workers[i];
     if (w.bid.cost > 0.0 && w.bid.frequency > 0 && w.estimated_quality > 0.0 &&
         config.qualifies(w)) {
-      queue.push_back(&w);
+      entries.push_back({w.estimated_quality / w.bid.cost, w.id,
+                         static_cast<std::uint32_t>(i)});
     }
   }
   // Line 2: ranking queue, descending estimated quality per unit cost.
-  // Ties broken by worker id, which makes the order total — so the
-  // block-sort-and-merge parallel path (taken for large N) reproduces the
-  // serial order exactly.
+  // Ties broken by worker id, which makes the order total — so every path
+  // below (serial comparison sort, block-sort-and-merge parallel sort,
+  // stable radix sort) produces the identical permutation, and the
+  // precomputed-ratio comparator yields the same order as dividing inside
+  // the comparison (same operands, same IEEE-754 quotient).
   obs::ScopedTimer sort_timer(obs::timer_if_enabled("auction/rank_sort"));
   if (obs::enabled()) {
-    obs::registry().counter("auction/qualified_workers").add(queue.size());
+    obs::registry().counter("auction/qualified_workers").add(entries.size());
   }
-  util::parallel_sort(util::shared_pool(), queue.begin(), queue.end(),
-                      [](const WorkerProfile* a, const WorkerProfile* b) {
-                        const double ra = a->estimated_quality / a->bid.cost;
-                        const double rb = b->estimated_quality / b->bid.cost;
-                        if (ra != rb) return ra > rb;
-                        return a->id < b->id;
+  const std::size_t n = entries.size();
+
+  // Large inputs in ascending id order (the common case: callers pass
+  // worker spans in id order) take the linear-time radix path — the rank
+  // sort is the O(N log N) term of the whole mechanism, and the radix
+  // passes stream contiguous 16-byte keys instead of comparison-shuffling.
+  bool radix = n >= kRadixSortThreshold;
+  for (std::size_t i = 1; radix && i < n; ++i) {
+    radix = entries[i - 1].id < entries[i].id;
+  }
+  RankingQueue queue;
+  queue.ids.resize(n);
+  queue.quality.resize(n);
+  queue.density.resize(n);
+  queue.frequency.resize(n);
+  const auto scatter = [&](auto src_of) {
+    // Scatter into the SoA arrays in rank order.
+    for (std::size_t p = 0; p < n; ++p) {
+      const WorkerProfile& w = workers[src_of(p)];
+      queue.ids[p] = w.id;
+      queue.quality[p] = w.estimated_quality;
+      queue.density[p] = w.bid.cost / w.estimated_quality;
+      queue.frequency[p] = w.bid.frequency;
+    }
+  };
+  if (radix) {
+    std::vector<RankKey>& keys = arena().rank_keys;
+    keys.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = {~std::bit_cast<std::uint64_t>(entries[i].ratio),
+                 entries[i].src};
+    }
+    radix_rank_sort(keys, arena().rank_scratch);
+    scatter([&](std::size_t p) { return keys[p].src; });
+    return queue;
+  }
+  util::parallel_sort(util::shared_pool(), entries.begin(), entries.end(),
+                      [](const RankEntry& a, const RankEntry& b) {
+                        if (a.ratio != b.ratio) return a.ratio > b.ratio;
+                        return a.id < b.id;
                       },
                       kParallelSortThreshold);
+  scatter([&](std::size_t p) { return entries[p].src; });
   return queue;
 }
 
-std::vector<PreAllocation> pre_allocate(
-    const std::vector<const WorkerProfile*>& queue, std::span<const Task> tasks,
-    PaymentRule rule) {
+std::vector<PreAllocation> pre_allocate(const RankingQueue& queue,
+                                        std::span<const Task> tasks,
+                                        PaymentRule rule) {
   // The allocation-loop timer covers the whole stage-1 pass; the pricing
   // timer isolates the per-task critical-value walks inside it (null
   // pointers when collection is off — no clock reads on the hot path).
   obs::ScopedTimer alloc_timer(obs::timer_if_enabled("auction/pre_allocate"));
   obs::Summary* pricing_summary = obs::timer_if_enabled("auction/pricing");
 
-  auto ratio_of = [&](std::size_t pos) {
-    return queue[pos]->bid.cost / queue[pos]->estimated_quality;
-  };
+  const double* const quality = queue.quality.data();
+  const double* const density = queue.density.data();
+  const std::size_t queue_size = queue.size();
 
   // Line 3: tasks in ascending order of quality threshold.
-  std::vector<std::size_t> task_order(tasks.size());
+  std::vector<std::size_t>& task_order = arena().task_order;
+  task_order.resize(tasks.size());
   std::iota(task_order.begin(), task_order.end(), std::size_t{0});
   std::sort(task_order.begin(), task_order.end(),
             [&](std::size_t a, std::size_t b) {
@@ -74,10 +192,8 @@ std::vector<PreAllocation> pre_allocate(
               return tasks[a].id < tasks[b].id;
             });
 
-  std::vector<int> available(queue.size());
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    available[i] = queue[i]->bid.frequency;
-  }
+  std::vector<int>& available = arena().available;
+  available.assign(queue.frequency.begin(), queue.frequency.end());
 
   // Lines 5-14: pre-allocation.
   std::vector<PreAllocation> pre;
@@ -89,14 +205,15 @@ std::vector<PreAllocation> pre_allocate(
     const double required = tasks[task_index].quality_threshold;
 
     // Line 6: smallest k such that available workers in the queue prefix
-    // [0, k) have total estimated quality >= Q_j.
+    // [0, k) have total estimated quality >= Q_j. Contiguous scan over the
+    // quality/available arrays.
     PreAllocation p;
     p.task_index = task_index;
     double covered = 0.0;
     std::size_t k = 0;  // one past the last prefix position scanned
-    while (k < queue.size() && covered < required) {
+    while (k < queue_size && covered < required) {
       if (available[k] > 0) {
-        covered += queue[k]->estimated_quality;
+        covered += quality[k];
         p.winners.push_back(k);
       }
       ++k;
@@ -112,13 +229,13 @@ std::vector<PreAllocation> pre_allocate(
     p.payments.reserve(p.winners.size());
     if (rule == PaymentRule::kPaperNextInQueue) {
       // Paper-literal: every winner priced from the (k+1)-th queue worker.
-      if (k >= queue.size()) {  // no reference worker
+      if (k >= queue_size) {  // no reference worker
         ++unpriceable;
         continue;
       }
-      const double ratio = ratio_of(k);
+      const double ratio = density[k];
       for (std::size_t widx : p.winners) {
-        p.payments.push_back(ratio * queue[widx]->estimated_quality);
+        p.payments.push_back(ratio * quality[widx]);
       }
     } else {
       // Critical value: winner i stays a winner of this task exactly while
@@ -126,31 +243,31 @@ std::vector<PreAllocation> pre_allocate(
       // completes in the queue *without* i (under the current availability
       // state). Walk the queue skipping i to find that completion worker;
       // its cost density is i's payment ratio. The per-winner walks only
-      // read `queue` and `available` and write disjoint payment slots, so
-      // for large instances they shard across the pool with bit-identical
-      // results.
+      // read the quality/available arrays and write disjoint payment
+      // slots, so for large instances they shard across the pool with
+      // bit-identical results.
       p.payments.assign(p.winners.size(), 0.0);
       std::atomic<bool> all_priced{true};
       auto price_winner = [&](std::size_t w) {
         const std::size_t widx = p.winners[w];
         double cumulative = 0.0;
         std::size_t pos = 0;
-        while (pos < queue.size()) {
+        while (pos < queue_size) {
           if (pos != widx && available[pos] > 0) {
-            cumulative += queue[pos]->estimated_quality;
+            cumulative += quality[pos];
             if (cumulative >= required) break;
           }
           ++pos;
         }
-        if (pos >= queue.size()) {
+        if (pos >= queue_size) {
           // No critical worker exists for this winner.
           all_priced.store(false, std::memory_order_relaxed);
           return;
         }
-        p.payments[w] = ratio_of(pos) * queue[widx]->estimated_quality;
+        p.payments[w] = density[pos] * quality[widx];
       };
       if (p.winners.size() > 1 &&
-          p.winners.size() * queue.size() >= kParallelPricingWork) {
+          p.winners.size() * queue_size >= kParallelPricingWork) {
         util::parallel_for(util::shared_pool(), p.winners.size(),
                            price_winner);
       } else {
@@ -188,12 +305,11 @@ std::vector<PreAllocation> pre_allocate(
   return pre;
 }
 
-void commit(const PreAllocation& pre,
-            const std::vector<const WorkerProfile*>& queue,
+void commit(const PreAllocation& pre, const RankingQueue& queue,
             std::span<const Task> tasks, AllocationResult& result) {
   result.selected_tasks.push_back(tasks[pre.task_index].id);
   for (std::size_t w = 0; w < pre.winners.size(); ++w) {
-    result.assignments.push_back({queue[pre.winners[w]]->id,
+    result.assignments.push_back({queue.ids[pre.winners[w]],
                                   tasks[pre.task_index].id, pre.payments[w]});
   }
 }

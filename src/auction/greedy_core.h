@@ -3,6 +3,15 @@
 // the primal budgeted auction (melody_auction) and the dual
 // minimize-budget-for-target-utility form (dual_sra, paper footnote 6).
 //
+// The ranking queue is structure-of-arrays: the coverage scans and pricing
+// walks (the O(N M) inner loops) read one contiguous double array each
+// instead of chasing WorkerProfile pointers, and the rank sort compares
+// precomputed ratios instead of dividing twice per comparison. The
+// arithmetic is unchanged — ratio = quality / cost and
+// density = cost / quality are the exact divisions the AoS code performed
+// in place, computed once — so selection, pricing, and output order are
+// bit-identical to the scalar layout (locked by test_soa_equivalence).
+//
 // Not part of the public API surface; include only from auction/*.cc.
 #pragma once
 
@@ -15,31 +24,43 @@
 
 namespace melody::auction::internal {
 
+/// The ranking queue in structure-of-arrays form: position p in every array
+/// describes the p-th ranked qualified worker. Owns its storage (per-call
+/// scratch lives in a thread-local arena instead; see greedy_core.cc).
+struct RankingQueue {
+  std::vector<WorkerId> ids;
+  std::vector<double> quality;   // mu-hat_i
+  std::vector<double> density;   // c_i / mu-hat_i — the pricing ratio
+  std::vector<int> frequency;    // n_i
+
+  std::size_t size() const noexcept { return ids.size(); }
+  bool empty() const noexcept { return ids.empty(); }
+};
+
 /// One pre-allocated task: the winners chosen in stage 1 and the total
 /// pre-payment P_j the requester would owe if the task is committed.
 struct PreAllocation {
   std::size_t task_index = 0;
-  std::vector<std::size_t> winners;  // indices into the ranking queue
+  std::vector<std::size_t> winners;  // positions in the ranking queue
   std::vector<double> payments;      // parallel to winners
   double total_payment = 0.0;        // P_j
 };
 
 /// Algorithm 1 lines 1-2: qualification filter + ranking queue (descending
 /// estimated quality per unit cost, ties by id).
-std::vector<const WorkerProfile*> build_ranking_queue(
-    std::span<const WorkerProfile> workers, const AuctionConfig& config);
+RankingQueue build_ranking_queue(std::span<const WorkerProfile> workers,
+                                 const AuctionConfig& config);
 
 /// Algorithm 1 lines 3-14: pre-allocate every task over the ranking queue,
 /// consuming worker frequency, pricing winners per the payment rule, and
 /// dropping unpriceable tasks. The result is sorted by ascending P_j
 /// (ties by task id), ready for stage-2 commitment.
-std::vector<PreAllocation> pre_allocate(
-    const std::vector<const WorkerProfile*>& queue, std::span<const Task> tasks,
-    PaymentRule rule);
+std::vector<PreAllocation> pre_allocate(const RankingQueue& queue,
+                                        std::span<const Task> tasks,
+                                        PaymentRule rule);
 
 /// Append one pre-allocation's assignments to a result.
-void commit(const PreAllocation& pre,
-            const std::vector<const WorkerProfile*>& queue,
+void commit(const PreAllocation& pre, const RankingQueue& queue,
             std::span<const Task> tasks, AllocationResult& result);
 
 }  // namespace melody::auction::internal

@@ -13,30 +13,82 @@
 
 namespace melody::estimators {
 
+namespace {
+/// Null link / "no arena entry" marker for the arena history chains.
+constexpr std::uint32_t kNoHistory = 0xffffffffu;
+}  // namespace
+
 void MelodyEstimator::register_worker(auction::WorkerId id) {
-  State state;
-  state.posterior = config_.initial_posterior;  // newcomer: Alg. 3 line 2
-  state.params = config_.initial_params;
-  state.window_anchor = config_.initial_posterior;
-  states_.try_emplace(id, std::move(state));
+  const auto [it, inserted] = index_.try_emplace(id, ids_.size());
+  if (!inserted) return;  // re-registration keeps the existing chain
+  ids_.push_back(id);
+  mean_.push_back(config_.initial_posterior.mean);  // newcomer: Alg. 3 line 2
+  var_.push_back(config_.initial_posterior.var);
+  anchor_mean_.push_back(config_.initial_posterior.mean);
+  anchor_var_.push_back(config_.initial_posterior.var);
+  a_.push_back(config_.initial_params.a);
+  gamma_.push_back(config_.initial_params.gamma);
+  eta_.push_back(config_.initial_params.eta);
+  runs_since_em_.push_back(0);
+  runs_seen_.push_back(0);
+  observed_runs_.push_back(0);
+  em_count_.push_back(0);
+  if (arena_history()) {
+    history_head_.push_back(kNoHistory);
+    history_len_.push_back(0);
+  } else {
+    history_.emplace_back();
+  }
 }
 
-void MelodyEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores) {
-  State& state = states_.at(id);
-  ++state.runs_seen;
+const lds::ScoreHistory& MelodyEstimator::gathered_history(
+    std::size_t slot) const {
+  static thread_local lds::ScoreHistory scratch;
+  scratch.resize(history_len_[slot]);
+  std::uint32_t node = history_head_[slot];
+  for (std::size_t k = scratch.size(); k-- > 0;) {
+    scratch[k] = history_arena_[node].scores;
+    node = history_arena_[node].prev;
+  }
+  return scratch;
+}
+
+void MelodyEstimator::observe_slot(std::size_t slot,
+                                   const lds::ScoreSet& scores) {
+  ++runs_seen_[slot];
   if (scores.empty() && !config_.advance_on_empty_runs) {
     return;  // participation-indexed chain: idle runs change nothing
   }
-  state.history.push_back(scores);
-  if (!scores.empty()) ++state.observed_runs;
-  if (config_.max_history > 0 &&
-      static_cast<int>(state.history.size()) > config_.max_history) {
-    // Slide the window: fold the oldest run into the anchor posterior.
-    state.window_anchor =
-        lds::filter_step(state.window_anchor, state.history.front(),
-                         state.params);
-    state.history.erase(state.history.begin());
+  std::uint32_t arena_pos = kNoHistory;
+  if (arena_history()) {
+    arena_pos = static_cast<std::uint32_t>(history_arena_.size());
+    history_arena_.emplace_back();
   }
+  observe_slot_at(slot, scores, arena_pos);
+}
+
+void MelodyEstimator::observe_slot_at(std::size_t slot,
+                                      const lds::ScoreSet& scores,
+                                      std::uint32_t arena_pos) {
+  const lds::LdsParams params{a_[slot], gamma_[slot], eta_[slot]};
+  if (arena_history()) {
+    history_arena_[arena_pos] = {scores, history_head_[slot]};
+    history_head_[slot] = arena_pos;
+    ++history_len_[slot];
+  } else {
+    lds::ScoreHistory& history = history_[slot];
+    history.push_back(scores);
+    if (config_.max_history > 0 &&
+        static_cast<int>(history.size()) > config_.max_history) {
+      // Slide the window: fold the oldest run into the anchor posterior.
+      const lds::Gaussian anchor = lds::filter_step(
+          {anchor_mean_[slot], anchor_var_[slot]}, history.front(), params);
+      anchor_mean_[slot] = anchor.mean;
+      anchor_var_[slot] = anchor.var;
+      history.erase(history.begin());
+    }
+  }
+  if (!scores.empty()) ++observed_runs_[slot];
 
   // Theorem 3 update (empty score sets propagate the prior only).
   // Observability (gated on one relaxed load; handles cached in statics;
@@ -48,89 +100,213 @@ void MelodyEstimator::observe(auction::WorkerId id, const lds::ScoreSet& scores)
   if (collect && !scores.empty()) {
     static obs::Summary& innovation =
         obs::registry().summary("estimator/innovation_abs");
-    innovation.record(
-        std::abs(scores.mean() - state.params.a * state.posterior.mean));
+    innovation.record(std::abs(scores.mean() - params.a * mean_[slot]));
   }
-  state.posterior = lds::filter_step(state.posterior, scores, state.params);
+  lds::Gaussian posterior =
+      lds::filter_step({mean_[slot], var_[slot]}, scores, params);
   if (collect) {
     static obs::Counter& updates =
         obs::registry().counter("estimator/kalman_updates");
     static obs::Summary& posterior_var =
         obs::registry().summary("estimator/posterior_var");
     updates.add();
-    posterior_var.record(state.posterior.var);
+    posterior_var.record(posterior.var);
   }
 
   // Algorithm 3 lines 6-8: periodic EM re-estimation of theta.
-  ++state.runs_since_em;
+  ++runs_since_em_[slot];
   if (config_.reestimation_period > 0 &&
-      state.runs_since_em >= config_.reestimation_period &&
-      state.observed_runs >= config_.min_history_for_em) {
-    obs::ScopedTimer em_timer(collect
-                                  ? &obs::registry().timer("estimator/em")
-                                  : nullptr);
-    const lds::EmResult em = lds::fit_lds(state.window_anchor, state.history,
-                                          state.params, config_.em_options);
-    state.params = em.params;
-    state.runs_since_em = 0;
-    ++state.em_count;
+      runs_since_em_[slot] >= config_.reestimation_period &&
+      observed_runs_[slot] >= config_.min_history_for_em) {
+    reestimate_slot(slot, params, posterior, collect);
+  }
+  mean_[slot] =
+      std::clamp(posterior.mean, config_.estimate_min, config_.estimate_max);
+  var_[slot] = posterior.var;
+}
+
+void MelodyEstimator::reestimate_slot(std::size_t slot,
+                                      const lds::LdsParams& params,
+                                      lds::Gaussian& posterior, bool collect) {
+  obs::ScopedTimer em_timer(collect ? &obs::registry().timer("estimator/em")
+                                    : nullptr);
+  const lds::Gaussian anchor{anchor_mean_[slot], anchor_var_[slot]};
+  const lds::ScoreHistory& history =
+      arena_history() ? gathered_history(slot) : history_[slot];
+  const lds::EmResult em =
+      lds::fit_lds(anchor, history, params, config_.em_options);
+  a_[slot] = em.params.a;
+  gamma_[slot] = em.params.gamma;
+  eta_[slot] = em.params.eta;
+  runs_since_em_[slot] = 0;
+  ++em_count_[slot];
+  if (collect) {
+    static obs::Counter& em_runs = obs::registry().counter("estimator/em_runs");
+    static obs::Summary& em_iterations =
+        obs::registry().summary("estimator/em_iterations");
+    em_runs.add();
+    em_iterations.record(static_cast<double>(em.iterations));
+  }
+  if (config_.refilter_after_em) {
+    posterior = lds::filter(anchor, history, em.params).posteriors.back();
     if (collect) {
-      static obs::Counter& em_runs =
-          obs::registry().counter("estimator/em_runs");
-      static obs::Summary& em_iterations =
-          obs::registry().summary("estimator/em_iterations");
-      em_runs.add();
-      em_iterations.record(static_cast<double>(em.iterations));
-    }
-    if (config_.refilter_after_em) {
-      state.posterior =
-          lds::filter(state.window_anchor, state.history, state.params)
-              .posteriors.back();
-      if (collect) {
-        static obs::Counter& refilters =
-            obs::registry().counter("estimator/refilters");
-        refilters.add();
-      }
+      static obs::Counter& refilters =
+          obs::registry().counter("estimator/refilters");
+      refilters.add();
     }
   }
-  state.posterior.mean = std::clamp(state.posterior.mean,
-                                    config_.estimate_min, config_.estimate_max);
+}
+
+void MelodyEstimator::update_arena_range(std::size_t begin, std::size_t end,
+                                         std::span<const lds::ScoreSet> scores,
+                                         const std::uint32_t* pos,
+                                         const std::uint32_t* slots) {
+  // Observability is sampled once per range, not once per worker: the
+  // whole range runs under one collection decision, and the disabled case
+  // (the production default, and what the perf suite times) pays no
+  // atomic load inside the loop.
+  const bool collect = obs::enabled();
+  obs::Summary* innovation = nullptr;
+  obs::Counter* updates = nullptr;
+  obs::Summary* posterior_var = nullptr;
+  if (collect) {
+    obs::MetricsRegistry& reg = obs::registry();
+    innovation = &reg.summary("estimator/innovation_abs");
+    updates = &reg.counter("estimator/kalman_updates");
+    posterior_var = &reg.summary("estimator/posterior_var");
+  }
+  const bool em_enabled = config_.reestimation_period > 0;
+  const double estimate_min = config_.estimate_min;
+  const double estimate_max = config_.estimate_max;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t slot = slots != nullptr ? slots[i] : i;
+    ++runs_seen_[slot];
+    const std::uint32_t arena_pos = pos[i];
+    if (arena_pos == kNoHistory) continue;  // idle, non-advancing run
+    const lds::ScoreSet& set = scores[i];
+    const lds::LdsParams params{a_[slot], gamma_[slot], eta_[slot]};
+    history_arena_[arena_pos] = {set, history_head_[slot]};
+    history_head_[slot] = arena_pos;
+    ++history_len_[slot];
+    if (!set.empty()) ++observed_runs_[slot];
+    if (collect && !set.empty()) {
+      innovation->record(std::abs(set.mean() - params.a * mean_[slot]));
+    }
+    lds::Gaussian posterior =
+        lds::filter_step({mean_[slot], var_[slot]}, set, params);
+    if (collect) {
+      updates->add();
+      posterior_var->record(posterior.var);
+    }
+    ++runs_since_em_[slot];
+    if (em_enabled && runs_since_em_[slot] >= config_.reestimation_period &&
+        observed_runs_[slot] >= config_.min_history_for_em) {
+      reestimate_slot(slot, params, posterior, collect);
+    }
+    mean_[slot] = std::clamp(posterior.mean, estimate_min, estimate_max);
+    var_[slot] = posterior.var;
+  }
+}
+
+void MelodyEstimator::observe(auction::WorkerId id,
+                              const lds::ScoreSet& scores) {
+  observe_slot(index_.at(id), scores);
+}
+
+bool MelodyEstimator::matches_slot_order(
+    std::span<const auction::WorkerId> ids) const {
+  if (ids.size() != ids_.size()) return false;
+  return std::equal(ids.begin(), ids.end(), ids_.begin());
 }
 
 void MelodyEstimator::observe_run(std::span<const auction::WorkerId> ids,
                                   std::span<const lds::ScoreSet> scores) {
-  // Each worker's filter/EM chain reads and writes only states_.at(id);
-  // concurrent at() on distinct keys of an unchanging map is safe. The
-  // grain keeps small populations on the calling thread — the crossover is
-  // dominated by the EM runs, which are the expensive entries.
-  util::parallel_for(
-      util::shared_pool(), ids.size(),
-      [&](std::size_t i) { observe(ids[i], scores[i]); },
-      /*min_grain=*/16);
+  // Each worker's filter/EM chain reads and writes only its own slot of
+  // the state arrays; slots are disjoint, so sharding is safe. The grain
+  // keeps small populations on the calling thread — the crossover is
+  // dominated by the EM runs, which are the expensive entries. The
+  // platform observes workers in registration order, which is exactly the
+  // dense slot order: one O(N) identity check then replaces N hash
+  // lookups with direct slot indexing.
+  // Crossover: a run that cannot trigger EM is one filter step per slot —
+  // far cheaper than a fork-join — so it only leaves the calling thread
+  // for very large populations. With EM enabled the expensive entries
+  // dominate and sharding pays immediately. (Serial and parallel orders
+  // are bit-identical either way; this is purely a cost decision.)
+  const std::size_t min_grain =
+      config_.reestimation_period > 0 ? 16 : 16384;
+  const bool slot_order = matches_slot_order(ids);
+  if (!arena_history()) {
+    if (slot_order) {
+      util::parallel_for(
+          util::shared_pool(), ids.size(),
+          [&](std::size_t i) { observe_slot(i, scores[i]); }, min_grain);
+      return;
+    }
+    util::parallel_for(
+        util::shared_pool(), ids.size(),
+        [&](std::size_t i) { observe(ids[i], scores[i]); }, min_grain);
+    return;
+  }
+
+  // Arena mode: the per-slot updates append to the shared arena, so a
+  // serial prefix pass assigns every appending slot its position (in the
+  // same order the serial loop would have appended) and sizes the arena
+  // once. The sharded bodies then write disjoint, pre-sized entries —
+  // same entries, same order, no race.
+  std::vector<std::uint32_t>& pos = run_positions_;
+  pos.resize(ids.size());
+  std::uint32_t next = static_cast<std::uint32_t>(history_arena_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const bool appends = !scores[i].empty() || config_.advance_on_empty_runs;
+    pos[i] = appends ? next++ : kNoHistory;
+  }
+  history_arena_.resize(next);
+  const std::uint32_t* slot_of = nullptr;
+  if (!slot_order) {
+    std::vector<std::uint32_t>& slots = run_slots_;
+    slots.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      slots[i] = static_cast<std::uint32_t>(index_.at(ids[i]));
+    }
+    slot_of = slots.data();
+  }
+  // Shard whole grain-sized ranges, not single slots: the fused range body
+  // is where the batch update earns its throughput, and any partition of
+  // disjoint slots produces identical state.
+  const std::size_t grain = std::max<std::size_t>(min_grain, 1);
+  const std::size_t chunks = (ids.size() + grain - 1) / grain;
+  util::parallel_for(util::shared_pool(), chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(ids.size(), begin + grain);
+    update_arena_range(begin, end, scores, pos.data(), slot_of);
+  });
 }
 
 double MelodyEstimator::estimate(auction::WorkerId id) const {
-  const State& state = states_.at(id);
+  const std::size_t slot = index_.at(id);
   // Eq. (19): mu^{r+1} = a * mu-hat^r, clamped to the score range.
-  double estimate = state.params.a * state.posterior.mean;
+  double estimate = a_[slot] * mean_[slot];
   if (config_.exploration_beta > 0.0) {
     estimate += config_.exploration_beta *
-                std::sqrt(std::log(state.runs_seen + 1.0) /
-                          (state.observed_runs + 1.0));
+                std::sqrt(std::log(runs_seen_[slot] + 1.0) /
+                          (observed_runs_[slot] + 1.0));
   }
   return std::clamp(estimate, config_.estimate_min, config_.estimate_max);
 }
 
-const lds::Gaussian& MelodyEstimator::posterior(auction::WorkerId id) const {
-  return states_.at(id).posterior;
+lds::Gaussian MelodyEstimator::posterior(auction::WorkerId id) const {
+  const std::size_t slot = index_.at(id);
+  return {mean_[slot], var_[slot]};
 }
 
-const lds::LdsParams& MelodyEstimator::params(auction::WorkerId id) const {
-  return states_.at(id).params;
+lds::LdsParams MelodyEstimator::params(auction::WorkerId id) const {
+  const std::size_t slot = index_.at(id);
+  return {a_[slot], gamma_[slot], eta_[slot]};
 }
 
 int MelodyEstimator::reestimation_count(auction::WorkerId id) const {
-  return states_.at(id).em_count;
+  return em_count_[index_.at(id)];
 }
 
 namespace {
@@ -138,22 +314,26 @@ constexpr char kSnapshotHeader[] = "MELODY_TRACKER v2";
 }
 
 void MelodyEstimator::save(std::ostream& out) const {
-  // Sort by id so snapshots are byte-identical across runs.
-  std::vector<auction::WorkerId> ids;
-  ids.reserve(states_.size());
-  for (const auto& [id, state] : states_) ids.push_back(id);
+  // Sort by id so snapshots are byte-identical across runs (and across
+  // state layouts: this is the same record order the AoS code emitted).
+  std::vector<auction::WorkerId> ids = ids_;
   std::sort(ids.begin(), ids.end());
 
   out << kSnapshotHeader << '\n' << ids.size() << '\n';
   out.precision(17);
   for (auction::WorkerId id : ids) {
-    const State& s = states_.at(id);
-    out << id << ' ' << s.posterior.mean << ' ' << s.posterior.var << ' '
-        << s.window_anchor.mean << ' ' << s.window_anchor.var << ' '
-        << s.params.a << ' ' << s.params.gamma << ' ' << s.params.eta << ' '
-        << s.runs_since_em << ' ' << s.runs_seen << ' ' << s.observed_runs
-        << ' ' << s.em_count << ' ' << s.history.size() << '\n';
-    for (const lds::ScoreSet& set : s.history) {
+    const std::size_t s = index_.at(id);
+    // Arena mode gathers the slot's chain into the same oldest-first
+    // per-worker sequence the window mode stores, so the snapshot bytes
+    // are identical across storage modes.
+    const lds::ScoreHistory& history =
+        arena_history() ? gathered_history(s) : history_[s];
+    out << id << ' ' << mean_[s] << ' ' << var_[s] << ' ' << anchor_mean_[s]
+        << ' ' << anchor_var_[s] << ' ' << a_[s] << ' ' << gamma_[s] << ' '
+        << eta_[s] << ' ' << runs_since_em_[s] << ' ' << runs_seen_[s] << ' '
+        << observed_runs_[s] << ' ' << em_count_[s] << ' ' << history.size()
+        << '\n';
+    for (const lds::ScoreSet& set : history) {
       out << set.count << ' ' << set.sum << ' ' << set.sum_squares << '\n';
     }
   }
@@ -170,31 +350,67 @@ void MelodyEstimator::load(std::istream& in) {
   if (!(in >> worker_count)) {
     throw std::runtime_error("MelodyEstimator::load: missing worker count");
   }
-  std::unordered_map<auction::WorkerId, State> loaded;
-  loaded.reserve(worker_count);
+  MelodyEstimator loaded(config_);
+  loaded.ids_.reserve(worker_count);
   for (std::size_t w = 0; w < worker_count; ++w) {
     auction::WorkerId id = -1;
-    State s;
+    lds::Gaussian posterior;
+    lds::Gaussian anchor;
+    lds::LdsParams params;
+    int runs_since_em = 0;
+    int runs_seen = 0;
+    int observed_runs = 0;
+    int em_count = 0;
     std::size_t history_size = 0;
-    if (!(in >> id >> s.posterior.mean >> s.posterior.var >>
-          s.window_anchor.mean >> s.window_anchor.var >> s.params.a >>
-          s.params.gamma >> s.params.eta >> s.runs_since_em >> s.runs_seen >>
-          s.observed_runs >> s.em_count >> history_size)) {
-      throw std::runtime_error("MelodyEstimator::load: truncated worker record");
+    if (!(in >> id >> posterior.mean >> posterior.var >> anchor.mean >>
+          anchor.var >> params.a >> params.gamma >> params.eta >>
+          runs_since_em >> runs_seen >> observed_runs >> em_count >>
+          history_size)) {
+      throw std::runtime_error(
+          "MelodyEstimator::load: truncated worker record");
     }
-    s.params.validate();
-    if (s.posterior.var <= 0.0 || s.window_anchor.var <= 0.0) {
+    params.validate();
+    if (posterior.var <= 0.0 || anchor.var <= 0.0) {
       throw std::runtime_error("MelodyEstimator::load: invalid posterior");
     }
-    s.history.resize(history_size);
-    for (lds::ScoreSet& set : s.history) {
+    lds::ScoreHistory history(history_size);
+    for (lds::ScoreSet& set : history) {
       if (!(in >> set.count >> set.sum >> set.sum_squares)) {
         throw std::runtime_error("MelodyEstimator::load: truncated history");
       }
     }
-    loaded.emplace(id, std::move(s));
+    if (loaded.index_.contains(id)) {
+      throw std::runtime_error("MelodyEstimator::load: duplicate worker id");
+    }
+    loaded.index_.emplace(id, loaded.ids_.size());
+    loaded.ids_.push_back(id);
+    loaded.mean_.push_back(posterior.mean);
+    loaded.var_.push_back(posterior.var);
+    loaded.anchor_mean_.push_back(anchor.mean);
+    loaded.anchor_var_.push_back(anchor.var);
+    loaded.a_.push_back(params.a);
+    loaded.gamma_.push_back(params.gamma);
+    loaded.eta_.push_back(params.eta);
+    loaded.runs_since_em_.push_back(runs_since_em);
+    loaded.runs_seen_.push_back(runs_seen);
+    loaded.observed_runs_.push_back(observed_runs);
+    loaded.em_count_.push_back(em_count);
+    if (loaded.arena_history()) {
+      std::uint32_t head = kNoHistory;
+      for (const lds::ScoreSet& set : history) {
+        const auto node =
+            static_cast<std::uint32_t>(loaded.history_arena_.size());
+        loaded.history_arena_.push_back({set, head});
+        head = node;
+      }
+      loaded.history_head_.push_back(head);
+      loaded.history_len_.push_back(
+          static_cast<std::uint32_t>(history.size()));
+    } else {
+      loaded.history_.push_back(std::move(history));
+    }
   }
-  states_ = std::move(loaded);
+  *this = std::move(loaded);
 }
 
 }  // namespace melody::estimators

@@ -1,10 +1,34 @@
 // MELODY's quality updater (Algorithm 3): per-worker Kalman posterior
 // update after every run, Eq. (19) prediction for the next run's auction,
 // and EM re-estimation of theta = {a, gamma, eta} every T runs.
+//
+// State is stored structure-of-arrays: one dense slot per registered
+// worker, with the posterior/anchor/parameter scalars in contiguous
+// per-field arrays. The per-run batch update walks those arrays in slot
+// order — no hash lookup per worker on the hot path — while the arithmetic
+// per worker is exactly the scalar chain's (same lds::filter_step /
+// fit_lds calls on the same values), so estimates and snapshots are
+// bit-identical to the AoS layout (locked by test_soa_equivalence against
+// perf::reference::AosKalmanChain).
+//
+// Score histories have two storage modes. With a sliding window
+// (max_history > 0) each worker keeps a small vector, folded at the front
+// as it slides. Unbounded mode (max_history == 0, the paper's behaviour)
+// instead appends every run's ScoreSet to one shared arena in arrival
+// order, with an intrusive backward link per entry and a per-slot head:
+// the per-run ingest is then a append to one contiguous array
+// instead of a scattered push_back into N separate vectors — the dominant
+// cost of a filter-only run. EM, re-filtering, and save() gather a
+// worker's chain oldest-first by walking the links; the gathered sequence
+// is the exact per-worker vector the old layout held, so everything
+// downstream (and every snapshot byte) is unchanged.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <unordered_map>
+#include <vector>
 
 #include "estimators/estimator.h"
 #include "lds/em.h"
@@ -72,18 +96,24 @@ class MelodyEstimator final : public QualityEstimator {
   void register_worker(auction::WorkerId id) override;
   void observe(auction::WorkerId id, const lds::ScoreSet& scores) override;
   /// Shards the per-worker Kalman/EM updates across util::shared_pool().
-  /// Safe because each worker's chain touches only its own State and the
-  /// state map is never resized during a run; bit-identical to the serial
-  /// order for any thread count.
+  /// Safe because each worker's chain touches only its own dense slot and
+  /// the arrays are never resized during a run; bit-identical to the
+  /// serial order for any thread count. When `ids` matches the dense slot
+  /// order (the platform's usual case — workers observed in registration
+  /// order), the per-worker id lookup is skipped entirely and the update
+  /// streams straight over the state arrays.
   void observe_run(std::span<const auction::WorkerId> ids,
                    std::span<const lds::ScoreSet> scores) override;
   double estimate(auction::WorkerId id) const override;
   std::string name() const override { return "MELODY"; }
 
   /// Current posterior alpha-hat(q^r) for a worker (inspection/tests).
-  const lds::Gaussian& posterior(auction::WorkerId id) const;
-  /// Current hyper-parameters for a worker (inspection/tests).
-  const lds::LdsParams& params(auction::WorkerId id) const;
+  /// Returned by value: under the SoA layout the mean and variance live in
+  /// different arrays, so there is no Gaussian object to reference.
+  lds::Gaussian posterior(auction::WorkerId id) const;
+  /// Current hyper-parameters for a worker (inspection/tests). By value,
+  /// as with posterior().
+  lds::LdsParams params(auction::WorkerId id) const;
   /// Number of EM re-estimations performed for a worker so far.
   int reestimation_count(auction::WorkerId id) const;
 
@@ -98,24 +128,89 @@ class MelodyEstimator final : public QualityEstimator {
   void load(std::istream& in) override;
 
   /// Number of registered workers (inspection/tests).
-  std::size_t worker_count() const noexcept { return states_.size(); }
+  std::size_t worker_count() const noexcept { return ids_.size(); }
 
  private:
-  struct State {
-    lds::Gaussian posterior;
-    lds::LdsParams params;
-    lds::ScoreHistory history;
-    /// Posterior at the start of the stored history window; equals the
-    /// platform-preset initial posterior until the window starts sliding.
-    lds::Gaussian window_anchor;
-    int runs_since_em = 0;
-    int runs_seen = 0;      // every observe() call, empty or not
-    int observed_runs = 0;  // runs with at least one score
-    int em_count = 0;
+  /// One appended run in the shared history arena (unbounded mode): the
+  /// run's sufficient statistics plus a link to the same worker's previous
+  /// entry (kNoHistory when this is the worker's first).
+  struct HistoryNode {
+    lds::ScoreSet scores;
+    std::uint32_t prev = 0;
   };
 
+  /// True when histories live in the shared arena (max_history == 0).
+  bool arena_history() const noexcept { return config_.max_history == 0; }
+
+  /// The full Algorithm 3 update for the worker in dense slot `slot`.
+  void observe_slot(std::size_t slot, const lds::ScoreSet& scores);
+
+  /// The update body after the empty-run gate, with the arena position for
+  /// this run's history entry already reserved (ignored in window mode).
+  /// Distinct slots write disjoint state, so observe_run shards calls to
+  /// this across the pool once the serial prefix pass has sized the arena.
+  void observe_slot_at(std::size_t slot, const lds::ScoreSet& scores,
+                       std::uint32_t arena_pos);
+
+  /// Algorithm 3 lines 6-8: EM re-estimation of theta for one slot, plus
+  /// the optional posterior re-filter. `posterior` is this run's filtered
+  /// posterior on entry and the re-filtered one on exit.
+  void reestimate_slot(std::size_t slot, const lds::LdsParams& params,
+                       lds::Gaussian& posterior, bool collect);
+
+  /// Arena-mode batch body: the observe_slot_at update fused into one
+  /// loop over [begin, end) of a run's rows, with the observability gate
+  /// hoisted and the filter step inlined — the per-(worker, run) cost is
+  /// the Theorem-3 arithmetic plus one contiguous arena write, instead of
+  /// a call chain per worker. `pos` holds each row's pre-assigned arena
+  /// position (kNoHistory for skipped rows); `slots` maps row -> dense
+  /// slot, or nullptr when the run is already in slot order.
+  void update_arena_range(std::size_t begin, std::size_t end,
+                          std::span<const lds::ScoreSet> scores,
+                          const std::uint32_t* pos,
+                          const std::uint32_t* slots);
+
+  /// Arena mode: a worker's history gathered oldest-first into a
+  /// thread-local scratch vector — element-for-element the per-worker
+  /// vector the window mode (and the old layout) stores directly.
+  const lds::ScoreHistory& gathered_history(std::size_t slot) const;
+
+  /// True when `ids` is exactly the dense slot order, making per-worker
+  /// map lookups unnecessary.
+  bool matches_slot_order(std::span<const auction::WorkerId> ids) const;
+
   MelodyEstimatorConfig config_;
-  std::unordered_map<auction::WorkerId, State> states_;
+
+  // Dense SoA state: slot s of every array belongs to worker ids_[s];
+  // index_ maps id -> slot. Hot per-run fields are contiguous doubles/ints;
+  // the score histories (touched only on ingestion and EM) stay per-worker.
+  std::vector<auction::WorkerId> ids_;  // registration order
+  std::unordered_map<auction::WorkerId, std::size_t> index_;
+  std::vector<double> mean_;         // posterior mean
+  std::vector<double> var_;          // posterior variance
+  std::vector<double> anchor_mean_;  // window-anchor posterior
+  std::vector<double> anchor_var_;
+  std::vector<double> a_;  // theta = {a, gamma, eta}
+  std::vector<double> gamma_;
+  std::vector<double> eta_;
+  std::vector<int> runs_since_em_;
+  std::vector<int> runs_seen_;      // every observe() call, empty or not
+  std::vector<int> observed_runs_;  // runs with at least one score
+  std::vector<int> em_count_;
+
+  // Window mode (max_history > 0): per-worker history vectors.
+  std::vector<lds::ScoreHistory> history_;
+
+  // Arena mode (max_history == 0): one append-only arena shared by all
+  // workers, chained per slot through HistoryNode::prev.
+  std::vector<HistoryNode> history_arena_;
+  std::vector<std::uint32_t> history_head_;  // kNoHistory when empty
+  std::vector<std::uint32_t> history_len_;
+
+  // observe_run scratch (prefix-pass arena positions and slot lookups);
+  // never part of the logical state.
+  std::vector<std::uint32_t> run_positions_;
+  std::vector<std::uint32_t> run_slots_;
 };
 
 /// Deprecated MELODY-only persistence entry points, kept as thin wrappers

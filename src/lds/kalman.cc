@@ -11,29 +11,6 @@ void LdsParams::validate() const {
   if (eta <= 0.0) throw std::domain_error("LdsParams: eta must be > 0");
 }
 
-Gaussian predict(const Gaussian& posterior, const LdsParams& params) {
-  return {params.a * posterior.mean,
-          params.a * params.a * posterior.var + params.gamma};
-}
-
-Gaussian correct(const Gaussian& prior, const ScoreSet& scores,
-                 const LdsParams& params) {
-  if (scores.empty()) return prior;
-  // Eqs. (17)-(18) with K = prior.var: posterior precision is the prior
-  // precision plus N/eta; the mean weighs the prior by eta and the score
-  // sum by K.
-  const double k = prior.var;
-  const double n = scores.count;
-  const double denom = n * k + params.eta;
-  return {(params.eta * prior.mean + k * scores.sum) / denom,
-          k * params.eta / denom};
-}
-
-Gaussian filter_step(const Gaussian& previous_posterior, const ScoreSet& scores,
-                     const LdsParams& params) {
-  return correct(predict(previous_posterior, params), scores, params);
-}
-
 double log_marginal(const Gaussian& prior, const ScoreSet& scores,
                     const LdsParams& params) {
   if (scores.empty()) return 0.0;

@@ -27,17 +27,39 @@ struct LdsParams {
 /// Transition step: posterior alpha-hat(q^{r-1}) -> prior alpha(q^r)
 /// via Eq. (3) with the Gaussian transition (Eq. 12):
 /// N(a*mu, a^2*sigma + gamma).
-Gaussian predict(const Gaussian& posterior, const LdsParams& params);
+///
+/// predict/correct/filter_step are defined inline: they are the innermost
+/// arithmetic of every estimator chain, and the batch observe_run loop
+/// only streams when the filter folds into it instead of costing a call
+/// per worker per run. One shared definition keeps every caller — batch
+/// loop, scalar reference, EM re-filter — on the identical IEEE-754
+/// operation sequence, which the bit-identity tests rely on.
+inline Gaussian predict(const Gaussian& posterior, const LdsParams& params) {
+  return {params.a * posterior.mean,
+          params.a * params.a * posterior.var + params.gamma};
+}
 
 /// Measurement step: prior alpha(q^r) + scores -> posterior alpha-hat(q^r).
 /// With an empty score set the prior is returned unchanged (the worker was
 /// not observed this run).
-Gaussian correct(const Gaussian& prior, const ScoreSet& scores,
-                 const LdsParams& params);
+inline Gaussian correct(const Gaussian& prior, const ScoreSet& scores,
+                        const LdsParams& params) {
+  if (scores.empty()) return prior;
+  // Eqs. (17)-(18) with K = prior.var: posterior precision is the prior
+  // precision plus N/eta; the mean weighs the prior by eta and the score
+  // sum by K.
+  const double k = prior.var;
+  const double n = scores.count;
+  const double denom = n * k + params.eta;
+  return {(params.eta * prior.mean + k * scores.sum) / denom,
+          k * params.eta / denom};
+}
 
 /// One full Theorem-3 step: previous posterior -> this run's posterior.
-Gaussian filter_step(const Gaussian& previous_posterior, const ScoreSet& scores,
-                     const LdsParams& params);
+inline Gaussian filter_step(const Gaussian& previous_posterior,
+                            const ScoreSet& scores, const LdsParams& params) {
+  return correct(predict(previous_posterior, params), scores, params);
+}
 
 /// Log marginal likelihood log p(S^r | S^{1..r-1}) of one run's score set
 /// under the prior alpha(q^r). Zero for an empty set.

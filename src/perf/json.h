@@ -1,0 +1,75 @@
+// Minimal JSON document model for the perf-trajectory artifacts: enough to
+// write and re-read BENCH_*.json with full double round-tripping, with no
+// external dependency. Objects preserve insertion order so emitted
+// artifacts diff cleanly in review.
+//
+// This is deliberately NOT a general-purpose JSON library: no comments, no
+// NaN/Inf extensions (the writer throws — a perf artifact with a NaN
+// timing is a harness bug), UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace melody::perf {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string v);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch (artifact
+  /// readers turn that into a schema error with the member path).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Builders. set() replaces an existing key in place (order preserved).
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Serialize with 2-space indentation and a trailing newline at the top
+  /// level; numbers use shortest-exact formatting (%.17g trimmed), so a
+  /// dump/parse round trip reproduces every double bit for bit.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  void dump_to(std::string& out, int indent) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). On failure returns null and sets *error to a message with
+/// the byte offset; on success *error is cleared.
+JsonValue parse_json(std::string_view text, std::string* error);
+
+}  // namespace melody::perf

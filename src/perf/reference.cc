@@ -1,0 +1,215 @@
+#include "perf/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+
+namespace melody::perf::reference {
+
+std::vector<const auction::WorkerProfile*> build_ranking_queue(
+    std::span<const auction::WorkerProfile> workers,
+    const auction::AuctionConfig& config) {
+  std::vector<const auction::WorkerProfile*> queue;
+  queue.reserve(workers.size());
+  for (const auto& w : workers) {
+    if (w.bid.cost > 0.0 && w.bid.frequency > 0 && w.estimated_quality > 0.0 &&
+        config.qualifies(w)) {
+      queue.push_back(&w);
+    }
+  }
+  std::sort(queue.begin(), queue.end(),
+            [](const auction::WorkerProfile* a,
+               const auction::WorkerProfile* b) {
+              const double ra = a->estimated_quality / a->bid.cost;
+              const double rb = b->estimated_quality / b->bid.cost;
+              if (ra != rb) return ra > rb;
+              return a->id < b->id;
+            });
+  return queue;
+}
+
+std::vector<PreAllocation> pre_allocate(
+    const std::vector<const auction::WorkerProfile*>& queue,
+    std::span<const auction::Task> tasks, auction::PaymentRule rule) {
+  auto ratio_of = [&](std::size_t pos) {
+    return queue[pos]->bid.cost / queue[pos]->estimated_quality;
+  };
+
+  std::vector<std::size_t> task_order(tasks.size());
+  std::iota(task_order.begin(), task_order.end(), std::size_t{0});
+  std::sort(task_order.begin(), task_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (tasks[a].quality_threshold != tasks[b].quality_threshold) {
+                return tasks[a].quality_threshold < tasks[b].quality_threshold;
+              }
+              return tasks[a].id < tasks[b].id;
+            });
+
+  std::vector<int> available(queue.size());
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    available[i] = queue[i]->bid.frequency;
+  }
+
+  std::vector<PreAllocation> pre;
+  pre.reserve(tasks.size());
+  for (std::size_t task_index : task_order) {
+    const double required = tasks[task_index].quality_threshold;
+
+    PreAllocation p;
+    p.task_index = task_index;
+    double covered = 0.0;
+    std::size_t k = 0;
+    while (k < queue.size() && covered < required) {
+      if (available[k] > 0) {
+        covered += queue[k]->estimated_quality;
+        p.winners.push_back(k);
+      }
+      ++k;
+    }
+    if (covered < required) continue;
+
+    bool priceable = true;
+    p.payments.reserve(p.winners.size());
+    if (rule == auction::PaymentRule::kPaperNextInQueue) {
+      if (k >= queue.size()) continue;
+      const double ratio = ratio_of(k);
+      for (std::size_t widx : p.winners) {
+        p.payments.push_back(ratio * queue[widx]->estimated_quality);
+      }
+    } else {
+      p.payments.assign(p.winners.size(), 0.0);
+      for (std::size_t w = 0; w < p.winners.size(); ++w) {
+        const std::size_t widx = p.winners[w];
+        double cumulative = 0.0;
+        std::size_t pos = 0;
+        while (pos < queue.size()) {
+          if (pos != widx && available[pos] > 0) {
+            cumulative += queue[pos]->estimated_quality;
+            if (cumulative >= required) break;
+          }
+          ++pos;
+        }
+        if (pos >= queue.size()) {
+          priceable = false;
+          break;
+        }
+        p.payments[w] = ratio_of(pos) * queue[widx]->estimated_quality;
+      }
+    }
+    if (!priceable) continue;
+
+    for (std::size_t w = 0; w < p.winners.size(); ++w) {
+      p.total_payment += p.payments[w];
+      --available[p.winners[w]];
+    }
+    pre.push_back(std::move(p));
+  }
+
+  std::sort(pre.begin(), pre.end(),
+            [&](const PreAllocation& a, const PreAllocation& b) {
+              if (a.total_payment != b.total_payment) {
+                return a.total_payment < b.total_payment;
+              }
+              return tasks[a.task_index].id < tasks[b.task_index].id;
+            });
+  return pre;
+}
+
+auction::AllocationResult run_greedy(
+    std::span<const auction::WorkerProfile> workers,
+    std::span<const auction::Task> tasks,
+    const auction::AuctionConfig& config, auction::PaymentRule rule) {
+  const auto queue = build_ranking_queue(workers, config);
+  const auto pre = pre_allocate(queue, tasks, rule);
+
+  auction::AllocationResult result;
+  double remaining = config.budget;
+  for (const auto& p : pre) {
+    if (p.total_payment > remaining) break;
+    remaining -= p.total_payment;
+    result.selected_tasks.push_back(tasks[p.task_index].id);
+    for (std::size_t w = 0; w < p.winners.size(); ++w) {
+      result.assignments.push_back({queue[p.winners[w]]->id,
+                                    tasks[p.task_index].id, p.payments[w]});
+    }
+  }
+  return result;
+}
+
+void AosKalmanChain::register_worker(auction::WorkerId id) {
+  State state;
+  state.posterior = config_.initial_posterior;
+  state.params = config_.initial_params;
+  state.window_anchor = config_.initial_posterior;
+  states_.try_emplace(id, std::move(state));
+}
+
+void AosKalmanChain::observe(auction::WorkerId id,
+                             const lds::ScoreSet& scores) {
+  State& state = states_.at(id);
+  ++state.runs_seen;
+  if (scores.empty() && !config_.advance_on_empty_runs) return;
+  state.history.push_back(scores);
+  if (!scores.empty()) ++state.observed_runs;
+  if (config_.max_history > 0 &&
+      static_cast<int>(state.history.size()) > config_.max_history) {
+    state.window_anchor = lds::filter_step(state.window_anchor,
+                                           state.history.front(), state.params);
+    state.history.erase(state.history.begin());
+  }
+
+  state.posterior = lds::filter_step(state.posterior, scores, state.params);
+
+  ++state.runs_since_em;
+  if (config_.reestimation_period > 0 &&
+      state.runs_since_em >= config_.reestimation_period &&
+      state.observed_runs >= config_.min_history_for_em) {
+    const lds::EmResult em = lds::fit_lds(state.window_anchor, state.history,
+                                          state.params, config_.em_options);
+    state.params = em.params;
+    state.runs_since_em = 0;
+    ++state.em_count;
+    if (config_.refilter_after_em) {
+      state.posterior =
+          lds::filter(state.window_anchor, state.history, state.params)
+              .posteriors.back();
+    }
+  }
+  state.posterior.mean = std::clamp(state.posterior.mean,
+                                    config_.estimate_min, config_.estimate_max);
+}
+
+double AosKalmanChain::estimate(auction::WorkerId id) const {
+  const State& state = states_.at(id);
+  double estimate = state.params.a * state.posterior.mean;
+  if (config_.exploration_beta > 0.0) {
+    estimate += config_.exploration_beta *
+                std::sqrt(std::log(state.runs_seen + 1.0) /
+                          (state.observed_runs + 1.0));
+  }
+  return std::clamp(estimate, config_.estimate_min, config_.estimate_max);
+}
+
+void AosKalmanChain::save(std::ostream& out) const {
+  std::vector<auction::WorkerId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, state] : states_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  out << "MELODY_TRACKER v2" << '\n' << ids.size() << '\n';
+  out.precision(17);
+  for (auction::WorkerId id : ids) {
+    const State& s = states_.at(id);
+    out << id << ' ' << s.posterior.mean << ' ' << s.posterior.var << ' '
+        << s.window_anchor.mean << ' ' << s.window_anchor.var << ' '
+        << s.params.a << ' ' << s.params.gamma << ' ' << s.params.eta << ' '
+        << s.runs_since_em << ' ' << s.runs_seen << ' ' << s.observed_runs
+        << ' ' << s.em_count << ' ' << s.history.size() << '\n';
+    for (const lds::ScoreSet& set : s.history) {
+      out << set.count << ' ' << set.sum << ' ' << set.sum_squares << '\n';
+    }
+  }
+}
+
+}  // namespace melody::perf::reference

@@ -21,6 +21,7 @@ Platform::Platform(const LongTermScenario& scenario,
       rng_(seed),
       master_seed_(seed) {
   for (const SimWorker& w : workers_) estimator_.register_worker(w.id());
+  soa_.rebuild(workers_);
 }
 
 void Platform::set_policy(auction::WorkerId id, BidPolicy policy) {
@@ -30,6 +31,7 @@ void Platform::set_policy(auction::WorkerId id, BidPolicy policy) {
 void Platform::add_worker(SimWorker worker) {
   estimator_.register_worker(worker.id());
   workers_.push_back(std::move(worker));
+  soa_.rebuild(workers_);
 }
 
 void Platform::set_fault_plan(FaultPlan plan) {
@@ -52,10 +54,11 @@ RunRecord Platform::step() {
   //    `present[i]` parallels workers_[i]; an absent worker submits no bid,
   //    wins nothing, and is scored as an empty set (the estimator's
   //    missing-observation path).
+  const std::vector<auction::WorkerId>& worker_ids = soa_.ids();
   std::vector<char> present(workers_.size(), 1);
   if (faults_active) {
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      switch (absence_for(fault_plan_, master_seed_, workers_[i].id(), run_,
+      switch (absence_for(fault_plan_, master_seed_, worker_ids[i], run_,
                           scenario_.runs)) {
         case Absence::kPresent:
           break;
@@ -74,23 +77,24 @@ RunRecord Platform::step() {
   // 1) Collect bids and the platform's quality estimates from the workers
   //    who showed up. `bidders[k]` is the SimWorker behind profiles[k].
   std::vector<auction::WorkerProfile> profiles;
-  std::vector<const SimWorker*> bidders;
+  std::vector<std::size_t> bidder_slots;
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/bid_collection"));
     profiles.reserve(workers_.size());
-    bidders.reserve(workers_.size());
+    bidder_slots.reserve(workers_.size());
+    const std::vector<double>& costs = soa_.costs();
+    const std::vector<int>& frequencies = soa_.frequencies();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       if (!present[i]) continue;
-      const SimWorker& w = workers_[i];
       auction::WorkerProfile p;
-      p.id = w.id();
-      const auto policy = policies_.find(w.id());
+      p.id = worker_ids[i];
+      const auto policy = policies_.find(p.id);
       p.bid = policy == policies_.end()
-                  ? w.true_bid()
-                  : w.submitted_bid(policy->second, rng_);
-      p.estimated_quality = estimator_.estimate(w.id());
+                  ? auction::Bid{costs[i], frequencies[i]}
+                  : workers_[i].submitted_bid(policy->second, rng_);
+      p.estimated_quality = estimator_.estimate(p.id);
       profiles.push_back(p);
-      bidders.push_back(&w);
+      bidder_slots.push_back(i);
     }
   }
 
@@ -109,15 +113,14 @@ RunRecord Platform::step() {
   record.assignments = last_result_.assignments.size();
 
   // 3) Ground-truth bookkeeping: true utility and estimation error.
-  std::unordered_map<auction::WorkerId, int> assigned_count;
+  assigned_scratch_.assign(workers_.size(), 0);
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/bookkeeping"));
     std::unordered_map<auction::TaskId, double> latent_received;
-    std::unordered_map<auction::WorkerId, const SimWorker*> by_id;
-    for (const SimWorker& w : workers_) by_id[w.id()] = &w;
     for (const auto& a : last_result_.assignments) {
-      latent_received[a.task] += by_id.at(a.worker)->latent_quality(run_);
-      ++assigned_count[a.worker];
+      const std::size_t slot = soa_.slot_of(a.worker);
+      latent_received[a.task] += soa_.latent_quality(slot, run_);
+      ++assigned_scratch_[slot];
     }
     for (const auto& t : tasks) {
       const auto it = latent_received.find(t.id);
@@ -130,7 +133,7 @@ RunRecord Platform::step() {
     for (std::size_t k = 0; k < profiles.size(); ++k) {
       if (!config.qualifies(profiles[k])) continue;
       ++qualified;
-      error_sum += std::abs(bidders[k]->latent_quality(run_) -
+      error_sum += std::abs(soa_.latent_quality(bidder_slots[k], run_) -
                             profiles[k].estimated_quality);
     }
     record.qualified_workers = qualified;
@@ -152,21 +155,20 @@ RunRecord Platform::step() {
     util::parallel_for(
         util::shared_pool(), workers_.size(),
         [&](std::size_t i) {
-          const SimWorker& w = workers_[i];
-          const auto it = assigned_count.find(w.id());
-          const int count = it == assigned_count.end() ? 0 : it->second;
+          const auction::WorkerId id = worker_ids[i];
+          const int count = assigned_scratch_[i];
+          const double latent = soa_.latent_quality(i, run_);
           util::Rng stream(util::derive_stream(
-              master_seed_, static_cast<std::uint64_t>(w.id()),
+              master_seed_, static_cast<std::uint64_t>(id),
               static_cast<std::uint64_t>(run_)));
-          ids[i] = w.id();
+          ids[i] = id;
           scores[i] = faults_active
                           ? generate_faulted_scores(
-                                fault_plan_, scenario_.score_model,
-                                w.latent_quality(run_), count, stream,
-                                master_seed_, w.id(), run_, fault_counts[i])
-                          : generate_scores(scenario_.score_model,
-                                            w.latent_quality(run_), count,
-                                            stream);
+                                fault_plan_, scenario_.score_model, latent,
+                                count, stream, master_seed_, id, run_,
+                                fault_counts[i])
+                          : generate_scores(scenario_.score_model, latent,
+                                            count, stream);
         },
         /*min_grain=*/64);
   }
@@ -174,8 +176,9 @@ RunRecord Platform::step() {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/estimator_update"));
     estimator_.observe_run(ids, scores);
   }
-  for (const SimWorker& w : workers_) {
-    total_utility_[w.id()] += w.utility(last_result_);
+  soa_.utilities(last_result_, utility_scratch_);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    total_utility_[worker_ids[i]] += utility_scratch_[i];
   }
 
   // Fault tallies: reduced on the main thread (deterministic order) and

@@ -15,6 +15,7 @@
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "sim/worker_model.h"
+#include "sim/worker_soa.h"
 #include "util/rng.h"
 
 namespace melody::sim {
@@ -119,6 +120,10 @@ class Platform {
   auction::Mechanism& mechanism_;
   estimators::QualityEstimator& estimator_;
   std::vector<SimWorker> workers_;
+  /// Derived SoA view over workers_ for the per-run hot loops; rebuilt on
+  /// every population change (construction, add_worker, load). Not part of
+  /// the snapshot — it is a pure function of workers_.
+  WorkerStateSoA soa_;
   std::unordered_map<auction::WorkerId, BidPolicy> policies_;
   std::unordered_map<auction::WorkerId, double> total_utility_;
   auction::AllocationResult last_result_;
@@ -126,6 +131,10 @@ class Platform {
   std::uint64_t master_seed_ = 0;
   int run_ = 0;
   FaultPlan fault_plan_;
+  // Per-step scratch reused across runs (step() is single-entry, so plain
+  // members are safe): per-slot assignment counts and true utilities.
+  std::vector<int> assigned_scratch_;
+  std::vector<double> utility_scratch_;
 };
 
 /// Crash-safe checkpoint files: save() writes to `path + ".tmp"` and

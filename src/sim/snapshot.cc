@@ -191,6 +191,7 @@ void Platform::load(std::istream& in) {
   rng_.restore(rng);
   fault_plan_ = plan;
   workers_ = std::move(workers);
+  soa_.rebuild(workers_);
   policies_ = std::move(policies);
   total_utility_ = std::move(utilities);
   last_result_ = auction::AllocationResult{};

@@ -3,6 +3,7 @@
 // truthfulness experiments (Figs. 6-7).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "auction/types.h"
@@ -45,6 +46,12 @@ class SimWorker {
   double latent_quality(int run) const;
 
   int horizon() const noexcept { return static_cast<int>(latent_.size()); }
+
+  /// Read-only view of the full latent trajectory (WorkerStateSoA derives
+  /// its per-slot views from this; sample r of the view is q^{r+1}).
+  std::span<const double> latent_trajectory() const noexcept {
+    return latent_;
+  }
 
   /// The bid submitted in a run under the given policy.
   auction::Bid submitted_bid(const BidPolicy& policy, util::Rng& rng) const;

@@ -1,0 +1,44 @@
+#include "sim/worker_soa.h"
+
+namespace melody::sim {
+
+void WorkerStateSoA::rebuild(std::span<const SimWorker> workers) {
+  const std::size_t n = workers.size();
+  ids_.resize(n);
+  cost_.resize(n);
+  frequency_.resize(n);
+  latent_data_.resize(n);
+  latent_len_.resize(n);
+  index_.clear();
+  index_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimWorker& w = workers[i];
+    ids_[i] = w.id();
+    cost_[i] = w.true_bid().cost;
+    frequency_[i] = w.true_bid().frequency;
+    const std::span<const double> trajectory = w.latent_trajectory();
+    latent_len_[i] = static_cast<int>(trajectory.size());
+    latent_data_[i] = trajectory.empty() ? nullptr : trajectory.data();
+    index_.emplace(w.id(), i);
+  }
+}
+
+void WorkerStateSoA::utilities(const auction::AllocationResult& result,
+                               std::vector<double>& out) const {
+  out.assign(ids_.size(), 0.0);
+  remaining_scratch_.assign(frequency_.begin(), frequency_.end());
+  // A worker can complete at most his true frequency of tasks; payments
+  // for assignments beyond it are forfeited (Section 7.5). Assignments are
+  // visited in result order, so each worker's partial sums accumulate in
+  // the same order SimWorker::utility produced them.
+  for (const auto& a : result.assignments) {
+    const auto it = index_.find(a.worker);
+    if (it == index_.end()) continue;
+    const std::size_t slot = it->second;
+    if (remaining_scratch_[slot] == 0) continue;
+    --remaining_scratch_[slot];
+    out[slot] += a.payment - cost_[slot];
+  }
+}
+
+}  // namespace melody::sim

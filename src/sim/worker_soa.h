@@ -1,0 +1,71 @@
+// Structure-of-arrays view over the platform's worker population for the
+// per-run hot loops: contiguous id/cost/frequency arrays plus per-worker
+// latent-trajectory views, with an id -> slot index replacing the
+// per-step `by_id` hash map the platform used to rebuild every run.
+//
+// This is a *facade*: SimWorker remains the owner of all ground-truth
+// state (and the checkpoint format still serializes SimWorkers in platform
+// order, unchanged). The SoA arrays are derived views, rebuilt whenever
+// the population changes (construction, add_worker, snapshot load) —
+// slot i always describes workers[i]. The trajectory views stay valid
+// across vector reallocation of the owning SimWorkers because moving a
+// SimWorker moves its latent vector's heap buffer, not the samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "auction/types.h"
+#include "sim/worker_model.h"
+
+namespace melody::sim {
+
+class WorkerStateSoA {
+ public:
+  /// Derive the arrays from `workers` (slot i <- workers[i]). Called on
+  /// every population change; O(N).
+  void rebuild(std::span<const SimWorker> workers);
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  const std::vector<auction::WorkerId>& ids() const noexcept { return ids_; }
+  const std::vector<double>& costs() const noexcept { return cost_; }
+  const std::vector<int>& frequencies() const noexcept { return frequency_; }
+
+  /// Dense slot of a worker id. Throws std::out_of_range for unknown ids
+  /// (same contract the platform's old by_id map lookup had).
+  std::size_t slot_of(auction::WorkerId id) const { return index_.at(id); }
+
+  /// Latent quality q^r for 1-based run r — identical semantics to
+  /// SimWorker::latent_quality (empty trajectory reads 0, the last value
+  /// is held past the horizon).
+  double latent_quality(std::size_t slot, int run) const noexcept {
+    const int len = latent_len_[slot];
+    if (len == 0) return 0.0;
+    int index = run - 1;
+    if (index < 0) index = 0;
+    if (index >= len) index = len - 1;
+    return latent_data_[slot][index];
+  }
+
+  /// Per-worker true utilities for one auction outcome, written into
+  /// `out[slot]` (resized to size()). Single pass over the assignments in
+  /// result order with the same per-worker frequency cap and accumulation
+  /// order as SimWorker::utility — each worker's sum is the bit-identical
+  /// double — replacing the platform's old O(workers x assignments)
+  /// per-worker scans with O(workers + assignments).
+  void utilities(const auction::AllocationResult& result,
+                 std::vector<double>& out) const;
+
+ private:
+  std::vector<auction::WorkerId> ids_;
+  std::vector<double> cost_;       // true cost c_i
+  std::vector<int> frequency_;     // true frequency n_i
+  std::vector<const double*> latent_data_;
+  std::vector<int> latent_len_;
+  std::unordered_map<auction::WorkerId, std::size_t> index_;
+  mutable std::vector<int> remaining_scratch_;  // utilities() frequency caps
+};
+
+}  // namespace melody::sim

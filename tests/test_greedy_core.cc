@@ -19,18 +19,18 @@ TEST(BuildRankingQueue, SortsByQualityPerCostDescending) {
   };
   const auto queue = build_ranking_queue(workers, open_config());
   ASSERT_EQ(queue.size(), 3u);
-  EXPECT_EQ(queue[0]->id, 1);
-  EXPECT_EQ(queue[1]->id, 2);
-  EXPECT_EQ(queue[2]->id, 0);
+  EXPECT_EQ(queue.ids[0], 1);
+  EXPECT_EQ(queue.ids[1], 2);
+  EXPECT_EQ(queue.ids[2], 0);
 }
 
 TEST(BuildRankingQueue, TiesBreakById) {
   const std::vector<WorkerProfile> workers{
       {5, {1.0, 1}, 3.0}, {2, {1.0, 1}, 3.0}, {9, {1.0, 1}, 3.0}};
   const auto queue = build_ranking_queue(workers, open_config());
-  EXPECT_EQ(queue[0]->id, 2);
-  EXPECT_EQ(queue[1]->id, 5);
-  EXPECT_EQ(queue[2]->id, 9);
+  EXPECT_EQ(queue.ids[0], 2);
+  EXPECT_EQ(queue.ids[1], 5);
+  EXPECT_EQ(queue.ids[2], 9);
 }
 
 TEST(BuildRankingQueue, FiltersInvalidAndUnqualified) {
@@ -45,7 +45,7 @@ TEST(BuildRankingQueue, FiltersInvalidAndUnqualified) {
   };
   const auto queue = build_ranking_queue(workers, config);
   ASSERT_EQ(queue.size(), 1u);
-  EXPECT_EQ(queue[0]->id, 0);
+  EXPECT_EQ(queue.ids[0], 0);
 }
 
 TEST(PreAllocate, ResultSortedByTotalPayment) {
@@ -77,7 +77,7 @@ TEST(PreAllocate, PaymentsParallelWinners) {
 }
 
 TEST(PreAllocate, EmptyQueueProducesNothing) {
-  const std::vector<const WorkerProfile*> queue;
+  const RankingQueue queue;
   const std::vector<Task> tasks{{0, 5.0}};
   EXPECT_TRUE(pre_allocate(queue, tasks, PaymentRule::kCriticalValue).empty());
 }
@@ -110,9 +110,9 @@ TEST(PreAllocate, PaperRuleUsesSingleReference) {
   ASSERT_EQ(paper.size(), 1u);
   ASSERT_EQ(paper[0].winners.size(), 2u);
   const double ratio0 =
-      paper[0].payments[0] / queue[paper[0].winners[0]]->estimated_quality;
+      paper[0].payments[0] / queue.quality[paper[0].winners[0]];
   const double ratio1 =
-      paper[0].payments[1] / queue[paper[0].winners[1]]->estimated_quality;
+      paper[0].payments[1] / queue.quality[paper[0].winners[1]];
   EXPECT_NEAR(ratio0, ratio1, 1e-12);
 }
 

@@ -12,6 +12,13 @@
 //     multi-task truthfulness is an aggregate, not per-instance, claim.)
 //   * The same grid over the multi-task instances, asserted in aggregate:
 //     deviating loses in expectation.
+//   * SoA/scalar twin runs: the production (SoA) mechanism and the frozen
+//     scalar reference (perf/reference.h) consume identical seeded streams;
+//     both must satisfy IR and budget feasibility AND produce the same
+//     allocation. Includes radix-scale markets (>= 2048 qualified workers,
+//     asserted via the obs counter) so the linear-time rank sort — not just
+//     the comparison sort — is property-tested, including a truthfulness
+//     grid at that scale.
 // Everything derives from fixed seeds via util::Rng, so the "random"
 // instances are reproducible bit-for-bit on every platform.
 #include <gtest/gtest.h>
@@ -21,6 +28,8 @@
 #include <vector>
 
 #include "auction/melody_auction.h"
+#include "obs/metrics.h"
+#include "perf/reference.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
 
@@ -184,6 +193,149 @@ TEST(MechanismProperties, MultiTaskDeviationLosesInAggregate) {
   EXPECT_LE(total_gain / probes, kEps)
       << "cheating profited in expectation (max single gain " << max_gain
       << ")";
+}
+
+// ---------------------------------------------------------------------------
+// SoA/scalar twin properties: the production mechanism and the frozen scalar
+// reference run on identical seeded instances. The theorems must hold on the
+// SoA path directly (not only by transitivity through bit-identity), and the
+// two paths must still agree allocation-for-allocation.
+// ---------------------------------------------------------------------------
+
+/// IR + budget + frequency + task-satisfaction violations in one result.
+int property_violations(const AllocationResult& result,
+                        const Instance& instance) {
+  int violations = 0;
+  for (const auto& a : result.assignments) {
+    const WorkerProfile* w = profile_of(instance, a.worker);
+    if (w == nullptr || a.payment < w->bid.cost - kEps) ++violations;
+  }
+  if (!check_budget_feasibility(result, instance.config).empty()) ++violations;
+  if (!check_frequency_feasibility(result, instance.workers).empty()) {
+    ++violations;
+  }
+  if (!check_task_satisfaction(result, instance.workers, instance.tasks)
+           .empty()) {
+    ++violations;
+  }
+  return violations;
+}
+
+void expect_same_allocation(const AllocationResult& soa,
+                            const AllocationResult& scalar, int instance) {
+  ASSERT_EQ(soa.selected_tasks, scalar.selected_tasks)
+      << "instance " << instance;
+  ASSERT_EQ(soa.assignments.size(), scalar.assignments.size())
+      << "instance " << instance;
+  for (std::size_t a = 0; a < scalar.assignments.size(); ++a) {
+    EXPECT_EQ(soa.assignments[a].worker, scalar.assignments[a].worker)
+        << "instance " << instance << " assignment " << a;
+    EXPECT_EQ(soa.assignments[a].task, scalar.assignments[a].task)
+        << "instance " << instance << " assignment " << a;
+    EXPECT_EQ(soa.assignments[a].payment, scalar.assignments[a].payment)
+        << "instance " << instance << " assignment " << a;
+  }
+}
+
+TEST(MechanismProperties, SoaAndScalarTwinsBothIrAndFeasibleAndAgree) {
+  util::Rng rng(20170605);
+  MelodyAuction auction(PaymentRule::kCriticalValue);
+  int soa_violations = 0;
+  int scalar_violations = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Instance instance = sample_instance(rng, 40);
+    const auto soa =
+        auction.run({instance.workers, instance.tasks, instance.config});
+    const auto scalar = perf::reference::run_greedy(
+        instance.workers, instance.tasks, instance.config,
+        PaymentRule::kCriticalValue);
+    soa_violations += property_violations(soa, instance);
+    scalar_violations += property_violations(scalar, instance);
+    expect_same_allocation(soa, scalar, i);
+  }
+  EXPECT_EQ(soa_violations, 0);
+  EXPECT_EQ(scalar_violations, 0);
+}
+
+/// A market wide enough that the qualified set crosses the greedy core's
+/// radix rank-sort threshold (2048 entries in ascending id order).
+Instance sample_radix_scale_instance(util::Rng& rng) {
+  sim::SraScenario scenario;
+  scenario.num_workers = 6000;
+  scenario.num_tasks = static_cast<int>(rng.uniform_int(40, 120));
+  scenario.budget = rng.uniform(1000.0, 4000.0);
+  scenario.threshold = {rng.uniform(60.0, 90.0), rng.uniform(100.0, 140.0)};
+  Instance instance;
+  instance.workers = scenario.sample_workers(rng);
+  instance.tasks = scenario.sample_tasks(rng);
+  instance.config = scenario.auction_config();
+  return instance;
+}
+
+TEST(MechanismProperties, RadixScaleMarketsIrFeasibleAndMatchScalar) {
+  util::Rng rng(20170606);
+  MelodyAuction auction(PaymentRule::kCriticalValue);
+  // The radix path requires qualified entries in strictly ascending id
+  // order; verify the generator supplies it, then prove via the obs
+  // counter that the markets really crossed the 2048-entry threshold.
+  obs::ScopedEnable obs_on(true);
+  obs::Counter& qualified =
+      obs::registry().counter("auction/qualified_workers");
+  for (int i = 0; i < 5; ++i) {
+    const Instance instance = sample_radix_scale_instance(rng);
+    for (std::size_t w = 1; w < instance.workers.size(); ++w) {
+      ASSERT_LT(instance.workers[w - 1].id, instance.workers[w].id);
+    }
+    qualified.reset();
+    const auto soa =
+        auction.run({instance.workers, instance.tasks, instance.config});
+    ASSERT_GE(qualified.value(), 2048u)
+        << "market " << i << " too small to engage the radix rank sort";
+    const auto scalar = perf::reference::run_greedy(
+        instance.workers, instance.tasks, instance.config,
+        PaymentRule::kCriticalValue);
+    EXPECT_EQ(property_violations(soa, instance), 0) << "market " << i;
+    expect_same_allocation(soa, scalar, i);
+  }
+}
+
+TEST(MechanismProperties, RadixScaleSingleTaskTruthfulness) {
+  // The misreport grid at radix scale: a deviating bid must not profit when
+  // the ranking ran through the radix path either. Single-task markets keep
+  // the critical-value argument exact (see the header).
+  util::Rng rng(20170607);
+  MelodyAuction auction(PaymentRule::kCriticalValue);
+  obs::ScopedEnable obs_on(true);
+  obs::Counter& qualified =
+      obs::registry().counter("auction/qualified_workers");
+  int violations = 0;
+  int probes = 0;
+  for (int i = 0; i < 3; ++i) {
+    Instance instance = sample_radix_scale_instance(rng);
+    instance.tasks.resize(1);
+    qualified.reset();
+    const auto truthful =
+        auction.run({instance.workers, instance.tasks, instance.config});
+    ASSERT_GE(qualified.value(), 2048u) << "market " << i;
+    for (int p = 0; p < 2; ++p) {
+      const std::size_t probe = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(instance.workers.size()) - 1));
+      const double true_cost = instance.workers[probe].bid.cost;
+      const WorkerId id = instance.workers[probe].id;
+      const double baseline = utility_of(truthful, id, true_cost);
+      for (double factor : kCostGrid) {
+        auto deviated = instance.workers;
+        deviated[probe].bid.cost = true_cost * factor;
+        const auto outcome =
+            auction.run({deviated, instance.tasks, instance.config});
+        if (utility_of(outcome, id, true_cost) > baseline + kEps) {
+          ++violations;
+        }
+        ++probes;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0) << "out of " << probes << " deviation probes";
 }
 
 }  // namespace

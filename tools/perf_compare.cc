@@ -1,0 +1,84 @@
+// perf_compare — diff two BENCH_*.json perf-trajectory artifacts and gate
+// on regressions. Benchmarks are matched by name; a median-wall-time ratio
+// above (1 + --threshold) fails the gate.
+//
+// Exit codes (scripted by CI):
+//   0  every common benchmark within threshold (improvements included)
+//   1  at least one regression
+//   2  malformed artifact, empty intersection, or --require-all violation
+//
+//   perf_compare <baseline.json> <candidate.json> [--threshold F]
+//       [--require-all]
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "perf/compare.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace melody;
+
+struct Options {
+  perf::CompareOptions compare;
+};
+
+Options read_options(const util::Flags& flags) {
+  Options o;
+  o.compare.threshold = flags.get_double(
+      "threshold", o.compare.threshold, "F",
+      "allowed fractional slowdown (0.25 passes ratios up to 1.25)");
+  o.compare.require_all = flags.has_switch(
+      "require-all",
+      "fail when a baseline benchmark is missing from the candidate");
+  return o;
+}
+
+int usage(const char* error) {
+  util::Flags dummy;
+  read_options(dummy);
+  std::fputs("usage: perf_compare <baseline.json> <candidate.json> "
+             "[options]\n\n",
+             stderr);
+  std::fputs(dummy.help("perf_compare",
+                        "Compare two BENCH_*.json artifacts by median wall "
+                        "time; non-zero exit past the threshold.")
+                 .c_str(),
+             stderr);
+  if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string baseline;
+  std::string candidate;
+  try {
+    util::Flags flags(argc, argv);
+    if (flags.has("help")) {
+      usage(nullptr);
+      return 0;
+    }
+    options = read_options(flags);
+    const auto& positional = flags.positional();
+    if (positional.size() != 2) {
+      return usage("expected exactly two artifact paths");
+    }
+    baseline = positional[0];
+    candidate = positional[1];
+    const auto unused = flags.unused();
+    if (!unused.empty()) {
+      return usage(("unknown flag --" + unused.front()).c_str());
+    }
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  const perf::CompareStatus status = perf::compare_files(
+      baseline, candidate, options.compare, std::cout);
+  return static_cast<int>(status);
+}
