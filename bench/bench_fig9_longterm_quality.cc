@@ -20,10 +20,7 @@
 
 #include "auction/melody_auction.h"
 #include "bench_common.h"
-#include "estimators/melody_estimator.h"
-#include "estimators/ml_ar_estimator.h"
-#include "estimators/ml_cr_estimator.h"
-#include "estimators/static_estimator.h"
+#include "estimators/factory.h"
 #include "sim/metrics.h"
 #include "sim/parallel_sweep.h"
 #include "sim/platform.h"
@@ -38,24 +35,20 @@ using namespace melody;
 constexpr std::uint64_t kPopulationSeed = 97;
 constexpr std::uint64_t kPlatformSeed = 2017;
 
+// The shared registry is case-insensitive, so the paper's uppercase labels
+// ("STATIC", "ML-CR", ...) construct the same stacks melody_sim and
+// melody_serve build.
 std::unique_ptr<estimators::QualityEstimator> make_estimator(
     const std::string& name, const sim::LongTermScenario& scenario) {
-  if (name == "STATIC") {
-    return std::make_unique<estimators::StaticEstimator>(scenario.initial_mu,
-                                                         50);
+  auto estimator = estimators::make(
+      name, {.initial_mu = scenario.initial_mu,
+             .initial_sigma = scenario.initial_sigma,
+             .reestimation_period = scenario.reestimation_period,
+             .static_warmup_runs = 50});
+  if (estimator == nullptr) {
+    throw std::invalid_argument("fig9: unknown estimator " + name);
   }
-  if (name == "ML-CR") {
-    return std::make_unique<estimators::MlCurrentRunEstimator>(
-        scenario.initial_mu);
-  }
-  if (name == "ML-AR") {
-    return std::make_unique<estimators::MlAllRunsEstimator>(
-        scenario.initial_mu);
-  }
-  estimators::MelodyEstimatorConfig config;
-  config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
-  config.reestimation_period = scenario.reestimation_period;
-  return std::make_unique<estimators::MelodyEstimator>(config);
+  return estimator;
 }
 
 }  // namespace

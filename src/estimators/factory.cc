@@ -1,0 +1,59 @@
+#include "estimators/factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "estimators/melody_estimator.h"
+#include "estimators/ml_ar_estimator.h"
+#include "estimators/ml_cr_estimator.h"
+#include "estimators/static_estimator.h"
+
+namespace melody::estimators {
+
+namespace {
+
+std::string fold(std::string_view kind) {
+  std::string folded(kind);
+  std::transform(folded.begin(), folded.end(), folded.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return folded;
+}
+
+}  // namespace
+
+std::unique_ptr<QualityEstimator> make(std::string_view kind,
+                                       const MakeParams& params) {
+  const std::string name = fold(kind);
+  if (name == "static") {
+    return std::make_unique<StaticEstimator>(params.initial_mu,
+                                             params.static_warmup_runs);
+  }
+  if (name == "ml-cr") {
+    return std::make_unique<MlCurrentRunEstimator>(params.initial_mu);
+  }
+  if (name == "ml-ar") {
+    return std::make_unique<MlAllRunsEstimator>(params.initial_mu);
+  }
+  if (name == "melody") {
+    MelodyEstimatorConfig config;
+    config.initial_posterior = {params.initial_mu, params.initial_sigma};
+    config.reestimation_period = params.reestimation_period;
+    config.exploration_beta = params.exploration_beta;
+    config.max_history = params.max_history;
+    return std::make_unique<MelodyEstimator>(config);
+  }
+  return nullptr;
+}
+
+bool known(std::string_view kind) noexcept {
+  const std::string name = fold(kind);
+  return name == "melody" || name == "static" || name == "ml-cr" ||
+         name == "ml-ar";
+}
+
+const std::string& known_kinds() {
+  static const std::string kinds = "melody|static|ml-cr|ml-ar";
+  return kinds;
+}
+
+}  // namespace melody::estimators

@@ -1,0 +1,43 @@
+// The one estimator construction path shared by the batch simulator
+// (melody_sim), the online service (melody_serve / svc::AuctionService),
+// the perf suite, and the figure benches. Every caller used to grow its own
+// name -> constructor switch with slightly different defaults; serve-vs-
+// batch bit-identity only holds when all of them build the identical stack,
+// so the menu lives here and nowhere else.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "estimators/estimator.h"
+
+namespace melody::estimators {
+
+/// Everything the registry needs to configure any estimator kind. The
+/// scenario-derived fields mirror sim::LongTermScenario's defaults; callers
+/// holding a scenario copy its values in (estimators/ sits below sim/ in
+/// the layering, so this struct speaks plain numbers, not scenarios).
+struct MakeParams {
+  double initial_mu = 5.5;       // mu-hat^0
+  double initial_sigma = 2.25;   // sigma-hat^0
+  int reestimation_period = 10;  // T (melody only; 0 disables EM)
+  double exploration_beta = 0.0; // exploration bonus weight (melody only)
+  int max_history = 0;           // melody score-history window (0: unbounded)
+  int static_warmup_runs = 50;   // "static" estimator warm-up horizon
+};
+
+/// Canonical kind names, lowercase: "melody", "static", "ml-cr", "ml-ar".
+/// Lookup is case-insensitive (the figure benches label series in
+/// uppercase). Returns nullptr for an unknown kind.
+std::unique_ptr<QualityEstimator> make(std::string_view kind,
+                                       const MakeParams& params);
+
+/// True when `kind` names a registered estimator (same case-folding as
+/// make) — config validation without building anything.
+bool known(std::string_view kind) noexcept;
+
+/// The menu as "melody|static|ml-cr|ml-ar" for usage/error messages.
+const std::string& known_kinds();
+
+}  // namespace melody::estimators

@@ -4,6 +4,7 @@
 #include <time.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -12,9 +13,11 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "auction/melody_auction.h"
+#include "estimators/factory.h"
 #include "estimators/melody_estimator.h"
 #include "obs/metrics.h"
 #include "perf/reference.h"
@@ -23,6 +26,7 @@
 #include "sim/worker_model.h"
 #include "svc/loop.h"
 #include "svc/protocol.h"
+#include "svc/router.h"
 #include "svc/service.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -305,9 +309,6 @@ BenchmarkResult bench_platform_step(bool quick, int repeats) {
   scenario.num_workers = 300;
   scenario.num_tasks = 500;
   scenario.runs = quick ? 30 : 100;
-  const estimators::MelodyEstimatorConfig tracker_config{
-      .initial_posterior = {scenario.initial_mu, scenario.initial_sigma},
-      .reestimation_period = scenario.reestimation_period};
   util::Rng population_rng(2017);
   const std::vector<sim::SimWorker> population =
       sim::sample_population(scenario.population_config(), population_rng);
@@ -320,8 +321,13 @@ BenchmarkResult bench_platform_step(bool quick, int repeats) {
        {"seed", 2018.0}},
       [&] {
         auction::MelodyAuction mechanism;
-        estimators::MelodyEstimator estimator(tracker_config);
-        sim::Platform platform(scenario, mechanism, estimator, population,
+        // Same shared-registry construction melody_sim/melody_serve use, so
+        // this entry times the production estimator stack, not a local copy.
+        const auto estimator = estimators::make(
+            "melody", {.initial_mu = scenario.initial_mu,
+                       .initial_sigma = scenario.initial_sigma,
+                       .reestimation_period = scenario.reestimation_period});
+        sim::Platform platform(scenario, mechanism, *estimator, population,
                                2018);
         double error = 0.0;
         while (!platform.finished()) error += platform.step().estimation_error;
@@ -380,11 +386,83 @@ BenchmarkResult bench_svc_serve(bool quick, int repeats) {
       nullptr);
 }
 
+BenchmarkResult bench_svc_serve_sharded(bool quick, int repeats) {
+  // Ingest throughput of the sharded front of house: routing, bounded-queue
+  // handoff, per-shard consumer apply. The batch trigger sits above the bid
+  // volume so no auction fires inside the timed body — auction execution
+  // has its own entries — and the K million-worker platforms are built once
+  // as setup (registering the population is construction, not serving).
+  svc::ServiceConfig config;
+  config.scenario.num_workers = quick ? 100000 : 1000000;
+  config.scenario.num_tasks = 2000;
+  config.scenario.runs = 50;
+  config.shards = quick ? 4 : 8;
+  config.queue_capacity = 4096;
+  config.manual_clock = true;
+  config.batch.min_bids = config.scenario.num_workers * 2;  // never fires
+  config.seed = 2017;
+  svc::ShardedService service(config);
+  service.start();
+
+  const int num_requests = quick ? 60000 : 240000;
+  std::vector<svc::Request> requests(static_cast<std::size_t>(num_requests));
+  util::Rng rng(0x5A4D);
+  for (int k = 0; k < num_requests; ++k) {
+    auto& request = requests[static_cast<std::size_t>(k)];
+    request.id = k + 1;
+    request.op = svc::Op::kSubmitBid;
+    request.worker =
+        "w" + std::to_string(
+                  rng.uniform_int(0, config.scenario.num_workers - 1));
+  }
+
+  BenchmarkResult result = measure(
+      "svc_serve_sharded", repeats,
+      {{"workers", static_cast<double>(config.scenario.num_workers)},
+       {"shards", static_cast<double>(config.shards)},
+       {"requests", static_cast<double>(num_requests)},
+       {"queue_capacity", static_cast<double>(config.queue_capacity)},
+       {"seed", static_cast<double>(config.seed)}},
+      [&] {
+        std::atomic<int> delivered{0};
+        const auto done = [&delivered](const svc::Response&) {
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (const svc::Request& request : requests) {
+          // A full queue is backpressure, not loss: retry until the owning
+          // shard accepts, like a client honoring retry_after_ms. Nothing
+          // closes the service mid-bench, so kClosed would be a bug.
+          svc::PushResult pushed;
+          while ((pushed = service.submit(request, done)) ==
+                 svc::PushResult::kFull) {
+            std::this_thread::yield();
+          }
+          if (pushed != svc::PushResult::kOk) {
+            throw std::runtime_error("svc_serve_sharded: service closed");
+          }
+        }
+        while (delivered.load(std::memory_order_acquire) < num_requests) {
+          std::this_thread::yield();
+        }
+        g_sink = g_sink + static_cast<double>(delivered.load());
+      },
+      nullptr);
+  result.counters.emplace_back(
+      "registered_workers", static_cast<double>(config.scenario.num_workers));
+  result.counters.emplace_back(
+      "submissions_per_sec",
+      result.median_wall_ms > 0.0
+          ? static_cast<double>(num_requests) / (result.median_wall_ms * 1e-3)
+          : 0.0);
+  return result;
+}
+
 }  // namespace
 
 std::vector<std::string> suite_bench_names() {
   return {"greedy_scoring_100k", "auction_scale_1m", "kalman_chain",
-          "kalman_em_chain",     "platform_step",    "svc_serve"};
+          "kalman_em_chain",     "platform_step",    "svc_serve",
+          "svc_serve_sharded"};
 }
 
 std::string detect_git_sha() {
@@ -447,6 +525,8 @@ PerfArtifact run_suite(const SuiteOptions& options, std::ostream& log) {
        }},
       {"platform_step", [&] { return bench_platform_step(quick, repeats); }},
       {"svc_serve", [&] { return bench_svc_serve(quick, repeats); }},
+      {"svc_serve_sharded",
+       [&] { return bench_svc_serve_sharded(quick, repeats); }},
   };
   for (const auto& [name, bench] : matrix) {
     if (!selected(name)) continue;

@@ -27,4 +27,41 @@ MetricSummary summarize_after(std::span<const RunRecord> records,
   return summary;
 }
 
+std::vector<RunRecord> merge_run_records(
+    const std::vector<std::vector<RunRecord>>& shards) {
+  std::size_t longest = 0;
+  for (const auto& records : shards) {
+    longest = records.size() > longest ? records.size() : longest;
+  }
+  std::vector<RunRecord> merged(longest);
+  // Weighted-error accumulator per run: sum of error * qualified, divided
+  // by the summed qualified count at the end (the union-platform mean).
+  std::vector<double> error_weight(longest, 0.0);
+  for (std::size_t r = 0; r < longest; ++r) merged[r].run = static_cast<int>(r) + 1;
+  for (const auto& records : shards) {
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      const RunRecord& part = records[r];
+      RunRecord& total = merged[r];
+      total.estimated_utility += part.estimated_utility;
+      total.true_utility += part.true_utility;
+      total.total_payment += part.total_payment;
+      total.assignments += part.assignments;
+      total.qualified_workers += part.qualified_workers;
+      total.no_shows += part.no_shows;
+      total.churned_out += part.churned_out;
+      total.scores_dropped += part.scores_dropped;
+      total.scores_corrupted += part.scores_corrupted;
+      error_weight[r] +=
+          part.estimation_error * static_cast<double>(part.qualified_workers);
+    }
+  }
+  for (std::size_t r = 0; r < longest; ++r) {
+    merged[r].estimation_error =
+        merged[r].qualified_workers > 0
+            ? error_weight[r] / static_cast<double>(merged[r].qualified_workers)
+            : 0.0;
+  }
+  return merged;
+}
+
 }  // namespace melody::sim

@@ -50,4 +50,16 @@ MetricSummary summarize(std::span<const RunRecord> records);
 MetricSummary summarize_after(std::span<const RunRecord> records,
                               std::size_t skip);
 
+/// Merge per-shard run records (one vector per shard, each ordered by run)
+/// into one global trajectory: result[r] aggregates every shard's record
+/// for run r+1. Counts and payments sum; estimation_error is the
+/// qualified-worker-weighted mean, i.e. exactly the value one platform
+/// holding the union of the qualified workers would have reported. Shards
+/// that have not reached a run yet simply contribute nothing to it; the
+/// result spans the longest shard. The merge is a deterministic fold in
+/// shard order, so a K-shard deployment's Fig-9 trajectory is a pure
+/// function of its per-shard trajectories.
+std::vector<RunRecord> merge_run_records(
+    const std::vector<std::vector<RunRecord>>& shards);
+
 }  // namespace melody::sim

@@ -223,6 +223,7 @@ RunRecord Platform::step() {
                {"scores_dropped", record.scores_dropped},
                {"scores_corrupted", record.scores_corrupted}});
   }
+  if (run_hook_) run_hook_(record);
   return record;
 }
 

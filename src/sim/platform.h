@@ -3,6 +3,7 @@
 // update, repeated over runs.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -58,6 +59,16 @@ class Platform {
   /// "platform/run" event per run goes to obs::sink() (both no-ops unless
   /// observability is enabled/installed; neither affects the outputs).
   RunRecord step();
+
+  /// Invoked at the end of every step() with the run's record, after all
+  /// stages and obs emission — the shard-local aggregation hook sharded
+  /// services use to feed cross-shard run totals without polling. The hook
+  /// runs on the stepping thread, must be cheap, and must not call back
+  /// into this platform. Pass an empty function to clear. Not part of a
+  /// snapshot.
+  void set_run_hook(std::function<void(const RunRecord&)> hook) {
+    run_hook_ = std::move(hook);
+  }
 
   /// Execute all remaining runs of the scenario.
   std::vector<RunRecord> run_all();
@@ -131,6 +142,7 @@ class Platform {
   std::uint64_t master_seed_ = 0;
   int run_ = 0;
   FaultPlan fault_plan_;
+  std::function<void(const RunRecord&)> run_hook_;
   // Per-step scratch reused across runs (step() is single-entry, so plain
   // members are safe): per-slot assignment counts and true utilities.
   std::vector<int> assigned_scratch_;

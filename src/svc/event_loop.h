@@ -1,0 +1,114 @@
+// Nonblocking epoll front end for melody_serve: one event-loop thread
+// multiplexes every TCP connection (accept/read/write state machines,
+// per-connection line framing) and feeds the sharded service's bounded
+// queues. This replaces the thread-per-connection server — the accept path
+// no longer spawns anything, so hundreds of idle clients cost file
+// descriptors and buffers, not stacks.
+//
+// Flow of one request line:
+//   read(2) → framing buffer → parse_request → ShardedService::submit
+//     → shard consumer thread applies it → done callback posts a
+//       Completion (mutex + eventfd wakeup) → event loop reorders it into
+//       the connection's response sequence → write buffer → write(2)
+//
+// Ordering: responses go out in request order per connection even though
+// shards complete out of order — each accepted line consumes a sequence
+// number (parse errors, unsupported ops and overload rejections too, since
+// they answer inline) and completions wait in a per-connection reorder map
+// until their turn. Backpressure is unchanged from the threaded server: a
+// full shard queue answers "overloaded" + retry_after_ms immediately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/router.h"
+
+namespace melody::svc {
+
+struct EventLoopOptions {
+  /// TCP port to listen on; 0 picks a free port (tests) — read it back
+  /// with actual_port() after listen().
+  int port = 7117;
+  /// Hard cap on one buffered request line; a client exceeding it gets a
+  /// protocol error and its connection closed (a framing bug, not load).
+  std::size_t max_line = 1 << 20;
+  /// Polled between epoll waits; return true to begin the drain shutdown
+  /// (the SIGINT flag). The loop also drains when a shutdown op lands.
+  std::function<bool()> should_stop;
+};
+
+/// Tallies of one serve session, for the operator log line.
+struct EventLoopStats {
+  std::uint64_t accepted = 0;      // connections accepted
+  std::uint64_t requests = 0;      // lines submitted to the service
+  std::uint64_t parse_errors = 0;  // lines answered with a protocol error
+  std::uint64_t rejected = 0;      // lines answered with backpressure
+};
+
+class EventLoop {
+ public:
+  /// The service must outlive the loop. start() the shards before run().
+  EventLoop(ShardedService& service, EventLoopOptions options);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Bind + listen + set up epoll/eventfd. Throws std::runtime_error.
+  void listen();
+
+  /// The bound port (after listen(); differs from options.port when 0).
+  int actual_port() const noexcept { return actual_port_; }
+
+  /// Run until should_stop() or a shutdown op, then drain: stop accepting,
+  /// close the shard queues, join the consumer threads, flush every
+  /// pending response. Call from the serving thread.
+  EventLoopStats run();
+
+ private:
+  struct Connection;
+  // One response ready to leave: posted from shard consumer threads (or
+  // inline for loop-answered errors), reordered per connection by seq.
+  struct Completion {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    std::string line;
+    bool close_after = false;
+  };
+
+  void accept_ready();
+  void post_completion(Completion completion);
+  void drain_completions();
+  void apply_completion(Completion& completion);
+  void handle_readable(Connection* conn);
+  void handle_writable(Connection* conn);
+  void handle_line(Connection* conn, std::string line);
+  void answer_inline(Connection* conn, std::uint64_t seq, std::string line,
+                     bool close_after = false);
+  void flush_ready(Connection* conn);
+  void try_write(Connection* conn);
+  void update_write_interest(Connection* conn, bool want);
+  void destroy(Connection* conn);
+  void drain_and_exit();
+
+  ShardedService& service_;
+  EventLoopOptions options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  int actual_port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  EventLoopStats stats_;
+};
+
+}  // namespace melody::svc

@@ -16,9 +16,14 @@ constexpr std::chrono::milliseconds kIdleTick{50};
 PushResult ServiceLoop::try_submit(Request request,
                                    std::function<void(const Response&)> done) {
   const PushResult result =
-      queue_.try_push(Envelope{std::move(request), std::move(done)});
+      queue_.try_push(Envelope{std::move(request), std::move(done), nullptr});
   if (result != PushResult::kOk) service_.note_overload_reject();
   return result;
+}
+
+PushResult ServiceLoop::submit_task(
+    std::function<void(AuctionService&)> task) {
+  return queue_.push_force(Envelope{Request{}, nullptr, std::move(task)});
 }
 
 Response ServiceLoop::rejection(PushResult result,
@@ -80,6 +85,10 @@ bool ServiceLoop::poll_once(std::chrono::nanoseconds timeout) {
 
 void ServiceLoop::process(Envelope& envelope) {
   service_.note_queue_depth(queue_.size());
+  if (envelope.task) {
+    envelope.task(service_);
+    return;
+  }
   const Response response = service_.apply(envelope.request);
   if (envelope.done) envelope.done(response);
 }
@@ -93,6 +102,10 @@ StdioResult run_stdio_session(ServiceLoop& loop, std::istream& in,
     Request request;
     try {
       request = parse_request(line);
+    } catch (const UnsupportedOpError& e) {
+      ++result.parse_errors;
+      out << format_response(Response::unsupported_op(e.id(), e.op())) << '\n';
+      continue;
     } catch (const WireError& e) {
       ++result.parse_errors;
       out << format_response(Response::failure(0, e.what())) << '\n';

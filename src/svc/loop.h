@@ -23,10 +23,13 @@ namespace melody::svc {
 
 /// One queued request plus the completion callback that delivers its
 /// response. The callback runs on the loop thread; it must be cheap and
-/// must not call back into the loop.
+/// must not call back into the loop. Alternatively an envelope can carry a
+/// `task` — an arbitrary closure over the service (coordinated checkpoints
+/// save shard state this way); a task envelope's request/done are unused.
 struct Envelope {
   Request request;
   std::function<void(const Response&)> done;
+  std::function<void(AuctionService&)> task;
 };
 
 class ServiceLoop {
@@ -39,6 +42,11 @@ class ServiceLoop {
   /// send `rejection(...)` to the client instead.
   PushResult try_submit(Request request,
                         std::function<void(const Response&)> done);
+
+  /// Enqueue a service task past the capacity bound (control plane; see
+  /// BoundedQueue::push_force). kClosed means the loop is shutting down and
+  /// the task will never run.
+  PushResult submit_task(std::function<void(AuctionService&)> task);
 
   /// The client-facing response for a failed try_submit: "overloaded" with
   /// a retry_after_ms hint sized to the queue, or a terminal "shutting

@@ -23,11 +23,11 @@ constexpr struct {
     {Op::kShutdown, "shutdown"},
 };
 
-Op op_from(const std::string& name) {
+Op op_from(const std::string& name, std::int64_t id) {
   for (const auto& entry : kOps) {
     if (entry.name == name) return entry.op;
   }
-  throw WireError("protocol: unknown op '" + name + "'");
+  throw UnsupportedOpError(name, id);
 }
 
 int int_field(const WireObject& object, std::string_view key, int fallback) {
@@ -51,8 +51,10 @@ std::string_view to_string(Op op) noexcept {
 Request parse_request(std::string_view line) {
   const WireObject object = parse_wire(line);
   Request request;
-  request.op = op_from(object.text("op"));
+  // The id parses before the op so an UnsupportedOpError can carry it and
+  // the structured reply still correlates with the client's request.
   request.id = static_cast<std::int64_t>(object.number_or("id", 0.0));
+  request.op = op_from(object.text("op"), request.id);
   switch (request.op) {
     case Op::kSubmitBid:
       request.worker = object.text("worker");
@@ -73,6 +75,7 @@ Request parse_request(std::string_view line) {
       break;
     case Op::kQueryRun:
       request.run = int_field(object, "run", 0);
+      request.shard = int_field(object, "shard", 0);
       break;
     case Op::kTick:
       request.seconds = object.number("seconds");
@@ -81,6 +84,8 @@ Request parse_request(std::string_view line) {
       request.path = object.text_or("path", "");
       break;
     case Op::kHello:
+      request.proto = int_field(object, "proto", 0);
+      break;
     case Op::kRunNow:
     case Op::kStats:
     case Op::kShutdown:
@@ -116,6 +121,10 @@ std::string format_request(const Request& request) {
       break;
     case Op::kQueryRun:
       object.set("run", WireValue::of(static_cast<std::int64_t>(request.run)));
+      if (request.shard != 0) {
+        object.set("shard",
+                   WireValue::of(static_cast<std::int64_t>(request.shard)));
+      }
       break;
     case Op::kTick:
       object.set("seconds", WireValue::of(request.seconds));
@@ -126,6 +135,11 @@ std::string format_request(const Request& request) {
       }
       break;
     case Op::kHello:
+      if (request.proto != 0) {
+        object.set("proto",
+                   WireValue::of(static_cast<std::int64_t>(request.proto)));
+      }
+      break;
     case Op::kRunNow:
     case Op::kStats:
     case Op::kShutdown:

@@ -18,6 +18,13 @@
 // Response lines always carry "ok" plus the echoed "id" (when the request
 // had one). Failures carry "error"; overload rejections additionally carry
 // "retry_after_ms" — the client-visible half of the backpressure contract.
+//
+// Version negotiation: "hello" may carry the client's "proto" version; the
+// server's reply advertises its own "proto_version" (kProtoVersion) plus
+// the shard count, and both sides speak the older of the two. A request
+// whose op the server does not know is answered with a structured
+// {"ok":false,"error":"unsupported_op","op":...} line — the connection
+// stays open, so a newer client degrades instead of being dropped.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,11 @@
 #include "svc/wire.h"
 
 namespace melody::svc {
+
+/// Wire protocol version this build speaks. v2 added hello negotiation
+/// (proto_version + shards in the hello reply), structured unsupported_op
+/// replies, and the optional "shard" routing field on query_run.
+inline constexpr int kProtoVersion = 2;
 
 enum class Op {
   kHello,
@@ -45,6 +57,24 @@ enum class Op {
 
 std::string_view to_string(Op op) noexcept;
 
+/// parse_request's error for a well-formed line naming an op this build
+/// does not implement. Derives from WireError (callers that only know
+/// "malformed line" still catch it); responders that know better answer
+/// Response::unsupported_op and keep the connection open.
+class UnsupportedOpError : public WireError {
+ public:
+  UnsupportedOpError(std::string op, std::int64_t id)
+      : WireError("protocol: unknown op '" + op + "'"),
+        op_(std::move(op)),
+        id_(id) {}
+  const std::string& op() const noexcept { return op_; }
+  std::int64_t id() const noexcept { return id_; }
+
+ private:
+  std::string op_;
+  std::int64_t id_;
+};
+
 /// One parsed client request. Fields are meaningful per op (see the schema
 /// above); unused fields keep their defaults.
 struct Request {
@@ -58,8 +88,10 @@ struct Request {
   double budget = 0.0;      // submit_tasks (budget-accumulation trigger)
   std::vector<double> scores;  // post_scores
   int run = 0;              // query_run
+  int shard = 0;            // query_run (sharded deployments; 0 = shard 0)
   double seconds = 0.0;     // tick
   std::string path;         // checkpoint
+  int proto = 0;            // hello (client's protocol version; 0 = unset)
 
   bool operator==(const Request&) const = default;
 };
@@ -91,10 +123,21 @@ struct Response {
     r.retry_after_ms = retry_after_ms;
     return r;
   }
+  /// The structured reply for an op this build does not implement: the
+  /// offending op plus the server's protocol version, so a newer client
+  /// can detect the downgrade instead of losing the connection.
+  static Response unsupported_op(std::int64_t id, const std::string& op) {
+    Response r = failure(id, "unsupported_op");
+    r.fields.set("op", WireValue::of(op));
+    r.fields.set("proto_version",
+                 WireValue::of(static_cast<std::int64_t>(kProtoVersion)));
+    return r;
+  }
 };
 
-/// Parse one request line. Throws WireError on malformed JSON, an unknown
-/// op, or missing/mistyped required fields.
+/// Parse one request line. Throws WireError on malformed JSON or
+/// missing/mistyped required fields, and UnsupportedOpError (a WireError)
+/// on a well-formed line whose op this build does not know.
 Request parse_request(std::string_view line);
 
 /// Render a request as one wire line (load generator, trace recording).

@@ -46,6 +46,20 @@ class BoundedQueue {
     return PushResult::kOk;
   }
 
+  /// Enqueue past the capacity bound — control-plane items (coordinated
+  /// checkpoint barriers) that must not be lost to request backpressure.
+  /// These are rare and internally generated, so they cannot grow the queue
+  /// unboundedly; a closed queue still refuses (kClosed).
+  PushResult push_force(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
   /// Blocking dequeue with timeout. Returns nullopt on timeout, or when the
   /// queue was closed and fully drained (check closed() to tell apart).
   std::optional<T> pop_for(std::chrono::nanoseconds timeout) {

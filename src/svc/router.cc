@@ -1,0 +1,529 @@
+#include "svc/router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "util/binio.h"
+
+namespace melody::svc {
+
+namespace binio = util::binio;
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'D', 'Y', 'S', 'V', 'C', 'K'};
+constexpr std::uint32_t kComposedVersion = 2;
+
+// Response fields that sum across shards in a merged broadcast reply
+// (counts and budgets of independent sub-markets).
+bool additive_field(std::string_view key) noexcept {
+  return key == "runs_executed" || key == "runs_total" ||
+         key == "runs_this_session" || key == "pending_bids" ||
+         key == "accrued_budget" || key == "workers" || key == "sessions" ||
+         key == "requests" || key == "overload_rejects" ||
+         key == "queue_depth" || key == "min_bids" || key == "budget_target";
+}
+
+// Run cursors take the furthest shard (union-platform progress).
+bool maximal_field(std::string_view key) noexcept {
+  return key == "run" || key == "next_run";
+}
+
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct ShardedService::FanOut {
+  std::mutex mutex;
+  std::vector<Response> parts;
+  int remaining = 0;
+  Op op = Op::kHello;
+  std::int64_t id = 0;
+  std::function<void(const Response&)> done;
+  std::function<void(Response&)> post;  // final router-level adjustment
+};
+
+struct ShardedService::CheckpointJob {
+  std::vector<std::string> blobs;
+  std::vector<int> runs;  // per-shard last completed run index
+  std::atomic<int> remaining{0};
+  std::atomic<bool> failed{false};
+  std::string path;
+  std::int64_t id = 0;
+  std::function<void(const Response&)> done;
+};
+
+ShardedService::ShardedService(ServiceConfig config)
+    : config_(std::move(config)) {
+  const std::vector<ShardPlan> plans = plan_shards(config_);
+  shards_.reserve(plans.size());
+  worker_offsets_.reserve(plans.size() + 1);
+  for (const ShardPlan& plan : plans) {
+    worker_offsets_.push_back(plan.worker_offset);
+    shards_.push_back(std::make_unique<PlatformShard>(plan));
+    shards_.back()->set_run_sink(
+        [this](int s, const sim::RunRecord& r) { on_run(s, r); });
+  }
+  worker_offsets_.push_back(config_.scenario.num_workers);
+}
+
+ShardedService::~ShardedService() {
+  begin_shutdown();
+  join();
+}
+
+void ShardedService::restore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("svc: cannot open checkpoint: " + path);
+  load_state(in);
+}
+
+void ShardedService::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& shard : shards_) shard->start();
+}
+
+int ShardedService::route(const std::string& worker) const {
+  const int k = shard_count();
+  if (k == 1) return 0;
+  // Scenario names "w<g>" with g inside the initial population map to the
+  // contiguous range owner (matches the planner's split and the per-shard
+  // worker_name_offset bindings).
+  if (worker.size() > 1 && worker.front() == 'w') {
+    bool digits = true;
+    long g = 0;
+    for (std::size_t i = 1; i < worker.size(); ++i) {
+      const char c = worker[i];
+      if (c < '0' || c > '9' || g > config_.scenario.num_workers) {
+        digits = false;
+        break;
+      }
+      g = g * 10 + (c - '0');
+    }
+    if (digits && g < config_.scenario.num_workers) {
+      const auto it = std::upper_bound(worker_offsets_.begin(),
+                                       worker_offsets_.end() - 1,
+                                       static_cast<int>(g));
+      return static_cast<int>(it - worker_offsets_.begin()) - 1;
+    }
+  }
+  // Newcomers and foreign names: deterministic hash affinity — the same
+  // name always lands on the same shard, so its session state sticks.
+  return static_cast<int>(fnv1a(worker) % static_cast<std::uint64_t>(k));
+}
+
+PushResult ShardedService::submit(const Request& request,
+                                  std::function<void(const Response&)> done) {
+  switch (request.op) {
+    case Op::kSubmitBid:
+    case Op::kPostScores:
+    case Op::kQueryWorker:
+      return shards_[static_cast<std::size_t>(route(request.worker))]->submit(
+          request, std::move(done));
+    case Op::kQueryRun: {
+      if (request.shard < 0 || request.shard >= shard_count()) {
+        done(Response::failure(request.id, "query_run: shard out of range"));
+        return PushResult::kOk;
+      }
+      return shards_[static_cast<std::size_t>(request.shard)]->submit(
+          request, std::move(done));
+    }
+    case Op::kCheckpoint:
+      return submit_checkpoint(request, std::move(done));
+    case Op::kShutdown:
+      shutdown_.store(true, std::memory_order_relaxed);
+      return broadcast(request, std::move(done));
+    default:
+      return broadcast(request, std::move(done));
+  }
+}
+
+Response ShardedService::rejection(PushResult result,
+                                   const Request& request) const {
+  return shards_.front()->rejection(result, request);
+}
+
+PushResult ShardedService::broadcast(
+    const Request& request, std::function<void(const Response&)> done) {
+  const int k = shard_count();
+  // All-or-nothing admission. The front end is the single regular
+  // producer, so a free slot observed on every queue cannot be taken
+  // before we enqueue; the parts then go in with push_force (checkpoint
+  // tasks forced in concurrently must not fail a pre-checked broadcast).
+  for (const auto& shard : shards_) {
+    if (shard->loop().queue_depth() >= shard->loop().queue_capacity()) {
+      shard->service().note_overload_reject();
+      return PushResult::kFull;
+    }
+  }
+  auto fan = std::make_shared<FanOut>();
+  fan->parts.resize(static_cast<std::size_t>(k));
+  fan->remaining = k;
+  fan->op = request.op;
+  fan->id = request.id;
+  fan->done = std::move(done);
+  if (request.op == Op::kHello) {
+    fan->post = [k](Response& merged) {
+      merged.fields.set("shards", WireValue::of(static_cast<std::int64_t>(k)));
+    };
+  } else if (request.op == Op::kShutdown &&
+             !config_.checkpoint_path.empty()) {
+    // The composed v2 file is written by finalize() once the shards have
+    // drained; the reply advertises it like the unsharded service does.
+    fan->post = [path = config_.checkpoint_path](Response& merged) {
+      merged.fields.set("checkpoint", WireValue::of(path));
+    };
+  }
+  for (int s = 0; s < k; ++s) {
+    Request part = request;
+    if (request.op == Op::kSubmitTasks && k > 1) {
+      const auto lo = static_cast<std::int64_t>(worker_offsets_[s]);
+      const auto hi = static_cast<std::int64_t>(worker_offsets_[s + 1]);
+      const auto n = static_cast<std::int64_t>(config_.scenario.num_workers);
+      part.budget = request.budget * (static_cast<double>(hi - lo) /
+                                      static_cast<double>(n));
+      // Telescoping integer split: the per-shard counts sum to the total.
+      part.task_count = static_cast<int>(request.task_count * hi / n -
+                                         request.task_count * lo / n);
+    }
+    auto deliver = [this, fan, s](const Response& response) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(fan->mutex);
+        fan->parts[static_cast<std::size_t>(s)] = response;
+        last = --fan->remaining == 0;
+      }
+      if (!last) return;
+      Response merged = merge_parts(fan->op, fan->id, fan->parts);
+      if (fan->post) fan->post(merged);
+      if (fan->done) fan->done(merged);
+    };
+    // Forced enqueue of the pre-checked part: a task that applies the
+    // request on the consumer thread (ServiceLoop has no forced request
+    // path, and push_force must not fail a broadcast the capacity check
+    // above already admitted).
+    const PushResult pushed =
+        shards_[static_cast<std::size_t>(s)]->submit_task(
+            [part, deliver](AuctionService& service) mutable {
+              deliver(service.apply(part));
+            });
+    if (pushed != PushResult::kOk) {
+      deliver(Response::failure(request.id, "shutting down"));
+    }
+  }
+  return PushResult::kOk;
+}
+
+PushResult ShardedService::submit_checkpoint(
+    const Request& request, std::function<void(const Response&)> done) {
+  const std::string path =
+      request.path.empty() ? config_.checkpoint_path : request.path;
+  if (path.empty()) {
+    done(Response::failure(
+        request.id, "checkpoint: no path in the request and none configured"));
+    return PushResult::kOk;
+  }
+  if (checkpoint_in_flight_.exchange(true)) {
+    done(Response::failure(request.id, "checkpoint already in progress"));
+    return PushResult::kOk;
+  }
+  const int k = shard_count();
+  auto job = std::make_shared<CheckpointJob>();
+  job->blobs.resize(static_cast<std::size_t>(k));
+  job->runs.resize(static_cast<std::size_t>(k), 0);
+  job->remaining.store(k, std::memory_order_relaxed);
+  job->path = path;
+  job->id = request.id;
+  job->done = std::move(done);
+  for (int s = 0; s < k; ++s) {
+    const PushResult pushed =
+        shards_[static_cast<std::size_t>(s)]->submit_task(
+            [this, job, s](AuctionService& service) {
+              service.note_control_request();
+              std::ostringstream blob;
+              service.save_state(blob);
+              job->blobs[static_cast<std::size_t>(s)] = blob.str();
+              job->runs[static_cast<std::size_t>(s)] =
+                  service.platform().current_run() - 1;
+              if (job->remaining.fetch_sub(1) == 1) complete_checkpoint(job);
+            });
+    if (pushed != PushResult::kOk) {
+      job->failed.store(true, std::memory_order_relaxed);
+      if (job->remaining.fetch_sub(1) == 1) complete_checkpoint(job);
+    }
+  }
+  return PushResult::kOk;
+}
+
+void ShardedService::complete_checkpoint(
+    const std::shared_ptr<CheckpointJob>& job) {
+  Response response = Response::success(job->id);
+  if (job->failed.load(std::memory_order_relaxed)) {
+    response = Response::failure(job->id, "checkpoint: service shutting down");
+  } else {
+    try {
+      const std::string tmp = job->path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          throw std::runtime_error("svc: cannot write checkpoint: " + tmp);
+        }
+        out.write(kMagic, sizeof kMagic);
+        binio::write_u32(out, kComposedVersion);
+        binio::write_u32(out, static_cast<std::uint32_t>(job->blobs.size()));
+        for (const std::string& blob : job->blobs) {
+          binio::write_bytes(out, blob);
+        }
+        if (!out) {
+          throw std::runtime_error("svc: short write on checkpoint: " + tmp);
+        }
+      }
+      if (std::rename(tmp.c_str(), job->path.c_str()) != 0) {
+        throw std::runtime_error("svc: cannot rename checkpoint into place: " +
+                                 job->path);
+      }
+      response.fields.set("path", WireValue::of(job->path));
+      response.fields.set(
+          "run", WireValue::of(static_cast<std::int64_t>(
+                     *std::max_element(job->runs.begin(), job->runs.end()))));
+      if (shard_count() > 1) {
+        response.fields.set(
+            "shards",
+            WireValue::of(static_cast<std::int64_t>(shard_count())));
+      }
+    } catch (const std::exception& e) {
+      response = Response::failure(job->id, e.what());
+    }
+  }
+  checkpoint_in_flight_.store(false, std::memory_order_relaxed);
+  if (job->done) job->done(response);
+}
+
+void ShardedService::on_run(int /*shard_index*/,
+                            const sim::RunRecord& /*record*/) {
+  const std::uint64_t total =
+      total_runs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.checkpoint_every <= 0 || config_.checkpoint_path.empty()) {
+    return;
+  }
+  if (total % static_cast<std::uint64_t>(config_.checkpoint_every) != 0) {
+    return;
+  }
+  if (shutdown_.load(std::memory_order_relaxed)) return;
+  Request request;
+  request.op = Op::kCheckpoint;
+  // Cadence checkpoints are best-effort: skip when one is in flight (the
+  // exchange inside submit_checkpoint reports it; we drop the response).
+  submit_checkpoint(request, [](const Response&) {});
+}
+
+Response ShardedService::merge_parts(Op /*op*/, std::int64_t id,
+                                     const std::vector<Response>& parts) {
+  Response merged;
+  merged.id = id;
+  for (const Response& part : parts) {
+    if (part.ok) continue;
+    if (merged.ok) {
+      merged.ok = false;
+      merged.error = part.error;
+    }
+    merged.retry_after_ms = std::max(merged.retry_after_ms,
+                                     part.retry_after_ms);
+  }
+  const Response& head = parts.front();
+  for (const auto& [key, value] : head.fields.entries()) {
+    if (value.kind == WireValue::Kind::kNumber && additive_field(key)) {
+      double sum = 0.0;
+      for (const Response& part : parts) {
+        if (part.fields.has(key)) sum += part.fields.number(key);
+      }
+      merged.fields.set(key, WireValue::of(sum));
+    } else if (value.kind == WireValue::Kind::kNumber && maximal_field(key)) {
+      double top = value.number;
+      for (const Response& part : parts) {
+        if (part.fields.has(key)) top = std::max(top, part.fields.number(key));
+      }
+      merged.fields.set(key, WireValue::of(top));
+    } else if (value.kind == WireValue::Kind::kBool && key == "finished") {
+      bool all = true;
+      for (const Response& part : parts) {
+        all = all && part.fields.boolean_or(key, true);
+      }
+      merged.fields.set(key, WireValue::of(all));
+    } else {
+      merged.fields.set(key, value);
+    }
+  }
+  return merged;
+}
+
+bool ShardedService::poll_once(std::chrono::nanoseconds timeout) {
+  bool any = false;
+  for (auto& shard : shards_) any = shard->poll_once(timeout) || any;
+  return any;
+}
+
+void ShardedService::begin_shutdown() {
+  for (auto& shard : shards_) shard->close();
+}
+
+bool ShardedService::shutdown_requested() const {
+  if (shutdown_.load(std::memory_order_relaxed)) return true;
+  for (const auto& shard : shards_) {
+    if (shard->service().shutdown_requested()) return true;
+  }
+  return false;
+}
+
+void ShardedService::join() {
+  for (auto& shard : shards_) shard->join();
+}
+
+void ShardedService::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (config_.checkpoint_path.empty()) return;
+  const std::string tmp = config_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("svc: cannot write checkpoint: " + tmp);
+    }
+    save_state(out);
+    if (!out) {
+      throw std::runtime_error("svc: short write on checkpoint: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), config_.checkpoint_path.c_str()) != 0) {
+    throw std::runtime_error("svc: cannot rename checkpoint into place: " +
+                             config_.checkpoint_path);
+  }
+}
+
+std::vector<sim::RunRecord> ShardedService::aggregated_records() const {
+  std::vector<std::vector<sim::RunRecord>> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    parts.push_back(shard->service().records());
+  }
+  return sim::merge_run_records(parts);
+}
+
+void ShardedService::save_state(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  binio::write_u32(out, kComposedVersion);
+  binio::write_u32(out, static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    std::ostringstream blob;
+    shard->service().save_state(blob);
+    binio::write_bytes(out, blob.str());
+  }
+}
+
+void ShardedService::load_state(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (in.gcount() != sizeof magic ||
+      !std::equal(magic, magic + sizeof magic, kMagic)) {
+    throw std::runtime_error("svc: bad checkpoint magic");
+  }
+  const std::uint32_t version = binio::read_u32(in, "svc checkpoint version");
+  if (version == 1) {
+    // A plain single-platform snapshot: only a K=1 deployment can adopt
+    // it (a composed deployment cannot split one platform after the fact).
+    if (shard_count() != 1) {
+      throw std::runtime_error(
+          "svc: v1 checkpoint requires a single-shard deployment");
+    }
+    // Re-feed the already-consumed header to the shard's own loader.
+    std::ostringstream rest;
+    rest.write(kMagic, sizeof kMagic);
+    binio::write_u32(rest, version);
+    rest << in.rdbuf();
+    std::istringstream replay(rest.str());
+    shards_.front()->service().load_state(replay);
+    return;
+  }
+  if (version != kComposedVersion) {
+    throw std::runtime_error("svc: unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t k = binio::read_u32(in, "svc checkpoint shards");
+  if (k != static_cast<std::uint32_t>(shard_count())) {
+    throw std::runtime_error(
+        "svc: checkpoint shard count " + std::to_string(k) +
+        " does not match the deployment's " + std::to_string(shard_count()));
+  }
+  for (auto& shard : shards_) {
+    const std::string blob =
+        binio::read_bytes(in, "svc checkpoint shard snapshot");
+    std::istringstream replay(blob);
+    shard->service().load_state(replay);
+  }
+}
+
+StdioResult run_stdio_session(ShardedService& service, std::istream& in,
+                              std::ostream& out) {
+  StdioResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const UnsupportedOpError& e) {
+      ++result.parse_errors;
+      out << format_response(Response::unsupported_op(e.id(), e.op())) << '\n';
+      continue;
+    } catch (const WireError& e) {
+      ++result.parse_errors;
+      out << format_response(Response::failure(0, e.what())) << '\n';
+      continue;
+    }
+    auto delivered = std::make_shared<bool>(false);
+    const PushResult submitted = service.submit(
+        request, [&out, delivered](const Response& r) {
+          out << format_response(r) << '\n';
+          *delivered = true;
+        });
+    if (submitted != PushResult::kOk) {
+      ++result.rejected;
+      out << format_response(service.rejection(submitted, request)) << '\n';
+      continue;
+    }
+    // Single-threaded session: drain every shard until the (possibly
+    // merged) response has been written, then read the next line.
+    while (!*delivered) {
+      if (!service.poll_once(std::chrono::nanoseconds{0})) break;
+    }
+    ++result.requests;
+    if (service.shutdown_requested()) {
+      result.shutdown = true;
+      break;
+    }
+  }
+  // EOF without a shutdown op: fire remaining due batches and finish.
+  service.begin_shutdown();
+  while (service.poll_once(std::chrono::nanoseconds{0})) {
+  }
+  out.flush();
+  return result;
+}
+
+}  // namespace melody::svc

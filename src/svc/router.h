@@ -1,0 +1,145 @@
+// ShardedService: the request router in front of K platform shards.
+//
+// Single-worker ops (submit_bid, post_scores, query_worker) route by
+// affinity: scenario names "w<g>" map to the contiguous range owner,
+// everything else (newcomers, foreign names) hashes deterministically so a
+// worker always lands on the same shard. query_run addresses a shard
+// explicitly through the request's "shard" field. Broadcast ops (hello,
+// submit_tasks, tick, run_now, stats, shutdown) fan out to every shard and
+// merge the K responses into one line — counts and budgets sum, "finished"
+// ANDs, run cursors take the max — so a K-shard deployment answers with
+// union-platform numbers.
+//
+// Checkpoints compose: the router writes MLDYSVCK v2 — a header plus K
+// length-prefixed v1 sub-snapshots — coordinated by force-pushed tasks
+// through each shard's own queue, so every sub-snapshot is taken on its
+// consumer thread between requests (per-shard consistency, no locks). v1
+// files restore directly when K == 1.
+//
+// At K=1 every path degenerates to the plain single-platform service:
+// identical responses, identical trajectories, identical checkpoint
+// payloads (wrapped in the v2 header) — the bit-identity contract the
+// shard tests pin.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "svc/shard.h"
+
+namespace melody::svc {
+
+class ShardedService {
+ public:
+  /// Plans the shards and constructs every platform eagerly; throws
+  /// std::invalid_argument (via validate) on an unusable config.
+  explicit ShardedService(ServiceConfig config);
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Load a composed checkpoint (v2; plain v1 accepted when K == 1).
+  /// Call before start(). Throws std::runtime_error on mismatch.
+  void restore(const std::string& path);
+
+  /// Spawn the K consumer threads (TCP deployments). Sync drivers (the
+  /// stdio session, tests) skip this and drive poll_once instead.
+  void start();
+  bool started() const noexcept { return started_; }
+
+  /// Route or broadcast one request. kFull / kClosed mean the request was
+  /// NOT accepted anywhere and `done` will never run — send rejection().
+  /// `done` may run on any shard's consumer thread (or inline, for
+  /// requests the router answers itself).
+  PushResult submit(const Request& request,
+                    std::function<void(const Response&)> done);
+
+  Response rejection(PushResult result, const Request& request) const;
+
+  /// Single-threaded driving: process at most one envelope per shard.
+  /// Returns true if any shard processed one.
+  bool poll_once(std::chrono::nanoseconds timeout);
+
+  /// Stop accepting new requests on every shard (SIGINT path); queued
+  /// work still drains and the consumer threads then exit.
+  void begin_shutdown();
+
+  /// True once any shard (or the router itself) saw a shutdown request.
+  bool shutdown_requested() const;
+
+  /// Join the consumer threads. After join the services are quiescent.
+  void join();
+
+  /// Write the final composed checkpoint if one is configured. Requires
+  /// quiescence (threads joined, or never started). Idempotent.
+  void finalize();
+
+  int shard_count() const noexcept { return static_cast<int>(shards_.size()); }
+  PlatformShard& shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
+  const PlatformShard& shard(int s) const {
+    return *shards_[static_cast<std::size_t>(s)];
+  }
+  const ServiceConfig& config() const noexcept { return config_; }
+  bool manual_clock() const noexcept { return config_.manual_clock; }
+
+  /// The shard that owns `worker` (stable for the deployment's lifetime).
+  int route(const std::string& worker) const;
+
+  /// Runs executed across all shards since construction/restore.
+  std::uint64_t total_runs() const noexcept {
+    return total_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// Union-platform per-run trajectory (sim::merge_run_records over the
+  /// shards' records). Requires quiescence.
+  std::vector<sim::RunRecord> aggregated_records() const;
+
+  /// Composed v2 snapshot of every shard, taken directly (requires
+  /// quiescence). The async checkpoint op uses per-shard tasks instead.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
+ private:
+  // One in-flight broadcast: collects the K per-shard responses and fires
+  // the merged one when the last arrives (on that shard's thread).
+  struct FanOut;
+  // One in-flight coordinated checkpoint: per-shard sub-snapshot blobs
+  // plus the countdown; the last shard composes and writes the file.
+  struct CheckpointJob;
+
+  PushResult broadcast(const Request& request,
+                       std::function<void(const Response&)> done);
+  PushResult submit_checkpoint(const Request& request,
+                               std::function<void(const Response&)> done);
+  void complete_checkpoint(const std::shared_ptr<CheckpointJob>& job);
+  void on_run(int shard_index, const sim::RunRecord& record);
+  static Response merge_parts(Op op, std::int64_t id,
+                              const std::vector<Response>& parts);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<PlatformShard>> shards_;
+  std::vector<int> worker_offsets_;  // size K+1; [s, s+1) = shard s's range
+  std::atomic<std::uint64_t> total_runs_{0};
+  std::atomic<bool> checkpoint_in_flight_{false};
+  std::atomic<bool> shutdown_{false};
+  bool started_ = false;
+  bool finalized_ = false;
+};
+
+/// Drive a sharded service from line-delimited requests on `in`, one
+/// response line on `out` per request, in order. Single-threaded: every
+/// line is submitted and then all shards are polled until the merged
+/// response has been delivered. At K=1 the output is bit-identical to the
+/// ServiceLoop overload.
+StdioResult run_stdio_session(ShardedService& service, std::istream& in,
+                              std::ostream& out);
+
+}  // namespace melody::svc

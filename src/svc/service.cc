@@ -6,10 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "estimators/melody_estimator.h"
-#include "estimators/ml_ar_estimator.h"
-#include "estimators/ml_cr_estimator.h"
-#include "estimators/static_estimator.h"
+#include "estimators/factory.h"
 #include "lds/gaussian.h"
 #include "obs/metrics.h"
 #include "sim/trajectory.h"
@@ -31,18 +28,7 @@ namespace binio = util::binio;
 WireValue of_int(std::int64_t v) { return WireValue::of(v); }
 
 ServiceConfig normalize(ServiceConfig config) {
-  if (config.scenario.num_workers <= 0 || config.scenario.num_tasks <= 0 ||
-      config.scenario.runs <= 0 || config.scenario.budget < 0.0) {
-    throw std::invalid_argument(
-        "svc: workers/tasks/runs must be positive, budget non-negative");
-  }
-  if (config.checkpoint_every < 0) {
-    throw std::invalid_argument("svc: checkpoint_every must be non-negative");
-  }
-  if (config.checkpoint_every > 0 && config.checkpoint_path.empty()) {
-    throw std::invalid_argument(
-        "svc: checkpoint_every requires a checkpoint path");
-  }
+  config.validate();
   // No trigger configured: one run per full participation round, matching
   // the batch simulator's every-worker-bids-every-run model.
   if (!config.batch.active()) {
@@ -53,40 +39,15 @@ ServiceConfig normalize(ServiceConfig config) {
 
 }  // namespace
 
-std::unique_ptr<estimators::QualityEstimator> make_estimator(
-    const std::string& name, const sim::LongTermScenario& scenario,
-    double exploration_beta) {
-  if (name == "static") {
-    return std::make_unique<estimators::StaticEstimator>(scenario.initial_mu,
-                                                         50);
-  }
-  if (name == "ml-cr") {
-    return std::make_unique<estimators::MlCurrentRunEstimator>(
-        scenario.initial_mu);
-  }
-  if (name == "ml-ar") {
-    return std::make_unique<estimators::MlAllRunsEstimator>(
-        scenario.initial_mu);
-  }
-  if (name == "melody") {
-    estimators::MelodyEstimatorConfig config;
-    config.initial_posterior = {scenario.initial_mu, scenario.initial_sigma};
-    config.reestimation_period = scenario.reestimation_period;
-    config.exploration_beta = exploration_beta;
-    return std::make_unique<estimators::MelodyEstimator>(config);
-  }
-  return nullptr;
-}
-
 AuctionService::AuctionService(ServiceConfig config)
     : config_(normalize(std::move(config))),
       mechanism_(config_.payment_rule),
-      estimator_(make_estimator(config_.estimator, config_.scenario,
-                                config_.exploration_beta)),
+      estimator_(
+          estimators::make(config_.estimator, config_.estimator_params())),
       batcher_(config_.batch) {
   if (estimator_ == nullptr) {
-    throw std::invalid_argument(
-        "svc: estimator must be one of melody|static|ml-cr|ml-ar");
+    throw std::invalid_argument("svc: estimator must be one of " +
+                                estimators::known_kinds());
   }
   // Mirror melody_sim's construction exactly (same seed derivations) so a
   // manual-clock trace reproduces the batch run bit for bit.
@@ -98,7 +59,8 @@ AuctionService::AuctionService(ServiceConfig config)
       config_.seed + 1);
   if (config_.faults.active()) platform_->set_fault_plan(config_.faults);
   for (const sim::SimWorker& w : platform_->workers()) {
-    registry_.bind("w" + std::to_string(w.id()), w.id());
+    registry_.bind(
+        "w" + std::to_string(config_.worker_name_offset + w.id()), w.id());
   }
   first_session_run_ = platform_->current_run();
 }
@@ -189,7 +151,10 @@ Response AuctionService::dispatch(const Request& request) {
 
 void AuctionService::handle_hello(Response& response) {
   response.fields.set("service", WireValue::of("melody_svc"));
-  response.fields.set("protocol", of_int(1));
+  response.fields.set("proto_version", of_int(kProtoVersion));
+  // A standalone service is its own single shard; the sharded router
+  // overwrites this with the deployment's K.
+  response.fields.set("shards", of_int(1));
   response.fields.set("estimator", WireValue::of(estimator_->name()));
   response.fields.set("next_run", of_int(platform_->current_run()));
   response.fields.set("scenario_runs", of_int(config_.scenario.runs));
@@ -457,6 +422,19 @@ void AuctionService::note_queue_depth(std::size_t depth) {
   if (obs::enabled()) {
     static obs::Gauge& gauge = obs::registry().gauge("svc/queue_depth");
     gauge.set(static_cast<double>(depth));
+  }
+}
+
+void AuctionService::set_run_hook(
+    std::function<void(const sim::RunRecord&)> hook) {
+  platform_->set_run_hook(std::move(hook));
+}
+
+void AuctionService::note_control_request() {
+  ++requests_total_;
+  if (obs::enabled()) {
+    static obs::Counter& requests = obs::registry().counter("svc/requests");
+    requests.add();
   }
 }
 

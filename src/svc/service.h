@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -30,46 +31,18 @@
 #include "sim/fault.h"
 #include "sim/platform.h"
 #include "svc/batcher.h"
+#include "svc/config.h"
 #include "svc/protocol.h"
 #include "svc/session.h"
 
 namespace melody::svc {
 
-/// The estimator menu shared by melody_sim and melody_serve (both must
-/// build the identical stack for serve-vs-batch equivalence). Returns
-/// nullptr for an unknown name; valid names: melody|static|ml-cr|ml-ar.
-std::unique_ptr<estimators::QualityEstimator> make_estimator(
-    const std::string& name, const sim::LongTermScenario& scenario,
-    double exploration_beta);
-
-struct ServiceConfig {
-  sim::LongTermScenario scenario;
-  std::string estimator = "melody";
-  double exploration_beta = 0.0;
-  auction::PaymentRule payment_rule = auction::PaymentRule::kCriticalValue;
-  std::uint64_t seed = 2017;
-  /// Batch triggers; an inactive policy defaults to
-  /// min_bids = scenario.num_workers (a run per full participation round).
-  BatchPolicy batch;
-  sim::FaultPlan faults;
-  /// Checkpoint file; empty disables automatic and shutdown checkpoints
-  /// (explicit checkpoint requests with a path still work).
-  std::string checkpoint_path;
-  /// Also checkpoint after every N-th run (0: only on shutdown/request).
-  int checkpoint_every = 0;
-  /// Logical clock driven by tick requests instead of the event loop's
-  /// wall clock — deterministic traces (tests, --stdin replays).
-  bool manual_clock = false;
-  /// Request shutdown automatically once this many runs have executed in
-  /// this session (0: never). Lets demos and CI pipelines terminate.
-  int exit_after_runs = 0;
-};
-
 class AuctionService {
  public:
   /// Builds mechanism + estimator + platform exactly as melody_sim does
-  /// (same seed derivations), binds the scenario population as "w<id>" in
-  /// the session registry. Throws std::invalid_argument on a bad config.
+  /// (same seed derivations), binds the scenario population as
+  /// "w<worker_name_offset + id>" in the session registry. Throws
+  /// std::invalid_argument on a bad config.
   explicit AuctionService(ServiceConfig config);
 
   AuctionService(const AuctionService&) = delete;
@@ -102,6 +75,18 @@ class AuctionService {
   /// Loop-side statistics hooks (queue depth gauge, overload tally).
   void note_queue_depth(std::size_t depth);
   void note_overload_reject();
+
+  /// Count one control-plane operation (a coordinated-checkpoint task) in
+  /// the request tally, so stats "requests" matches the unsharded service
+  /// where the same operation goes through apply().
+  void note_control_request();
+
+  /// Observe every run the platform executes (forwarded to
+  /// Platform::set_run_hook). Sharded deployments feed cross-shard run
+  /// totals and checkpoint cadence through this; the hook runs on the loop
+  /// thread at the end of each step and must not call back into the
+  /// service.
+  void set_run_hook(std::function<void(const sim::RunRecord&)> hook);
 
   void request_shutdown() noexcept { shutdown_requested_ = true; }
   bool shutdown_requested() const noexcept { return shutdown_requested_; }

@@ -1,0 +1,578 @@
+// Sharded platform (svc/shard.h + svc/router.h): plan splitting and seed
+// salting, affinity routing, broadcast merge semantics, and the headline
+// contracts — a K=1 sharded deployment is byte-identical to the plain
+// single-platform service, every K>1 shard is bit-identical to the
+// standalone service built from its plan, and composed MLDYSVCK v2
+// checkpoints kill/resume mid-trace without perturbing a single record.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "estimators/factory.h"
+#include "svc/config.h"
+#include "svc/loop.h"
+#include "svc/protocol.h"
+#include "svc/router.h"
+#include "svc/service.h"
+#include "svc/shard.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace melody::svc {
+namespace {
+
+constexpr std::uint64_t kSeed = 2017;
+
+/// 42 workers / 30 tasks: neither divides by 4, so every split exercises
+/// the remainder distribution.
+sim::LongTermScenario shard_scenario() {
+  sim::LongTermScenario s;
+  s.num_workers = 42;
+  s.num_tasks = 30;
+  s.runs = 16;
+  s.budget = 120.0;
+  return s;
+}
+
+ServiceConfig shard_config(int shards) {
+  ServiceConfig config;
+  config.scenario = shard_scenario();
+  config.seed = kSeed;
+  config.manual_clock = true;
+  config.shards = shards;
+  return config;
+}
+
+Request bid_for(int worker, std::int64_t id) {
+  Request r;
+  r.op = Op::kSubmitBid;
+  r.id = id;
+  r.worker = "w" + std::to_string(worker);
+  return r;
+}
+
+/// One full participation round over the GLOBAL name space: with inactive
+/// batch policies every shard fires exactly one run per round (each shard's
+/// min_bids defaults to its own worker count).
+void append_round(std::ostream& trace, int workers, std::int64_t* next_id) {
+  for (int w = 0; w < workers; ++w) {
+    trace << format_request(bid_for(w, (*next_id)++)) << "\n";
+  }
+}
+
+std::vector<Response> parse_lines(const std::string& text) {
+  std::vector<Response> parsed;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) parsed.push_back(parse_response(line));
+  }
+  return parsed;
+}
+
+// ----------------------------------------------------------- plan_shards --
+
+TEST(PlanShards, SingleShardPassesConfigThroughWithCheckpointLifted) {
+  ServiceConfig config = shard_config(1);
+  config.checkpoint_path = "svc.ckpt";
+  config.checkpoint_every = 3;
+  const std::vector<ShardPlan> plans = plan_shards(config);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].index, 0);
+  EXPECT_EQ(plans[0].worker_offset, 0);
+  // The sub-market IS the market: scenario and seed untouched.
+  EXPECT_EQ(plans[0].config.scenario.num_workers, 42);
+  EXPECT_EQ(plans[0].config.scenario.num_tasks, 30);
+  EXPECT_EQ(plans[0].config.scenario.budget, 120.0);
+  EXPECT_EQ(plans[0].config.seed, kSeed);
+  EXPECT_EQ(plans[0].config.worker_name_offset, 0);
+  // The router owns the checkpoint file; the shard must not race it.
+  EXPECT_TRUE(plans[0].config.checkpoint_path.empty());
+  EXPECT_EQ(plans[0].config.checkpoint_every, 0);
+}
+
+TEST(PlanShards, SplitTelescopesAndSaltsSeeds) {
+  ServiceConfig config = shard_config(4);
+  config.batch.min_bids = 6;
+  config.batch.budget_target = 80.0;
+  const std::vector<ShardPlan> plans = plan_shards(config);
+  ASSERT_EQ(plans.size(), 4u);
+
+  // 42 = 11 + 11 + 10 + 10 (first N%K shards take the extra worker).
+  const int expected_workers[] = {11, 11, 10, 10};
+  const int expected_offsets[] = {0, 11, 22, 32};
+  const int expected_tasks[] = {8, 8, 7, 7};
+  const int expected_min_bids[] = {2, 2, 1, 1};
+  double budget_sum = 0.0;
+  double target_sum = 0.0;
+  for (int s = 0; s < 4; ++s) {
+    const ShardPlan& plan = plans[static_cast<std::size_t>(s)];
+    EXPECT_EQ(plan.index, s);
+    EXPECT_EQ(plan.worker_offset, expected_offsets[s]);
+    EXPECT_EQ(plan.config.scenario.num_workers, expected_workers[s]);
+    EXPECT_EQ(plan.config.scenario.num_tasks, expected_tasks[s]);
+    EXPECT_EQ(plan.config.batch.min_bids, expected_min_bids[s]);
+    EXPECT_EQ(plan.config.worker_name_offset, expected_offsets[s]);
+    EXPECT_EQ(plan.config.shards, 1);
+    EXPECT_EQ(plan.config.seed,
+              util::derive_stream(kSeed, kShardSeedSalt,
+                                  static_cast<std::uint64_t>(s)));
+    EXPECT_NE(plan.config.seed, kSeed);
+    budget_sum += plan.config.scenario.budget;
+    target_sum += plan.config.batch.budget_target;
+  }
+  EXPECT_DOUBLE_EQ(budget_sum, 120.0);
+  EXPECT_DOUBLE_EQ(target_sum, 80.0);
+  // Distinct shards, distinct streams.
+  EXPECT_NE(plans[0].config.seed, plans[1].config.seed);
+}
+
+TEST(PlanShards, RejectsShardCountsTheMarketCannotCarry) {
+  ServiceConfig config = shard_config(5);
+  config.scenario.num_workers = 4;  // 5 shards, 4 workers: empty sub-market
+  EXPECT_THROW(plan_shards(config), std::invalid_argument);
+  config = shard_config(4);
+  config.scenario.num_tasks = 3;  // 4 shards, 3 tasks
+  EXPECT_THROW(plan_shards(config), std::invalid_argument);
+  config = shard_config(0);
+  EXPECT_THROW(plan_shards(config), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- routing --
+
+TEST(ShardRouting, ScenarioNamesMapToRangeOwnersForeignNamesHashStably) {
+  ShardedService service(shard_config(4));
+  // Contiguous ranges: [0,11) [11,22) [22,32) [32,42).
+  EXPECT_EQ(service.route("w0"), 0);
+  EXPECT_EQ(service.route("w10"), 0);
+  EXPECT_EQ(service.route("w11"), 1);
+  EXPECT_EQ(service.route("w21"), 1);
+  EXPECT_EQ(service.route("w22"), 2);
+  EXPECT_EQ(service.route("w32"), 3);
+  EXPECT_EQ(service.route("w41"), 3);
+  // Outside the initial population (newcomers, foreign names): hash
+  // affinity — any shard, but always the same one for the same name.
+  for (const std::string name : {"w42", "w1000000", "alice", "lg3_17", "w"}) {
+    const int owner = service.route(name);
+    EXPECT_GE(owner, 0) << name;
+    EXPECT_LT(owner, 4) << name;
+    EXPECT_EQ(service.route(name), owner) << name;
+  }
+}
+
+TEST(ShardRouting, QueryRunAddressesShardsExplicitly) {
+  ShardedService service(shard_config(4));
+  // One full round submitted directly (the stdio driver's EOF path would
+  // close the queues): one run fires on every shard.
+  int delivered_bids = 0;
+  for (int w = 0; w < 42; ++w) {
+    ASSERT_EQ(service.submit(bid_for(w, w + 1),
+                             [&](const Response&) { ++delivered_bids; }),
+              PushResult::kOk);
+    while (service.poll_once(std::chrono::nanoseconds{0})) {
+    }
+  }
+  ASSERT_EQ(delivered_bids, 42);
+
+  Request query;
+  query.op = Op::kQueryRun;
+  query.id = 900;
+  query.run = 1;
+  query.shard = 2;
+  Response answer;
+  bool delivered = false;
+  ASSERT_EQ(service.submit(query,
+                           [&](const Response& r) {
+                             answer = r;
+                             delivered = true;
+                           }),
+            PushResult::kOk);
+  while (!delivered) service.poll_once(std::chrono::nanoseconds{0});
+  ASSERT_TRUE(answer.ok) << answer.error;
+  EXPECT_EQ(answer.fields.number("run"), 1.0);
+
+  // Out of range: answered inline, no shard touched.
+  query.shard = 7;
+  delivered = false;
+  ASSERT_EQ(service.submit(query,
+                           [&](const Response& r) {
+                             answer = r;
+                             delivered = true;
+                           }),
+            PushResult::kOk);
+  ASSERT_TRUE(delivered);
+  EXPECT_FALSE(answer.ok);
+  EXPECT_NE(answer.error.find("shard"), std::string::npos);
+}
+
+// ---------------------------------------------- K=1 bit-identity contract --
+
+TEST(ShardedStdio, SingleShardByteIdenticalToPlainServiceLoop) {
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  Request hello;
+  hello.op = Op::kHello;
+  hello.id = next_id++;
+  trace << format_request(hello) << "\n";
+  for (int round = 0; round < 6; ++round) append_round(trace, 42, &next_id);
+  Request stats;
+  stats.op = Op::kStats;
+  stats.id = next_id++;
+  trace << format_request(stats) << "\n";
+  const std::string input = trace.str();
+
+  std::ostringstream plain_out;
+  {
+    AuctionService service(shard_config(1));
+    ServiceLoop loop(service, 64);
+    std::istringstream in(input);
+    run_stdio_session(loop, in, plain_out);
+  }
+  std::ostringstream sharded_out;
+  ShardedService service(shard_config(1));
+  {
+    std::istringstream in(input);
+    run_stdio_session(service, in, sharded_out);
+  }
+  // Byte identity, not just record identity: every response line — hello
+  // (shards advertised in the same position), bids, merged stats — matches
+  // the unsharded service exactly.
+  EXPECT_EQ(sharded_out.str(), plain_out.str());
+  EXPECT_EQ(service.shard(0).service().records().size(), 6u);
+}
+
+// ------------------------------------- K>1 per-shard standalone identity --
+
+TEST(ShardedStdio, FourShardTrajectoriesMatchStandalonePlans) {
+  const ServiceConfig config = shard_config(4);
+  ShardedService service(config);
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  for (int round = 0; round < 16; ++round) append_round(trace, 42, &next_id);
+  std::ostringstream out;
+  const StdioResult result = run_stdio_session(service, trace, out);
+  EXPECT_EQ(result.parse_errors, 0u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(service.total_runs(), 64u);  // 16 rounds x 4 shards
+
+  // Every shard reproduces the standalone single-platform service built
+  // from the same plan, bid for bid, record for record.
+  const std::vector<ShardPlan> plans = plan_shards(config);
+  std::vector<std::vector<sim::RunRecord>> per_shard;
+  for (int s = 0; s < 4; ++s) {
+    const ShardPlan& plan = plans[static_cast<std::size_t>(s)];
+    AuctionService standalone(plan.config);
+    ServiceLoop loop(standalone, 64);
+    std::stringstream shard_trace;
+    std::int64_t id = 1;
+    for (int round = 0; round < 16; ++round) {
+      for (int w = 0; w < plan.config.scenario.num_workers; ++w) {
+        shard_trace << format_request(bid_for(plan.worker_offset + w, id++))
+                    << "\n";
+      }
+    }
+    std::ostringstream shard_out;
+    run_stdio_session(loop, shard_trace, shard_out);
+    const auto& expected = standalone.records();
+    const auto& actual = service.shard(s).service().records();
+    ASSERT_EQ(actual.size(), expected.size()) << "shard " << s;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(actual[k], expected[k]) << "shard " << s << " run " << k + 1;
+    }
+    per_shard.push_back(expected);
+  }
+
+  // Cross-shard aggregation is merge_run_records over exactly those
+  // per-shard trajectories.
+  const std::vector<sim::RunRecord> aggregated = service.aggregated_records();
+  const std::vector<sim::RunRecord> expected_merge =
+      sim::merge_run_records(per_shard);
+  ASSERT_EQ(aggregated.size(), expected_merge.size());
+  ASSERT_EQ(aggregated.size(), 16u);
+  for (std::size_t k = 0; k < aggregated.size(); ++k) {
+    EXPECT_EQ(aggregated[k], expected_merge[k]) << "merged run " << k + 1;
+  }
+}
+
+// ------------------------------------------------ composed checkpointing --
+
+TEST(ShardedCheckpoint, ComposedKillResumeMidTraceStaysBitIdentical) {
+  const ServiceConfig config = shard_config(4);
+  const int interrupt_after = 8;
+  const std::string path = ::testing::TempDir() + "/melody_shard_v2.ckpt";
+
+  // Uninterrupted reference.
+  std::vector<std::vector<sim::RunRecord>> expected;
+  {
+    ShardedService reference(config);
+    std::stringstream trace;
+    std::int64_t next_id = 1;
+    for (int round = 0; round < 16; ++round) append_round(trace, 42, &next_id);
+    std::ostringstream out;
+    run_stdio_session(reference, trace, out);
+    for (int s = 0; s < 4; ++s) {
+      expected.push_back(reference.shard(s).service().records());
+    }
+  }
+
+  std::vector<std::vector<sim::RunRecord>> prefix;
+  {
+    ShardedService service(config);
+    std::stringstream trace;
+    std::int64_t next_id = 1;
+    for (int round = 0; round < interrupt_after; ++round) {
+      append_round(trace, 42, &next_id);
+    }
+    Request checkpoint;
+    checkpoint.op = Op::kCheckpoint;
+    checkpoint.id = next_id++;
+    checkpoint.path = path;
+    trace << format_request(checkpoint) << "\n";
+    std::ostringstream out;
+    run_stdio_session(service, trace, out);
+    const std::vector<Response> responses = parse_lines(out.str());
+    ASSERT_FALSE(responses.empty());
+    const Response& answer = responses.back();
+    ASSERT_TRUE(answer.ok) << answer.error;
+    EXPECT_EQ(answer.fields.text_or("path", ""), path);
+    EXPECT_EQ(answer.fields.number("run"),
+              static_cast<double>(interrupt_after));
+    EXPECT_EQ(answer.fields.number("shards"), 4.0);
+    for (int s = 0; s < 4; ++s) {
+      prefix.push_back(service.shard(s).service().records());
+      ASSERT_EQ(static_cast<int>(prefix.back().size()), interrupt_after);
+    }
+  }  // the "killed" deployment is gone; only the v2 file survives
+
+  ShardedService service(config);
+  service.restore(path);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(service.shard(s).service().platform().current_run(),
+              interrupt_after + 1)
+        << "shard " << s;
+  }
+  std::stringstream trace;
+  std::int64_t next_id = 100000;
+  for (int round = interrupt_after; round < 16; ++round) {
+    append_round(trace, 42, &next_id);
+  }
+  std::ostringstream out;
+  run_stdio_session(service, trace, out);
+
+  for (int s = 0; s < 4; ++s) {
+    std::vector<sim::RunRecord> all = prefix[static_cast<std::size_t>(s)];
+    const auto& tail = service.shard(s).service().records();
+    all.insert(all.end(), tail.begin(), tail.end());
+    ASSERT_EQ(all.size(), expected[static_cast<std::size_t>(s)].size());
+    for (std::size_t k = 0; k < all.size(); ++k) {
+      EXPECT_EQ(all[k], expected[static_cast<std::size_t>(s)][k])
+          << "shard " << s << " run " << k + 1;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedCheckpoint, PlainV1FileRestoresIntoSingleShardOnly) {
+  const ServiceConfig config = shard_config(1);
+  const std::string path = ::testing::TempDir() + "/melody_shard_v1.ckpt";
+
+  // The unsharded service writes a v1 snapshot mid-trace.
+  std::vector<sim::RunRecord> prefix;
+  std::vector<sim::RunRecord> expected;
+  {
+    AuctionService reference(config);
+    ServiceLoop loop(reference, 64);
+    std::stringstream trace;
+    std::int64_t next_id = 1;
+    for (int round = 0; round < 16; ++round) append_round(trace, 42, &next_id);
+    std::ostringstream out;
+    run_stdio_session(loop, trace, out);
+    expected = reference.records();
+  }
+  {
+    AuctionService service(config);
+    ServiceLoop loop(service, 64);
+    std::stringstream trace;
+    std::int64_t next_id = 1;
+    for (int round = 0; round < 8; ++round) append_round(trace, 42, &next_id);
+    Request checkpoint;
+    checkpoint.op = Op::kCheckpoint;
+    checkpoint.id = next_id++;
+    checkpoint.path = path;
+    trace << format_request(checkpoint) << "\n";
+    std::ostringstream out;
+    run_stdio_session(loop, trace, out);
+    prefix = service.records();
+  }
+
+  // A 4-shard deployment cannot adopt one platform's snapshot.
+  {
+    ShardedService wrong(shard_config(4));
+    EXPECT_THROW(wrong.restore(path), std::runtime_error);
+  }
+
+  // The K=1 sharded deployment continues it bit-identically.
+  ShardedService service(config);
+  service.restore(path);
+  std::stringstream trace;
+  std::int64_t next_id = 100000;
+  for (int round = 8; round < 16; ++round) append_round(trace, 42, &next_id);
+  std::ostringstream out;
+  run_stdio_session(service, trace, out);
+  std::vector<sim::RunRecord> all = prefix;
+  const auto& tail = service.shard(0).service().records();
+  all.insert(all.end(), tail.begin(), tail.end());
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    EXPECT_EQ(all[k], expected[k]) << "run " << k + 1;
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- broadcast merge --
+
+TEST(ShardedBroadcast, HelloNegotiatesAndStatsSumAcrossShards) {
+  ShardedService service(shard_config(4));
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  Request hello;
+  hello.op = Op::kHello;
+  hello.id = next_id++;
+  hello.proto = 1;
+  trace << format_request(hello) << "\n";
+  for (int round = 0; round < 3; ++round) append_round(trace, 42, &next_id);
+  Request tasks;
+  tasks.op = Op::kSubmitTasks;
+  tasks.id = next_id++;
+  tasks.task_count = 101;
+  tasks.budget = 60.0;
+  trace << format_request(tasks) << "\n";
+  Request stats;
+  stats.op = Op::kStats;
+  stats.id = next_id++;
+  trace << format_request(stats) << "\n";
+  std::ostringstream out;
+  run_stdio_session(service, trace, out);
+  const std::vector<Response> responses = parse_lines(out.str());
+  ASSERT_GE(responses.size(), 2u);
+
+  const Response& hello_reply = responses.front();
+  ASSERT_TRUE(hello_reply.ok) << hello_reply.error;
+  EXPECT_EQ(hello_reply.fields.number("proto_version"),
+            static_cast<double>(kProtoVersion));
+  EXPECT_EQ(hello_reply.fields.number("shards"), 4.0);
+  EXPECT_EQ(hello_reply.fields.number("workers"), 42.0);  // summed
+
+  const Response& stats_reply = responses.back();
+  ASSERT_TRUE(stats_reply.ok) << stats_reply.error;
+  EXPECT_EQ(stats_reply.fields.number("workers"), 42.0);
+  EXPECT_EQ(stats_reply.fields.number("runs_this_session"), 12.0);  // 3 x 4
+  EXPECT_EQ(stats_reply.fields.number("runs_total"), 12.0);
+  EXPECT_EQ(stats_reply.fields.number("next_run"), 4.0);  // max, not sum
+  EXPECT_FALSE(stats_reply.fields.boolean_or("finished", true));
+  // The split submit_tasks budget telescopes back to the global amount.
+  const Response& tasks_reply = responses[responses.size() - 2];
+  ASSERT_TRUE(tasks_reply.ok) << tasks_reply.error;
+  EXPECT_NEAR(tasks_reply.fields.number("accrued_budget"), 60.0, 1e-9);
+}
+
+TEST(ShardedBroadcast, AdmissionIsAllOrNothing) {
+  ServiceConfig config = shard_config(2);
+  config.queue_capacity = 1;
+  ShardedService service(config);
+
+  // Fill shard 0's queue (route("w0") == 0) without polling.
+  bool bid_done = false;
+  ASSERT_EQ(service.submit(bid_for(0, 1),
+                           [&](const Response&) { bid_done = true; }),
+            PushResult::kOk);
+  Request stats;
+  stats.op = Op::kStats;
+  stats.id = 2;
+  bool stats_done = false;
+  // One shard full: the broadcast lands on NO shard (no torn fan-out).
+  EXPECT_EQ(service.submit(stats,
+                           [&](const Response&) { stats_done = true; }),
+            PushResult::kFull);
+  EXPECT_FALSE(stats_done);
+  while (service.poll_once(std::chrono::nanoseconds{0})) {
+  }
+  EXPECT_TRUE(bid_done);
+  // With the queues drained the same broadcast is admitted everywhere.
+  EXPECT_EQ(service.submit(stats,
+                           [&](const Response&) { stats_done = true; }),
+            PushResult::kOk);
+  while (!stats_done) service.poll_once(std::chrono::nanoseconds{0});
+  EXPECT_TRUE(stats_done);
+}
+
+TEST(ShardedStdio, UnsupportedOpAnswersStructurallyAndKeepsTheSession) {
+  ShardedService service(shard_config(4));
+  std::stringstream trace;
+  trace << R"({"op":"frobnicate","id":5})" << "\n";
+  Request stats;
+  stats.op = Op::kStats;
+  stats.id = 6;
+  trace << format_request(stats) << "\n";
+  std::ostringstream out;
+  const StdioResult result = run_stdio_session(service, trace, out);
+  EXPECT_EQ(result.parse_errors, 1u);
+  EXPECT_EQ(result.requests, 1u);
+  const std::vector<Response> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].error, "unsupported_op");
+  EXPECT_EQ(responses[0].id, 5);
+  EXPECT_EQ(responses[0].fields.text_or("op", ""), "frobnicate");
+  EXPECT_EQ(responses[0].fields.number("proto_version"),
+            static_cast<double>(kProtoVersion));
+  EXPECT_TRUE(responses[1].ok) << responses[1].error;  // session survived
+}
+
+// -------------------------------------------- config + estimator factory --
+
+TEST(ServiceConfigFlags, ParsesTheSharedFlagSet) {
+  const char* argv[] = {"melody_serve",    "--workers",        "50",
+                        "--tasks",         "40",               "--shards",
+                        "4",               "--queue-capacity", "9",
+                        "--estimator",     "static",           "--seed",
+                        "77",              "--batch-min-bids", "12",
+                        "--manual-clock"};
+  const util::Flags flags(static_cast<int>(std::size(argv)), argv);
+  const ServiceConfig config = ServiceConfig::from_flags(flags);
+  EXPECT_EQ(config.scenario.num_workers, 50);
+  EXPECT_EQ(config.scenario.num_tasks, 40);
+  EXPECT_EQ(config.shards, 4);
+  EXPECT_EQ(config.queue_capacity, 9);
+  EXPECT_EQ(config.estimator, "static");
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_TRUE(config.manual_clock);
+  EXPECT_EQ(config.batch.min_bids, 12);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ServiceConfigFlags, ValidateRejectsUnusableShardCounts) {
+  ServiceConfig config = shard_config(4);
+  config.scenario.num_workers = 3;  // fewer workers than shards
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = shard_config(1);
+  config.estimator = "nonsense";
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(EstimatorFactory, KnownKindsConstructUnknownIsNull) {
+  for (const std::string kind : {"melody", "static", "ml-cr", "ml-ar",
+                                 "MELODY", "STATIC", "ML-CR", "ML-AR"}) {
+    EXPECT_NE(estimators::make(kind, {}), nullptr) << kind;
+  }
+  EXPECT_EQ(estimators::make("nonsense", {}), nullptr);
+  EXPECT_NE(estimators::known_kinds().find("melody"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace melody::svc

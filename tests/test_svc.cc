@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "auction/melody_auction.h"
+#include "estimators/factory.h"
 #include "sim/platform.h"
 #include "svc/batcher.h"
 #include "svc/loop.h"
@@ -459,7 +460,10 @@ constexpr std::uint64_t kSeed = 2017;
 std::vector<sim::RunRecord> batch_records(const sim::LongTermScenario& s,
                                           const sim::FaultPlan& plan) {
   auction::MelodyAuction mechanism(auction::PaymentRule::kCriticalValue);
-  auto estimator = make_estimator("melody", s, 0.0);
+  auto estimator =
+      estimators::make("melody", {.initial_mu = s.initial_mu,
+                                  .initial_sigma = s.initial_sigma,
+                                  .reestimation_period = s.reestimation_period});
   util::Rng population_rng(kSeed);
   sim::Platform platform(
       s, mechanism, *estimator,

@@ -7,10 +7,13 @@
 //
 //   * closed — send, wait for the response, think, repeat: latency under a
 //     fixed concurrency level (the classic closed-loop client);
-//   * open   — a sender thread paces requests at --rate per client while a
-//     receiver thread matches in-order responses to send timestamps: the
-//     server sees arrivals that do not slow down when it does, which is
-//     what actually drives the queue into backpressure.
+//   * open   — a sender thread paces requests on the fixed arrival grid of
+//     svc::loadgen::OpenLoopSchedule while a receiver thread matches
+//     in-order responses to send timestamps: the server sees arrivals that
+//     do not slow down when it does, which is what actually drives the
+//     queue into backpressure. A request rejected with retry_after_ms is
+//     re-sent after that hint WITHOUT shifting the fresh-request grid, so
+//     a rejected run offers the same deterministic load as a clean one.
 //
 // Latency percentiles over all completed requests are printed and mirrored
 // via bench::Reporter (CSV lands in out/). With --dry-run the request lines
@@ -24,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -32,9 +36,9 @@
 #include <unistd.h>
 
 #include "bench_common.h"
+#include "svc/loadgen.h"
 #include "svc/protocol.h"
 #include "util/flags.h"
-#include "util/rng.h"
 
 namespace {
 
@@ -100,42 +104,18 @@ int usage(const char* error) {
   return error != nullptr ? 1 : 0;
 }
 
-/// The deterministic request stream of one client: request k of client c is
-/// a pure function of (seed, c, k).
+/// The shared deterministic stream (svc/loadgen.h): request k of client c
+/// is a pure function of (seed, c, k).
+svc::loadgen::StreamConfig stream_config(const Options& options) {
+  svc::loadgen::StreamConfig config;
+  config.seed = static_cast<std::uint64_t>(options.seed);
+  config.workers = options.workers;
+  config.task_budget = options.task_budget;
+  return config;
+}
+
 svc::Request make_request(const Options& options, int client, int index) {
-  util::Rng rng(util::derive_stream(static_cast<std::uint64_t>(options.seed),
-                                    static_cast<std::uint64_t>(client),
-                                    static_cast<std::uint64_t>(index)));
-  svc::Request request;
-  request.id = static_cast<std::int64_t>(client) * 1000000 + index + 1;
-  const double pick = rng.uniform01();
-  if (pick < 0.70) {
-    request.op = svc::Op::kSubmitBid;
-    request.worker =
-        "w" + std::to_string(rng.uniform_int(0, options.workers - 1));
-  } else if (pick < 0.72) {
-    // Newcomer registration: a fresh name carrying a bid.
-    request.op = svc::Op::kSubmitBid;
-    request.worker = "lg" + std::to_string(client) + "_" +
-                     std::to_string(index);
-    request.has_bid = true;
-    request.cost = rng.uniform(1.0, 2.0);
-    request.frequency = static_cast<int>(rng.uniform_int(1, 5));
-  } else if (pick < 0.82) {
-    request.op = svc::Op::kSubmitTasks;
-    request.task_count = static_cast<int>(rng.uniform_int(50, 500));
-    request.budget = options.task_budget * rng.uniform(0.05, 0.25);
-  } else if (pick < 0.92) {
-    request.op = svc::Op::kQueryWorker;
-    request.worker =
-        "w" + std::to_string(rng.uniform_int(0, options.workers - 1));
-  } else if (pick < 0.97) {
-    request.op = svc::Op::kQueryRun;
-    request.run = static_cast<int>(rng.uniform_int(1, 50));
-  } else {
-    request.op = svc::Op::kStats;
-  }
-  return request;
+  return svc::loadgen::make_request(stream_config(options), client, index);
 }
 
 struct ClientResult {
@@ -144,6 +124,7 @@ struct ClientResult {
   std::size_t ok = 0;
   std::size_t errors = 0;    // ok:false responses that are not overloads
   std::size_t rejected = 0;  // overload rejections (retry_after_ms > 0)
+  std::size_t retried = 0;   // open mode: deterministic re-sends
 };
 
 int connect_to(const std::string& host, int port) {
@@ -241,49 +222,96 @@ ClientResult run_open_client(const Options& options, int client) {
     result.errors = static_cast<std::size_t>(options.requests);
     return result;
   }
-  // Sender paces; receiver matches in-order responses to send timestamps.
+  // Sender paces on the schedule's fixed fresh-request grid; receiver
+  // matches in-order responses to send records and feeds overload
+  // rejections back as deterministic retries (svc/loadgen.h).
   std::mutex mutex;
-  std::deque<Clock::time_point> in_flight;
+  svc::loadgen::OpenLoopSchedule schedule(static_cast<int>(options.requests),
+                                          options.rate);
+  std::deque<std::pair<int, Clock::time_point>> in_flight;
+  const auto epoch = Clock::now();
+  const auto now_s = [epoch] {
+    return std::chrono::duration<double>(Clock::now() - epoch).count();
+  };
+  bool send_failed = false;
+
   std::thread receiver([&] {
     std::string buffer;
     std::string line;
-    for (int k = 0; k < options.requests; ++k) {
-      if (!recv_line(fd, buffer, line)) break;
+    for (;;) {
+      if (!recv_line(fd, buffer, line)) break;  // sender shut the socket
+      int index = 0;
       Clock::time_point sent_at;
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (in_flight.empty()) break;  // protocol violation; bail out
-        sent_at = in_flight.front();
+        index = in_flight.front().first;
+        sent_at = in_flight.front().second;
         in_flight.pop_front();
       }
       result.latencies_ms.push_back(
           std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
               .count());
-      tally_response(line, result);
+      try {
+        const svc::Response response = svc::parse_response(line);
+        if (response.ok) {
+          ++result.ok;
+        } else if (response.retry_after_ms > 0) {
+          ++result.rejected;
+          std::lock_guard<std::mutex> lock(mutex);
+          schedule.note_rejected(
+              index, now_s(),
+              static_cast<double>(response.retry_after_ms));
+        } else {
+          ++result.errors;
+        }
+      } catch (const svc::WireError&) {
+        ++result.errors;
+      }
     }
   });
-  const double interval_s = options.rate > 0.0 ? 1.0 / options.rate : 0.0;
-  const auto epoch = Clock::now();
-  for (int k = 0; k < options.requests; ++k) {
-    if (interval_s > 0.0) {
-      std::this_thread::sleep_until(
-          epoch + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(k * interval_s)));
-    }
-    const svc::Request request = make_request(options, client, k);
+
+  for (;;) {
+    svc::loadgen::OpenLoopSchedule::Action action;
+    bool outstanding = false;
     {
       std::lock_guard<std::mutex> lock(mutex);
-      in_flight.push_back(Clock::now());
+      action = schedule.next(now_s());
+      outstanding = !in_flight.empty();
+    }
+    using Kind = svc::loadgen::OpenLoopSchedule::Action::Kind;
+    if (action.kind == Kind::kDone) {
+      // Every fresh request went out and no retry is pending, but an
+      // in-flight response could still come back rejected and schedule
+      // one — drain before declaring the stream finished.
+      if (!outstanding) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (action.kind == Kind::kWait) {
+      std::this_thread::sleep_until(
+          epoch + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(action.wait_until)));
+      continue;
+    }
+    const svc::Request request = make_request(options, client, action.index);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      in_flight.emplace_back(action.index, Clock::now());
     }
     if (!send_line(fd, svc::format_request(request))) {
       ++result.errors;
+      send_failed = true;
       break;
     }
     ++result.sent;
   }
-  ::shutdown(fd, SHUT_WR);
+  // Unblock the receiver (it has consumed every pending response unless
+  // the socket already failed) and finish.
+  ::shutdown(fd, send_failed ? SHUT_WR : SHUT_RDWR);
   receiver.join();
   ::close(fd);
+  result.retried = static_cast<std::size_t>(schedule.retries_sent());
   return result;
 }
 
@@ -350,6 +378,7 @@ int main(int argc, char** argv) {
     total.ok += r.ok;
     total.errors += r.errors;
     total.rejected += r.rejected;
+    total.retried += r.retried;
     total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
                               r.latencies_ms.end());
   }
@@ -379,21 +408,23 @@ int main(int argc, char** argv) {
       options.mode.c_str(), static_cast<long long>(options.clients),
       static_cast<long long>(options.requests), options.host.c_str(),
       static_cast<int>(options.port));
-  std::printf("  sent %zu  ok %zu  rejected %zu  errors %zu\n", total.sent,
-              total.ok, total.rejected, total.errors);
+  std::printf("  sent %zu  ok %zu  rejected %zu  retried %zu  errors %zu\n",
+              total.sent, total.ok, total.rejected, total.retried,
+              total.errors);
   std::printf("  latency ms: mean %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max "
               "%.3f\n",
               mean, p50, p90, p99, max);
 
   bench::Reporter reporter(options.csv,
                            {"mode", "clients", "requests", "sent", "ok",
-                            "rejected", "errors", "mean_ms", "p50_ms",
-                            "p90_ms", "p99_ms", "max_ms"});
+                            "rejected", "retried", "errors", "mean_ms",
+                            "p50_ms", "p90_ms", "p99_ms", "max_ms"});
   reporter.row({options.mode, std::to_string(options.clients),
                 std::to_string(options.requests), std::to_string(total.sent),
                 std::to_string(total.ok), std::to_string(total.rejected),
-                std::to_string(total.errors), std::to_string(mean),
-                std::to_string(p50), std::to_string(p90), std::to_string(p99),
+                std::to_string(total.retried), std::to_string(total.errors),
+                std::to_string(mean), std::to_string(p50),
+                std::to_string(p90), std::to_string(p99),
                 std::to_string(max)});
   if (reporter.active()) {
     std::printf("  summary CSV: %s\n", reporter.path().c_str());

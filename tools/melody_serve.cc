@@ -1,37 +1,32 @@
 // melody_serve — the online auction service (melody::svc) as a process.
 //
-// Serves the line-delimited JSON protocol of svc/protocol.h over a loopback
-// TCP socket (one thread per connection feeding the bounded request queue;
-// a full queue answers "overloaded" with retry_after_ms), or over
-// stdin/stdout with --stdin so tests and CI pipelines need no networking.
-// The platform state is owned by a single event-loop thread; runs fire when
-// the configured batch policy (count / deadline / budget accumulation)
-// triggers. SIGINT drains the queue, executes due batches, writes a final
-// checkpoint when --checkpoint is set, and exits cleanly.
+// Serves the line-delimited JSON protocol of svc/protocol.h over TCP with a
+// single nonblocking epoll event-loop thread (svc/event_loop.h) in front of
+// K platform shards (--shards, svc/router.h): accept/read/write are all
+// multiplexed on one thread, each shard runs its own consumer loop over its
+// own bounded queue, and a full queue still answers "overloaded" with
+// retry_after_ms — the backpressure contract is unchanged from the old
+// thread-per-connection server, but a million registered workers no longer
+// need a thread per client. --stdin serves one session over stdin/stdout so
+// tests and CI pipelines need no networking.
 //
-// Scenario and seed flags mirror melody_sim: with --manual-clock (implied
-// by nothing — set it explicitly) and a trace of submit_bid/tick lines, the
-// run outcomes are bit-identical to the equivalent batch simulation.
+// Scenario and seed flags mirror melody_sim (both parse the shared
+// svc::ServiceConfig::from_flags set): with --manual-clock and a trace of
+// submit_bid/tick lines, run outcomes at --shards 1 are bit-identical to
+// the equivalent batch simulation. SIGINT drains the queues, executes due
+// batches, writes a final composed checkpoint when --checkpoint is set
+// (MLDYSVCK v2: one sub-snapshot per shard), and exits cleanly.
 #include <csignal>
 #include <cstdio>
-#include <future>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "obs/metrics.h"
 #include "obs/sink.h"
-#include "svc/loop.h"
-#include "svc/service.h"
+#include "svc/config.h"
+#include "svc/event_loop.h"
+#include "svc/router.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -44,12 +39,9 @@ void on_signal(int) { g_stop = 1; }
 
 struct Options {
   svc::ServiceConfig service;
-  std::string payment_rule = "critical";
-  std::string faults_spec;
   std::string resume_path;
   std::string metrics_path;
   std::int64_t port = 7117;
-  std::int64_t queue_capacity = 128;
   std::int64_t threads = 1;
   bool stdin_mode = false;
   bool quiet = false;
@@ -57,63 +49,13 @@ struct Options {
 
 Options read_options(const util::Flags& flags) {
   Options o;
-  auto& s = o.service;
-  s.scenario.num_workers = static_cast<int>(
-      flags.get_int("workers", 300, "N", "scenario population size"));
-  s.scenario.num_tasks = static_cast<int>(
-      flags.get_int("tasks", 500, "M", "tasks published per run"));
-  s.scenario.runs = static_cast<int>(
-      flags.get_int("runs", 1000, "R", "scripted run horizon"));
-  s.scenario.budget =
-      flags.get_double("budget", 800.0, "B", "per-run auction budget");
-  s.scenario.reestimation_period = static_cast<int>(flags.get_int(
-      "reestimation-period", 10, "T", "estimator re-estimation period"));
-  s.estimator = flags.get_string("estimator", "melody", "NAME",
-                                 "quality estimator: melody|static|ml-cr|"
-                                 "ml-ar");
-  s.exploration_beta = flags.get_double("exploration-beta", 0.0, "BETA",
-                                        "exploration bonus weight");
-  o.payment_rule = flags.get_string("payment-rule", "critical", "RULE",
-                                    "payment rule: critical|paper");
-  s.seed = static_cast<std::uint64_t>(flags.get_int(
-      "seed", 2017, "S", "master seed (same derivations as melody_sim)"));
-  s.batch.min_bids = static_cast<int>(flags.get_int(
-      "batch-min-bids", 0, "N",
-      "run once N bids are pending (0: off; no trigger at all defaults to "
-      "one run per full participation round)"));
-  s.batch.max_delay = flags.get_double(
-      "batch-max-delay", 0.0, "SEC",
-      "run once the oldest pending bid is SEC old (0: off)");
-  s.batch.budget_target = flags.get_double(
-      "batch-budget", 0.0, "B",
-      "run once submit_tasks budget accrues to B (0: off)");
-  s.checkpoint_path = flags.get_string(
-      "checkpoint", "", "PATH",
-      "write service checkpoints to PATH (atomic tmp+rename); one is "
-      "written on shutdown");
-  s.checkpoint_every = static_cast<int>(flags.get_int(
-      "checkpoint-every", 0, "N", "also checkpoint after every N-th run"));
-  s.manual_clock = flags.has_switch(
-      "manual-clock",
-      "drive the service clock with tick ops instead of the wall clock "
-      "(deterministic traces)");
-  s.exit_after_runs = static_cast<int>(flags.get_int(
-      "exit-after-runs", 0, "N",
-      "shut down after N runs have executed this session (0: never)"));
-  o.faults_spec = flags.get_string(
-      "faults", "", "SPEC",
-      "deterministic fault plan, e.g. no-show=0.05,drop=0.1 (see "
-      "sim/fault.h)");
+  o.service = svc::ServiceConfig::from_flags(flags);
   o.resume_path = flags.get_string("resume", "", "PATH",
                                    "resume from a service checkpoint");
   o.metrics_path = flags.get_string(
       "metrics-json", "", "PATH",
       "enable observability and write metric summaries to PATH at exit");
-  o.port = flags.get_int("port", 7117, "PORT",
-                         "loopback TCP port to listen on");
-  o.queue_capacity = flags.get_int(
-      "queue-capacity", 128, "N",
-      "bounded request queue size; a full queue rejects with retry_after_ms");
+  o.port = flags.get_int("port", 7117, "PORT", "TCP port to listen on");
   o.threads = flags.get_int("threads", 1, "T",
                             "worker threads for run execution (0: all "
                             "hardware threads)");
@@ -127,121 +69,21 @@ int usage(const char* error) {
   util::Flags dummy;
   read_options(dummy);
   std::fputs(dummy.help("melody_serve",
-                        "Online MELODY auction service: bounded request "
-                        "queue, batched runs, checkpointed state.")
+                        "Online MELODY auction service: sharded platform, "
+                        "epoll front end, bounded queues, batched runs, "
+                        "checkpointed state.")
                  .c_str(),
              stderr);
   if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
   return error != nullptr ? 1 : 0;
 }
 
-bool write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
+std::size_t total_session_runs(const svc::ShardedService& service) {
+  std::size_t runs = 0;
+  for (int s = 0; s < service.shard_count(); ++s) {
+    runs += service.shard(s).service().records().size();
   }
-  return true;
-}
-
-void handle_connection(int fd, svc::ServiceLoop* loop) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      svc::Request request;
-      try {
-        request = svc::parse_request(line);
-      } catch (const svc::WireError& e) {
-        if (!write_all(fd, svc::format_response(
-                               svc::Response::failure(0, e.what())) +
-                               "\n")) {
-          open = false;
-        }
-        continue;
-      }
-      // One in-flight request per connection: responses stay in request
-      // order without any reordering machinery.
-      std::promise<svc::Response> promise;
-      std::future<svc::Response> future = promise.get_future();
-      const svc::PushResult submitted = loop->try_submit(
-          request,
-          [&promise](const svc::Response& r) { promise.set_value(r); });
-      const svc::Response response = submitted == svc::PushResult::kOk
-                                         ? future.get()
-                                         : loop->rejection(submitted, request);
-      if (!write_all(fd, svc::format_response(response) + "\n")) open = false;
-      if (request.op == svc::Op::kShutdown && response.ok) open = false;
-    }
-  }
-  ::close(fd);
-}
-
-int serve_tcp(svc::ServiceLoop& loop, svc::AuctionService& service, int port,
-              bool quiet) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("melody_serve: socket");
-    return 1;
-  }
-  int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-          0 ||
-      ::listen(listen_fd, 64) != 0) {
-    std::perror("melody_serve: bind/listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  if (!quiet) {
-    std::printf("melody_serve: listening on 127.0.0.1:%d (queue %zu)\n", port,
-                loop.queue_capacity());
-    std::fflush(stdout);
-  }
-
-  std::thread loop_thread([&loop] { loop.run(); });
-  std::mutex fds_mutex;
-  std::vector<int> fds;
-  std::vector<std::thread> connections;
-  while (g_stop == 0 && !service.shutdown_requested()) {
-    pollfd waiter{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&waiter, 1, 200);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    {
-      std::lock_guard<std::mutex> lock(fds_mutex);
-      fds.push_back(fd);
-    }
-    connections.emplace_back(handle_connection, fd, &loop);
-  }
-  ::close(listen_fd);
-
-  // Drain: stop accepting, let the loop process everything queued, then
-  // unblock any connection still parked in recv so its thread can exit.
-  loop.close();
-  loop_thread.join();
-  {
-    std::lock_guard<std::mutex> lock(fds_mutex);
-    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : connections) t.join();
-  return 0;
+  return runs;
 }
 
 }  // namespace
@@ -263,23 +105,8 @@ int main(int argc, char** argv) {
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
-
-  if (options.payment_rule == "critical") {
-    options.service.payment_rule = auction::PaymentRule::kCriticalValue;
-  } else if (options.payment_rule == "paper") {
-    options.service.payment_rule = auction::PaymentRule::kPaperNextInQueue;
-  } else {
-    return usage("payment-rule must be critical or paper");
-  }
   if (options.port < 1 || options.port > 65535) {
     return usage("--port must be in [1, 65535]");
-  }
-  try {
-    if (!options.faults_spec.empty()) {
-      options.service.faults = sim::FaultPlan::parse(options.faults_spec);
-    }
-  } catch (const std::exception& e) {
-    return usage(e.what());
   }
 
   util::set_shared_thread_count(static_cast<int>(options.threads));
@@ -297,10 +124,8 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   try {
-    svc::AuctionService service(std::move(options.service));
+    svc::ShardedService service(std::move(options.service));
     if (!options.resume_path.empty()) service.restore(options.resume_path);
-    svc::ServiceLoop loop(service,
-                          static_cast<std::size_t>(options.queue_capacity));
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -308,27 +133,44 @@ int main(int argc, char** argv) {
 
     if (options.stdin_mode) {
       const svc::StdioResult result =
-          svc::run_stdio_session(loop, std::cin, std::cout);
+          svc::run_stdio_session(service, std::cin, std::cout);
       service.finalize();
       if (!options.quiet) {
         std::fprintf(stderr,
                      "melody_serve: %zu requests, %zu parse errors, %zu "
-                     "rejected, %zu runs this session%s\n",
+                     "rejected, %zu runs this session across %d shard(s)%s\n",
                      result.requests, result.parse_errors, result.rejected,
-                     service.records().size(),
+                     total_session_runs(service), service.shard_count(),
                      result.shutdown ? " (shutdown op)" : "");
       }
     } else {
-      exit_code = serve_tcp(loop, service, static_cast<int>(options.port),
-                            options.quiet);
+      svc::EventLoopOptions loop_options;
+      loop_options.port = static_cast<int>(options.port);
+      loop_options.should_stop = [] { return g_stop != 0; };
+      svc::EventLoop front(service, loop_options);
+      front.listen();
+      service.start();
+      if (!options.quiet) {
+        std::printf(
+            "melody_serve: listening on port %d (%d shard(s), queue %lld "
+            "per shard)\n",
+            front.actual_port(), service.shard_count(),
+            static_cast<long long>(service.config().queue_capacity));
+        std::fflush(stdout);
+      }
+      const svc::EventLoopStats stats = front.run();
       service.finalize();
       if (!options.quiet) {
         const std::string note =
             service.config().checkpoint_path.empty()
                 ? ""
                 : " (checkpoint " + service.config().checkpoint_path + ")";
-        std::fprintf(stderr, "melody_serve: stopped after %zu runs%s\n",
-                     service.records().size(), note.c_str());
+        std::fprintf(stderr,
+                     "melody_serve: stopped after %llu connections, %llu "
+                     "requests, %zu runs%s\n",
+                     static_cast<unsigned long long>(stats.accepted),
+                     static_cast<unsigned long long>(stats.requests),
+                     total_session_runs(service), note.c_str());
       }
     }
   } catch (const std::exception& e) {

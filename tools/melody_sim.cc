@@ -29,11 +29,12 @@
 #include <string>
 
 #include "auction/melody_auction.h"
+#include "estimators/factory.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "sim/metrics.h"
 #include "sim/platform.h"
-#include "svc/service.h"
+#include "svc/config.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -44,17 +45,13 @@ namespace {
 using namespace melody;
 
 struct Options {
-  sim::LongTermScenario scenario;
-  std::string estimator_name;
-  std::string payment_rule_name;
+  // The shared scenario/estimator/checkpoint half is the same validated
+  // aggregate melody_serve parses (svc::ServiceConfig::from_flags), so the
+  // two tools document and check identical knobs identically.
+  svc::ServiceConfig service;
   std::string csv_path;
   std::string metrics_path;
-  std::string checkpoint_path;
   std::string resume_path;
-  std::string faults_spec;
-  std::int64_t checkpoint_every = 0;
-  double exploration_beta = 0.0;
-  std::uint64_t seed = 0;
   int threads = 1;
   bool quiet = false;
 };
@@ -63,25 +60,7 @@ struct Options {
 // calls that parse (run over an empty Flags instance by usage()).
 Options read_options(const util::Flags& flags) {
   Options o;
-  o.scenario.num_workers = static_cast<int>(
-      flags.get_int("workers", 300, "N", "worker population size"));
-  o.scenario.num_tasks = static_cast<int>(
-      flags.get_int("tasks", 500, "M", "tasks published per run"));
-  o.scenario.runs =
-      static_cast<int>(flags.get_int("runs", 1000, "R", "number of runs"));
-  o.scenario.budget =
-      flags.get_double("budget", 800.0, "B", "per-run auction budget");
-  o.scenario.reestimation_period = static_cast<int>(flags.get_int(
-      "reestimation-period", 10, "T", "estimator re-estimation period"));
-  o.estimator_name =
-      flags.get_string("estimator", "melody", "NAME",
-                       "quality estimator: melody|static|ml-cr|ml-ar");
-  o.payment_rule_name = flags.get_string("payment-rule", "critical", "RULE",
-                                         "payment rule: critical|paper");
-  o.exploration_beta = flags.get_double("exploration-beta", 0.0, "BETA",
-                                        "exploration bonus weight");
-  o.seed = static_cast<std::uint64_t>(
-      flags.get_int("seed", 2017, "S", "master seed"));
+  o.service = svc::ServiceConfig::from_flags(flags, /*serve_flags=*/false);
   o.threads = static_cast<int>(flags.get_int(
       "threads", 1, "T",
       "worker threads (0: all hardware threads, 1: serial); output is "
@@ -92,23 +71,10 @@ Options read_options(const util::Flags& flags) {
       "metrics-json", "", "PATH",
       "enable observability and write a JSON-lines stream (per-run events, "
       "phase timers, estimator stats); never changes the outputs");
-  o.checkpoint_path = flags.get_string(
-      "checkpoint", "", "PATH",
-      "write crash-safe snapshots (atomic tmp+rename); one is always "
-      "written after the final run");
-  o.checkpoint_every = flags.get_int(
-      "checkpoint-every", 0, "N",
-      "also snapshot after every N-th run (requires --checkpoint)");
   o.resume_path = flags.get_string(
       "resume", "", "PATH",
       "resume from a snapshot written with the same scenario flags; "
       "bit-identical to a run that never stopped");
-  o.faults_spec = flags.get_string(
-      "faults", "", "SPEC",
-      "deterministic fault injection, e.g. "
-      "no-show=0.05,drop=0.1,corrupt=0.02,churn=0.1 (keys: no-show drop "
-      "corrupt churn churn-min churn-max salt); with --resume, overrides "
-      "the plan in the snapshot");
   o.quiet = flags.get_bool("quiet", false, "", "suppress the run table");
   return o;
 }
@@ -142,52 +108,38 @@ int main(int argc, char** argv) {
   }
   if (flags->has("help")) return usage(nullptr);
 
-  sim::LongTermScenario& scenario = options.scenario;
-  const std::string& estimator_name = options.estimator_name;
-  const std::string& payment_rule_name = options.payment_rule_name;
+  const svc::ServiceConfig& config = options.service;
+  const sim::LongTermScenario& scenario = config.scenario;
+  const std::string& estimator_name = config.estimator;
   const std::string& csv_path = options.csv_path;
   const std::string& metrics_path = options.metrics_path;
-  const std::string& checkpoint_path = options.checkpoint_path;
+  const std::string& checkpoint_path = config.checkpoint_path;
   const std::string& resume_path = options.resume_path;
-  sim::FaultPlan fault_plan;
-  const bool faults_given = !options.faults_spec.empty();
-  const std::int64_t checkpoint_every = options.checkpoint_every;
-  const double exploration_beta = options.exploration_beta;
-  const std::uint64_t seed = options.seed;
+  const bool faults_given = flags->has("faults");
+  const std::int64_t checkpoint_every = config.checkpoint_every;
+  const std::uint64_t seed = config.seed;
   const int threads = options.threads;
   const bool quiet = options.quiet;
   try {
-    if (faults_given) fault_plan = sim::FaultPlan::parse(options.faults_spec);
+    config.validate();
   } catch (const std::exception& e) {
     return usage(e.what());
-  }
-  if (scenario.num_workers <= 0 || scenario.num_tasks <= 0 ||
-      scenario.runs <= 0 || scenario.budget < 0.0) {
-    return usage("workers/tasks/runs must be positive, budget non-negative");
-  }
-  if (checkpoint_every < 0) {
-    return usage("--checkpoint-every must be non-negative");
-  }
-  if (checkpoint_every > 0 && checkpoint_path.empty()) {
-    return usage("--checkpoint-every requires --checkpoint PATH");
   }
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
 
+  // Shared estimator registry: the same construction melody_serve and the
+  // perf suite use, so the four call sites cannot drift apart.
   auto estimator =
-      svc::make_estimator(estimator_name, scenario, exploration_beta);
+      estimators::make(estimator_name, config.estimator_params());
   if (estimator == nullptr) {
-    return usage("estimator must be one of melody|static|ml-cr|ml-ar");
+    return usage(
+        ("estimator must be one of " + estimators::known_kinds()).c_str());
   }
-  auction::PaymentRule rule;
-  if (payment_rule_name == "critical") {
-    rule = auction::PaymentRule::kCriticalValue;
-  } else if (payment_rule_name == "paper") {
-    rule = auction::PaymentRule::kPaperNextInQueue;
-  } else {
-    return usage("payment-rule must be critical or paper");
-  }
+  const auction::PaymentRule rule = config.payment_rule;
+  const std::string payment_rule_name =
+      rule == auction::PaymentRule::kCriticalValue ? "critical" : "paper";
 
   util::set_shared_thread_count(threads);
 
@@ -210,7 +162,7 @@ int main(int argc, char** argv) {
       seed + 1);
   try {
     if (!resume_path.empty()) sim::load_checkpoint(platform, resume_path);
-    if (faults_given) platform.set_fault_plan(fault_plan);
+    if (faults_given) platform.set_fault_plan(config.faults);
   } catch (const std::exception& e) {
     return usage(e.what());
   }
