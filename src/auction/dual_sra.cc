@@ -14,8 +14,12 @@ DualSraResult run_dual_sra(std::span<const WorkerProfile> workers,
 
 DualSraResult run_dual_sra(const AuctionContext& context,
                            std::size_t target_utility, PaymentRule rule) {
+  // Shares the greedy core, so it shares the incremental path too: a
+  // context carrying a bid book ranks from the ladder instead of sorting.
   const auto queue =
-      internal::build_ranking_queue(context.workers, context.config);
+      context.book != nullptr
+          ? internal::build_ranking_queue(*context.book, context.config)
+          : internal::build_ranking_queue(context.workers, context.config);
   const auto pre = internal::pre_allocate(queue, context.tasks, rule);
 
   DualSraResult result;

@@ -100,7 +100,9 @@ std::size_t exact_sra_optimum(std::span<const WorkerProfile> workers,
 }
 
 std::size_t exact_sra_optimum(const AuctionContext& context) {
-  return exact_sra_optimum(context.workers, context.tasks, context.config);
+  std::vector<WorkerProfile> book_storage;
+  return exact_sra_optimum(resolve_workers(context, book_storage),
+                           context.tasks, context.config);
 }
 
 }  // namespace melody::auction

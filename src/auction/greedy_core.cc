@@ -167,6 +167,42 @@ RankingQueue build_ranking_queue(std::span<const WorkerProfile> workers,
   return queue;
 }
 
+RankingQueue build_ranking_queue(const BidBook& book,
+                                 const AuctionConfig& config) {
+  // The ladder is already the rank sort's total order (ratio desc, id asc)
+  // over the whole population; one filtered pass over the materialized
+  // image — contiguous arrays, merge-repaired from the bids that actually
+  // changed since the last run instead of pointer-chased or re-sorted —
+  // yields the qualified subsequence in exactly the permutation the sort
+  // paths produce. The density division uses the same operands
+  // (cost / quality) as the rebuild path's scatter, so every queue value
+  // is bit-identical.
+  obs::ScopedTimer walk_timer(obs::timer_if_enabled("auction/rank_from_book"));
+  const BidBook::LadderView ladder = book.materialized();
+  RankingQueue queue;
+  const std::size_t n = ladder.size();
+  queue.ids.reserve(n);
+  queue.quality.reserve(n);
+  queue.density.reserve(n);
+  queue.frequency.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const double cost = ladder.cost[p];
+    const double quality = ladder.quality[p];
+    const int frequency = ladder.frequency[p];
+    if (cost > 0.0 && frequency > 0 && quality > 0.0 &&
+        config.qualifies(quality, cost)) {
+      queue.ids.push_back(ladder.ids[p]);
+      queue.quality.push_back(quality);
+      queue.density.push_back(cost / quality);
+      queue.frequency.push_back(frequency);
+    }
+  }
+  if (obs::enabled()) {
+    obs::registry().counter("auction/qualified_workers").add(queue.size());
+  }
+  return queue;
+}
+
 std::vector<PreAllocation> pre_allocate(const RankingQueue& queue,
                                         std::span<const Task> tasks,
                                         PaymentRule rule) {

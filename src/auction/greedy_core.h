@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "auction/bid_book.h"
 #include "auction/melody_auction.h"
 #include "auction/types.h"
 
@@ -49,6 +50,14 @@ struct PreAllocation {
 /// Algorithm 1 lines 1-2: qualification filter + ranking queue (descending
 /// estimated quality per unit cost, ties by id).
 RankingQueue build_ranking_queue(std::span<const WorkerProfile> workers,
+                                 const AuctionConfig& config);
+
+/// Incremental form of lines 1-2: materialize the ranking queue by walking
+/// the persistent bid-book ladder, applying the same qualification filter.
+/// The ladder's (ratio desc, id asc) order is the rank sort's total order,
+/// so the resulting queue is bit-identical to the rebuild path's — in O(N)
+/// with no sort, since every insert/update already re-ranked its entry.
+RankingQueue build_ranking_queue(const BidBook& book,
                                  const AuctionConfig& config);
 
 /// Algorithm 1 lines 3-14: pre-allocate every task over the ranking queue,

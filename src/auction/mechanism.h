@@ -4,7 +4,9 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "auction/bid_book.h"
 #include "auction/types.h"
 #include "obs/sink.h"
 
@@ -40,6 +42,19 @@ struct AuctionContext {
   /// run's provenance and may be surfaced in events.
   const sim::FaultPlan* faults = nullptr;
 
+  /// Optional persistent price-ladder bid book. When non-null it holds the
+  /// current bid population in (ratio desc, id asc) ladder order, and
+  /// mechanisms with supports_incremental() may rank from it directly
+  /// instead of rebuilding from `workers`. Contract: when both `workers`
+  /// and `book` are set they describe the same population (the caller
+  /// applies all deltas to the book before run()); when `workers` is empty
+  /// the book alone is authoritative.
+  const BidBook* book = nullptr;
+  /// The bids that changed since the previous run (already applied to the
+  /// book). Provenance for incremental mechanisms and event streams — must
+  /// never influence the allocation beyond what the book already reflects.
+  std::span<const BidDelta> deltas;
+
   /// Emit a structured event to this context's sink, falling back to the
   /// process-wide obs::sink() when none was attached.
   void emit(std::string_view name,
@@ -68,6 +83,18 @@ class Mechanism {
 
   /// Human-readable mechanism name for bench tables.
   virtual std::string name() const = 0;
+
+  /// True when run() can rank directly from AuctionContext::book instead of
+  /// re-sorting the worker span. Mechanisms that return false still accept
+  /// book-only contexts through resolve_workers() (full rebuild).
+  virtual bool supports_incremental() const { return false; }
 };
+
+/// Adapter for non-incremental mechanisms: the effective worker span for a
+/// context. Returns `context.workers` verbatim when present; otherwise
+/// materializes the bid book into `storage` (sorted by ascending id, the
+/// order platforms submit worker spans in) and returns a view of it.
+std::span<const WorkerProfile> resolve_workers(
+    const AuctionContext& context, std::vector<WorkerProfile>& storage);
 
 }  // namespace melody::auction

@@ -8,8 +8,14 @@ namespace melody::auction {
 AllocationResult MelodyAuction::run(const AuctionContext& context) {
   obs::ScopedTimer run_timer(obs::timer_if_enabled("auction/run"));
 
+  // Incremental path: a context carrying a bid book gets its ranking queue
+  // from the persistent ladder's materialized image (merge-repaired, no
+  // sort); otherwise the classic filter-and-sort rebuild. Both produce the
+  // identical permutation.
   const auto queue =
-      internal::build_ranking_queue(context.workers, context.config);
+      context.book != nullptr
+          ? internal::build_ranking_queue(*context.book, context.config)
+          : internal::build_ranking_queue(context.workers, context.config);
   const auto pre = internal::pre_allocate(queue, context.tasks, rule_);
 
   // Stage 2 (lines 15-21): commit tasks in ascending order of P_j while the
@@ -35,7 +41,10 @@ AllocationResult MelodyAuction::run(const AuctionContext& context) {
   context.emit("auction/result",
                {{"mechanism", "MELODY"},
                 {"run", context.run},
-                {"workers", context.workers.size()},
+                {"workers", context.book != nullptr && context.workers.empty()
+                                ? context.book->size()
+                                : context.workers.size()},
+                {"dirty_bids", context.deltas.size()},
                 {"tasks", context.tasks.size()},
                 {"qualified", queue.size()},
                 {"priceable_tasks", pre.size()},

@@ -44,6 +44,11 @@ class MelodyAuction final : public Mechanism {
 
   std::string name() const override { return "MELODY"; }
 
+  /// When the context carries a bid book, run() ranks from the ladder in
+  /// O(N) instead of filtering + sorting the worker span, with bit-identical
+  /// allocation (the ladder maintains the rank sort's total order).
+  bool supports_incremental() const override { return true; }
+
   PaymentRule payment_rule() const noexcept { return rule_; }
 
  private:

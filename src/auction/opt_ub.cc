@@ -65,7 +65,9 @@ std::size_t opt_upper_bound(std::span<const WorkerProfile> workers,
 }
 
 std::size_t opt_upper_bound(const AuctionContext& context) {
-  return opt_upper_bound(context.workers, context.tasks, context.config);
+  std::vector<WorkerProfile> book_storage;
+  return opt_upper_bound(resolve_workers(context, book_storage),
+                         context.tasks, context.config);
 }
 
 }  // namespace melody::auction

@@ -9,7 +9,11 @@ namespace melody::auction {
 
 AllocationResult RandomAuction::run(const AuctionContext& context) {
   obs::ScopedTimer run_timer(obs::timer_if_enabled("auction/run"));
-  const std::span<const WorkerProfile> workers = context.workers;
+  // Full-rebuild adapter: book-only contexts are materialized by id, which
+  // is the span order platforms submit, so the draw sequence is unchanged.
+  std::vector<WorkerProfile> book_storage;
+  const std::span<const WorkerProfile> workers =
+      resolve_workers(context, book_storage);
   const std::span<const Task> tasks = context.tasks;
   const AuctionConfig& config = context.config;
 

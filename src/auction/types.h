@@ -51,8 +51,15 @@ struct AuctionConfig {
 
   /// True iff the worker passes the qualification filter of Alg. 1 line 1.
   bool qualifies(const WorkerProfile& w) const noexcept {
-    return w.estimated_quality >= theta_min && w.estimated_quality <= theta_max &&
-           w.bid.cost >= cost_min && w.bid.cost <= cost_max;
+    return qualifies(w.estimated_quality, w.bid.cost);
+  }
+
+  /// Value-form qualification filter for callers that hold quality/cost in
+  /// structure-of-arrays form (e.g. the bid-book ladder walk) — exactly the
+  /// same comparisons as the profile overload.
+  bool qualifies(double estimated_quality, double cost) const noexcept {
+    return estimated_quality >= theta_min && estimated_quality <= theta_max &&
+           cost >= cost_min && cost <= cost_max;
   }
 
   /// The theoretical approximation constant lambda of Lemma 3:

@@ -39,6 +39,25 @@ void Platform::set_fault_plan(FaultPlan plan) {
   fault_plan_ = plan;
 }
 
+bool Platform::update_bid(auction::WorkerId id, const auction::Bid& bid) {
+  if (!soa_.contains(id)) return false;
+  const std::size_t slot = soa_.slot_of(id);
+  workers_[slot].set_true_bid(bid);
+  soa_.set_bid(slot, bid);
+  withdrawn_.erase(id);
+  return true;
+}
+
+bool Platform::set_withdrawn(auction::WorkerId id, bool withdrawn) {
+  if (!soa_.contains(id)) return false;
+  if (withdrawn) {
+    withdrawn_.insert(id);
+  } else {
+    withdrawn_.erase(id);
+  }
+  return true;
+}
+
 RunRecord Platform::step() {
   ++run_;
   RunRecord record;
@@ -86,6 +105,7 @@ RunRecord Platform::step() {
     const std::vector<int>& frequencies = soa_.frequencies();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       if (!present[i]) continue;
+      if (!withdrawn_.empty() && withdrawn_.contains(worker_ids[i])) continue;
       auction::WorkerProfile p;
       p.id = worker_ids[i];
       const auto policy = policies_.find(p.id);
@@ -104,9 +124,18 @@ RunRecord Platform::step() {
   const std::vector<auction::Task> tasks = scenario_.sample_tasks(rng_);
   {
     obs::ScopedTimer timer(obs::timer_if_enabled("platform/auction"));
-    last_result_ = mechanism_.run(auction::AuctionContext{
-        profiles, tasks, config, obs::sink(), run_,
-        faults_active ? &fault_plan_ : nullptr});
+    auction::AuctionContext context{profiles, tasks, config, obs::sink(),
+                                    run_,
+                                    faults_active ? &fault_plan_ : nullptr};
+    if (bid_book_enabled_) {
+      // Fold this run's bid changes into the persistent ladder and hand the
+      // mechanism the book (already current) plus the delta provenance.
+      bid_book_.diff(profiles, delta_scratch_);
+      bid_book_.apply(delta_scratch_);
+      context.book = &bid_book_;
+      context.deltas = delta_scratch_;
+    }
+    last_result_ = mechanism_.run(context);
   }
   record.estimated_utility = last_result_.requester_utility();
   record.total_payment = last_result_.total_payment();

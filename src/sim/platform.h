@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "auction/mechanism.h"
@@ -45,6 +46,30 @@ class Platform {
 
   /// Add a newcomer mid-simulation (registered with the estimator).
   void add_worker(SimWorker worker);
+
+  /// Opt in to the persistent price-ladder bid book: every step() diffs the
+  /// collected bids against the book, applies the deltas (O(log N) per
+  /// changed bid), and hands the mechanism a context carrying the book so
+  /// incremental mechanisms rank from the ladder instead of re-sorting.
+  /// Allocation stays bit-identical to the rebuild path; snapshots of a
+  /// book-enabled platform use format v2 (v1 stays byte-identical for
+  /// platforms that never opt in). Irreversible for this platform.
+  void enable_bid_book() noexcept { bid_book_enabled_ = true; }
+  bool bid_book_enabled() const noexcept { return bid_book_enabled_; }
+  const auction::BidBook& bid_book() const noexcept { return bid_book_; }
+
+  /// Re-bid: replace a worker's true (cost, frequency) between runs and
+  /// clear any withdrawal. Returns false for an unknown id.
+  bool update_bid(auction::WorkerId id, const auction::Bid& bid);
+
+  /// Withdraw (or reinstate) a worker: while withdrawn he submits no bids —
+  /// skipped in bid collection like an absent worker, and dropped from the
+  /// bid book by the next diff. Part of the deterministic platform state
+  /// (snapshotted in v2). Returns false for an unknown id.
+  bool set_withdrawn(auction::WorkerId id, bool withdrawn);
+  bool is_withdrawn(auction::WorkerId id) const {
+    return withdrawn_.contains(id);
+  }
 
   /// Install a fault plan. Faults are generated from dedicated
   /// counter-based streams (see sim/fault.h), so a faulted simulation
@@ -142,6 +167,13 @@ class Platform {
   std::uint64_t master_seed_ = 0;
   int run_ = 0;
   FaultPlan fault_plan_;
+  /// Persistent price-ladder bid book (see enable_bid_book); empty and
+  /// inert unless enabled. delta_scratch_ is the per-step diff reused
+  /// across runs.
+  bool bid_book_enabled_ = false;
+  auction::BidBook bid_book_;
+  std::unordered_set<auction::WorkerId> withdrawn_;
+  std::vector<auction::BidDelta> delta_scratch_;
   std::function<void(const RunRecord&)> run_hook_;
   // Per-step scratch reused across runs (step() is single-entry, so plain
   // members are safe): per-slot assignment counts and true utilities.

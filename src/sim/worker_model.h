@@ -41,6 +41,11 @@ class SimWorker {
   auction::WorkerId id() const noexcept { return id_; }
   const auction::Bid& true_bid() const noexcept { return true_bid_; }
 
+  /// Re-bid: replace the worker's true (cost, frequency). Online platforms
+  /// accept bid updates between runs (svc `update_bid`); the new bid is
+  /// what truthful bidding and utility accounting use from now on.
+  void set_true_bid(const auction::Bid& bid) noexcept { true_bid_ = bid; }
+
   /// Latent quality q^r for 1-based run r; the last value is held if the
   /// simulation outlives the generated trajectory.
   double latent_quality(int run) const;

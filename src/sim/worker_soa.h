@@ -37,6 +37,15 @@ class WorkerStateSoA {
   /// (same contract the platform's old by_id map lookup had).
   std::size_t slot_of(auction::WorkerId id) const { return index_.at(id); }
 
+  bool contains(auction::WorkerId id) const { return index_.contains(id); }
+
+  /// Targeted bid update mirroring SimWorker::set_true_bid — keeps the
+  /// derived arrays in sync without an O(N) rebuild.
+  void set_bid(std::size_t slot, const auction::Bid& bid) noexcept {
+    cost_[slot] = bid.cost;
+    frequency_[slot] = bid.frequency;
+  }
+
   /// Latent quality q^r for 1-based run r — identical semantics to
   /// SimWorker::latent_quality (empty trajectory reads 0, the last value
   /// is held past the horizon).

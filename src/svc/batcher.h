@@ -8,7 +8,10 @@
 //   * budget  — fire once requesters have accrued `budget_target` of
 //               spending authority via submit_tasks (the reverse-auction
 //               analogue of size-based flushing: a run happens when there
-//               is a run's worth of budget to spend).
+//               is a run's worth of budget to spend);
+//   * rolling — fire once per task-arrival batch (`per_task_arrival`): every
+//               submit_tasks queues exactly one run against the standing
+//               bid book, the continuous-auction workload (`--rolling`).
 //
 // Time is an explicit parameter (seconds on the service's clock), never
 // read from a wall clock inside: with the service in manual-clock mode the
@@ -25,10 +28,14 @@ struct BatchPolicy {
   double max_delay = 0.0;
   /// Fire when accrued budget reaches this target. 0 disables.
   double budget_target = 0.0;
+  /// Rolling auction: fire one run per task arrival (each submit_tasks
+  /// queues exactly one run against the standing bid book).
+  bool per_task_arrival = false;
 
   /// True iff at least one trigger is configured.
   bool active() const noexcept {
-    return min_bids > 0 || max_delay > 0.0 || budget_target > 0.0;
+    return min_bids > 0 || max_delay > 0.0 || budget_target > 0.0 ||
+           per_task_arrival;
   }
 };
 
@@ -47,6 +54,12 @@ class RunBatcher {
     if (amount > 0.0) accrued_budget_ += amount;
   }
 
+  /// A task batch arrived (rolling trigger). Arrivals queue: two arrivals
+  /// between polls schedule two back-to-back runs.
+  void note_task_arrival() noexcept {
+    if (policy_.per_task_arrival) ++pending_arrivals_;
+  }
+
   /// Should a run fire at time `now`?
   bool should_fire(double now) const noexcept {
     if (policy_.min_bids > 0 && pending_bids_ >= policy_.min_bids) return true;
@@ -57,6 +70,7 @@ class RunBatcher {
     if (policy_.budget_target > 0.0 && accrued_budget_ >= policy_.budget_target) {
       return true;
     }
+    if (policy_.per_task_arrival && pending_arrivals_ > 0) return true;
     return false;
   }
 
@@ -78,18 +92,21 @@ class RunBatcher {
     } else {
       accrued_budget_ = 0.0;
     }
+    if (pending_arrivals_ > 0) --pending_arrivals_;
   }
 
   int pending_bids() const noexcept { return pending_bids_; }
   double accrued_budget() const noexcept { return accrued_budget_; }
+  int pending_arrivals() const noexcept { return pending_arrivals_; }
   const BatchPolicy& policy() const noexcept { return policy_; }
 
   /// Checkpoint support: restore the exact accumulation state.
   void restore(int pending_bids, double oldest_bid_time,
-               double accrued_budget) noexcept {
+               double accrued_budget, int pending_arrivals = 0) noexcept {
     pending_bids_ = pending_bids;
     oldest_bid_time_ = oldest_bid_time;
     accrued_budget_ = accrued_budget;
+    pending_arrivals_ = pending_arrivals;
   }
   double oldest_bid_time() const noexcept { return oldest_bid_time_; }
 
@@ -98,6 +115,7 @@ class RunBatcher {
   int pending_bids_ = 0;
   double oldest_bid_time_ = 0.0;
   double accrued_budget_ = 0.0;
+  int pending_arrivals_ = 0;  // rolling trigger: queued task arrivals
 };
 
 }  // namespace melody::svc

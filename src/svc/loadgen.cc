@@ -13,11 +13,14 @@ Request make_request(const StreamConfig& config, int client, int index) {
   Request request;
   request.id = static_cast<std::int64_t>(client) * 1000000 + index + 1;
   const double pick = rng.uniform01();
-  if (pick < 0.70) {
+  // The v3 mix carves update_bid/withdraw_bid out of the v2 submit_bid
+  // share; every threshold from submit_tasks on is identical in both mixes.
+  const bool v3 = config.proto >= 3;
+  if (pick < (v3 ? 0.62 : 0.70)) {
     request.op = Op::kSubmitBid;
     request.worker =
         "w" + std::to_string(rng.uniform_int(0, config.workers - 1));
-  } else if (pick < 0.72) {
+  } else if (pick < (v3 ? 0.64 : 0.72)) {
     // Newcomer registration: a fresh name carrying a bid.
     request.op = Op::kSubmitBid;
     request.worker =
@@ -25,6 +28,18 @@ Request make_request(const StreamConfig& config, int client, int index) {
     request.has_bid = true;
     request.cost = rng.uniform(1.0, 2.0);
     request.frequency = static_cast<int>(rng.uniform_int(1, 5));
+  } else if (v3 && pick < 0.70) {
+    // Re-bid on a standing scenario worker.
+    request.op = Op::kUpdateBid;
+    request.worker =
+        "w" + std::to_string(rng.uniform_int(0, config.workers - 1));
+    request.has_bid = true;
+    request.cost = rng.uniform(1.0, 2.0);
+    request.frequency = static_cast<int>(rng.uniform_int(1, 5));
+  } else if (v3 && pick < 0.72) {
+    request.op = Op::kWithdrawBid;
+    request.worker =
+        "w" + std::to_string(rng.uniform_int(0, config.workers - 1));
   } else if (pick < 0.82) {
     request.op = Op::kSubmitTasks;
     request.task_count = static_cast<int>(rng.uniform_int(50, 500));

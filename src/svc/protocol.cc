@@ -12,6 +12,8 @@ constexpr struct {
 } kOps[] = {
     {Op::kHello, "hello"},
     {Op::kSubmitBid, "submit_bid"},
+    {Op::kUpdateBid, "update_bid"},
+    {Op::kWithdrawBid, "withdraw_bid"},
     {Op::kSubmitTasks, "submit_tasks"},
     {Op::kPostScores, "post_scores"},
     {Op::kQueryWorker, "query_worker"},
@@ -48,6 +50,16 @@ std::string_view to_string(Op op) noexcept {
   return "?";
 }
 
+int min_proto(Op op) noexcept {
+  switch (op) {
+    case Op::kUpdateBid:
+    case Op::kWithdrawBid:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
 Request parse_request(std::string_view line) {
   const WireObject object = parse_wire(line);
   Request request;
@@ -61,6 +73,18 @@ Request parse_request(std::string_view line) {
       request.has_bid = object.has("cost") || object.has("frequency");
       request.cost = object.number_or("cost", 0.0);
       request.frequency = int_field(object, "frequency", 0);
+      break;
+    case Op::kUpdateBid:
+      request.worker = object.text("worker");
+      request.cost = object.number("cost");  // required: it IS the update
+      if (!object.has("frequency")) {
+        throw WireError("protocol: update_bid requires frequency");
+      }
+      request.frequency = int_field(object, "frequency", 0);
+      request.has_bid = true;
+      break;
+    case Op::kWithdrawBid:
+      request.worker = object.text("worker");
       break;
     case Op::kSubmitTasks:
       request.task_count = int_field(object, "count", 0);
@@ -106,6 +130,15 @@ std::string format_request(const Request& request) {
         object.set("frequency",
                    WireValue::of(static_cast<std::int64_t>(request.frequency)));
       }
+      break;
+    case Op::kUpdateBid:
+      object.set("worker", WireValue::of(request.worker));
+      object.set("cost", WireValue::of(request.cost));
+      object.set("frequency",
+                 WireValue::of(static_cast<std::int64_t>(request.frequency)));
+      break;
+    case Op::kWithdrawBid:
+      object.set("worker", WireValue::of(request.worker));
       break;
     case Op::kSubmitTasks:
       object.set("count",

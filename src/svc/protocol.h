@@ -5,6 +5,8 @@
 // Request lines:
 //   {"op":"hello","id":1}
 //   {"op":"submit_bid","id":2,"worker":"w17","cost":1.4,"frequency":3}
+//   {"op":"update_bid","id":2,"worker":"w17","cost":1.2,"frequency":4}   (v3)
+//   {"op":"withdraw_bid","id":2,"worker":"w17"}                          (v3)
 //   {"op":"submit_tasks","id":3,"count":500,"budget":800}
 //   {"op":"post_scores","id":4,"worker":"w17","scores":[6.5,7.1]}
 //   {"op":"query_worker","id":5,"worker":"w17"}
@@ -38,12 +40,17 @@ namespace melody::svc {
 
 /// Wire protocol version this build speaks. v2 added hello negotiation
 /// (proto_version + shards in the hello reply), structured unsupported_op
-/// replies, and the optional "shard" routing field on query_run.
-inline constexpr int kProtoVersion = 2;
+/// replies, and the optional "shard" routing field on query_run. v3 added
+/// the continuous-auction ops update_bid / withdraw_bid (re-bid between
+/// runs, withdraw until the next submit/update) with structured
+/// unknown_worker errors; v2 clients simply never send them.
+inline constexpr int kProtoVersion = 3;
 
 enum class Op {
   kHello,
   kSubmitBid,
+  kUpdateBid,
+  kWithdrawBid,
   kSubmitTasks,
   kPostScores,
   kQueryWorker,
@@ -56,6 +63,11 @@ enum class Op {
 };
 
 std::string_view to_string(Op op) noexcept;
+
+/// The oldest protocol version that includes `op`. Clients negotiate down
+/// through hello; an op whose min_proto exceeds the negotiated version must
+/// not be sent (melody_loadgen --dry-run enforces this).
+int min_proto(Op op) noexcept;
 
 /// parse_request's error for a well-formed line naming an op this build
 /// does not implement. Derives from WireError (callers that only know
@@ -80,9 +92,10 @@ class UnsupportedOpError : public WireError {
 struct Request {
   Op op = Op::kHello;
   std::int64_t id = 0;      // client correlation id; 0 = none
-  std::string worker;       // submit_bid / post_scores / query_worker
-  double cost = 0.0;        // submit_bid (newcomer registration)
-  int frequency = 0;        // submit_bid (newcomer registration)
+  std::string worker;       // submit_bid / update_bid / withdraw_bid
+                            // / post_scores / query_worker
+  double cost = 0.0;        // submit_bid (newcomer) / update_bid
+  int frequency = 0;        // submit_bid (newcomer) / update_bid
   bool has_bid = false;     // true when cost/frequency were present
   int task_count = 0;       // submit_tasks
   double budget = 0.0;      // submit_tasks (budget-accumulation trigger)
@@ -131,6 +144,13 @@ struct Response {
     r.fields.set("op", WireValue::of(op));
     r.fields.set("proto_version",
                  WireValue::of(static_cast<std::int64_t>(kProtoVersion)));
+    return r;
+  }
+  /// Structured reply for a bid op naming a worker the service has never
+  /// registered (update_bid / withdraw_bid never auto-register).
+  static Response unknown_worker(std::int64_t id, const std::string& worker) {
+    Response r = failure(id, "unknown_worker");
+    r.fields.set("worker", WireValue::of(worker));
     return r;
   }
 };

@@ -132,6 +132,8 @@ PushResult ShardedService::submit(const Request& request,
                                   std::function<void(const Response&)> done) {
   switch (request.op) {
     case Op::kSubmitBid:
+    case Op::kUpdateBid:
+    case Op::kWithdrawBid:
     case Op::kPostScores:
     case Op::kQueryWorker:
       return shards_[static_cast<std::size_t>(route(request.worker))]->submit(
@@ -444,9 +446,10 @@ void ShardedService::load_state(std::istream& in) {
     throw std::runtime_error("svc: bad checkpoint magic");
   }
   const std::uint32_t version = binio::read_u32(in, "svc checkpoint version");
-  if (version == 1) {
-    // A plain single-platform snapshot: only a K=1 deployment can adopt
-    // it (a composed deployment cannot split one platform after the fact).
+  if (version == 1 || version == 3) {
+    // A plain single-platform snapshot (v1, or v3 with pending task
+    // arrivals): only a K=1 deployment can adopt it (a composed deployment
+    // cannot split one platform after the fact).
     if (shard_count() != 1) {
       throw std::runtime_error(
           "svc: v1 checkpoint requires a single-shard deployment");

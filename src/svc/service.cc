@@ -18,7 +18,11 @@ namespace melody::svc {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'L', 'D', 'Y', 'S', 'V', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
+// The MLDYSVCK version namespace is shared with the sharded router's
+// composed format, which owns version 2 — the plain service format jumps
+// from 1 to 3. v3 appends the rolling trigger's queued task arrivals after
+// the accrued budget; v1 checkpoints restore with zero pending arrivals.
+constexpr std::uint32_t kVersion = 3;
 // Sub-stream salt for newcomer trajectories: outside the per-(worker, run)
 // key space Platform::step() uses (runs are small positive integers), so a
 // newcomer's curve never aliases a score stream.
@@ -58,6 +62,11 @@ AuctionService::AuctionService(ServiceConfig config)
                              population_rng),
       config_.seed + 1);
   if (config_.faults.active()) platform_->set_fault_plan(config_.faults);
+  // Rolling / incremental mode: the platform keeps the persistent
+  // price-ladder bid book and the greedy mechanism ranks from it.
+  if (config_.incremental || config_.batch.per_task_arrival) {
+    platform_->enable_bid_book();
+  }
   for (const sim::SimWorker& w : platform_->workers()) {
     registry_.bind(
         "w" + std::to_string(config_.worker_name_offset + w.id()), w.id());
@@ -93,6 +102,12 @@ Response AuctionService::dispatch(const Request& request) {
       break;
     case Op::kSubmitBid:
       handle_submit_bid(request, response);
+      break;
+    case Op::kUpdateBid:
+      handle_update_bid(request, response);
+      break;
+    case Op::kWithdrawBid:
+      handle_withdraw_bid(request, response);
       break;
     case Op::kSubmitTasks:
       handle_submit_tasks(request, response);
@@ -165,6 +180,9 @@ void AuctionService::handle_hello(Response& response) {
   response.fields.set("max_delay", WireValue::of(config_.batch.max_delay));
   response.fields.set("budget_target",
                       WireValue::of(config_.batch.budget_target));
+  response.fields.set("incremental", WireValue::of(config_.incremental));
+  response.fields.set("rolling",
+                      WireValue::of(config_.batch.per_task_arrival));
 }
 
 void AuctionService::handle_submit_bid(const Request& request,
@@ -178,6 +196,8 @@ void AuctionService::handle_submit_bid(const Request& request,
   bool created = false;
   if (existing.has_value()) {
     id = *existing;
+    // A fresh submission supersedes any standing withdrawal.
+    platform_->set_withdrawn(id, false);
   } else {
     if (!request.has_bid) {
       response = Response::failure(
@@ -216,6 +236,55 @@ void AuctionService::handle_submit_bid(const Request& request,
   response.fields.set("pending_bids", of_int(batcher_.pending_bids()));
 }
 
+void AuctionService::handle_update_bid(const Request& request,
+                                       Response& response) {
+  if (request.worker.empty()) {
+    response = Response::failure(request.id, "update_bid: worker required");
+    return;
+  }
+  const auto id = registry_.find(request.worker);
+  if (!id.has_value()) {
+    response = Response::unknown_worker(request.id, request.worker);
+    return;
+  }
+  if (!std::isfinite(request.cost) || request.cost <= 0.0 ||
+      request.frequency < 1) {
+    response = Response::failure(
+        request.id, "update_bid: needs cost > 0 and frequency >= 1");
+    return;
+  }
+  if (!platform_->update_bid(*id,
+                             auction::Bid{request.cost, request.frequency})) {
+    response = Response::unknown_worker(request.id, request.worker);
+    return;
+  }
+  // A re-bid participates in batching exactly like a submission: it counts
+  // toward the count trigger and starts the staleness clock.
+  registry_.count_bid(*id);
+  batcher_.note_bid(now_);
+  response.fields.set("worker", WireValue::of(request.worker));
+  response.fields.set("internal_id", of_int(*id));
+  execute_due_runs(&response);
+  response.fields.set("pending_bids", of_int(batcher_.pending_bids()));
+}
+
+void AuctionService::handle_withdraw_bid(const Request& request,
+                                         Response& response) {
+  if (request.worker.empty()) {
+    response = Response::failure(request.id, "withdraw_bid: worker required");
+    return;
+  }
+  const auto id = registry_.find(request.worker);
+  if (!id.has_value()) {
+    response = Response::unknown_worker(request.id, request.worker);
+    return;
+  }
+  platform_->set_withdrawn(*id, true);
+  response.fields.set("worker", WireValue::of(request.worker));
+  response.fields.set("internal_id", of_int(*id));
+  response.fields.set("withdrawn", WireValue::of(true));
+}
+
 void AuctionService::handle_submit_tasks(const Request& request,
                                          Response& response) {
   if (request.task_count < 0) {
@@ -229,6 +298,7 @@ void AuctionService::handle_submit_tasks(const Request& request,
     return;
   }
   batcher_.note_budget(request.budget);
+  if (request.task_count > 0) batcher_.note_task_arrival();
   execute_due_runs(&response);
   response.fields.set("accrued_budget",
                       WireValue::of(batcher_.accrued_budget()));
@@ -462,6 +532,7 @@ void AuctionService::save_state(std::ostream& out) const {
   binio::write_i32(out, batcher_.pending_bids());
   binio::write_f64(out, batcher_.oldest_bid_time());
   binio::write_f64(out, batcher_.accrued_budget());
+  binio::write_i32(out, batcher_.pending_arrivals());
   registry_.save(out);
   platform_->save(out);
   if (!out) throw std::runtime_error("svc: checkpoint write failure");
@@ -474,7 +545,9 @@ void AuctionService::load_state(std::istream& in) {
     throw std::runtime_error("svc: bad checkpoint magic");
   }
   const std::uint32_t version = binio::read_u32(in, "svc version");
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
+    // Version 2 is the sharded router's composed container, not a plain
+    // service snapshot — it cannot be adopted here.
     throw std::runtime_error("svc: unsupported checkpoint version " +
                              std::to_string(version));
   }
@@ -482,10 +555,12 @@ void AuctionService::load_state(std::istream& in) {
   const int pending = binio::read_i32(in, "svc pending bids");
   const double oldest = binio::read_f64(in, "svc oldest bid time");
   const double accrued = binio::read_f64(in, "svc accrued budget");
+  const int arrivals =
+      version >= 3 ? binio::read_i32(in, "svc pending arrivals") : 0;
   registry_.load(in);
   platform_->load(in);
   now_ = now;
-  batcher_.restore(pending, oldest, accrued);
+  batcher_.restore(pending, oldest, accrued, arrivals);
   first_session_run_ = platform_->current_run();
   records_.clear();
   finalized_ = false;

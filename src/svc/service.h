@@ -112,6 +112,8 @@ class AuctionService {
  private:
   Response dispatch(const Request& request);
   void handle_submit_bid(const Request& request, Response& response);
+  void handle_update_bid(const Request& request, Response& response);
+  void handle_withdraw_bid(const Request& request, Response& response);
   void handle_submit_tasks(const Request& request, Response& response);
   void handle_post_scores(const Request& request, Response& response);
   void handle_query_worker(const Request& request, Response& response);

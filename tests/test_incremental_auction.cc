@@ -1,0 +1,259 @@
+// Long-horizon contract of the persistent bid book: a platform that keeps
+// the price ladder across runs (incremental ranking) must reproduce the
+// plain rebuild-every-run platform bit for bit over a 200-run Fig-9
+// trajectory — at 1/2/8 threads, with and without an active fault plan,
+// and across a mid-sequence checkpoint/kill/resume of the incremental
+// platform (the book and the withdrawn set travel in the MLDYCKPT v2
+// sections).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "auction/melody_auction.h"
+#include "estimators/melody_estimator.h"
+#include "sim/platform.h"
+#include "util/thread_pool.h"
+
+namespace melody::sim {
+namespace {
+
+LongTermScenario fig9_scenario() {
+  LongTermScenario s;
+  s.num_workers = 40;
+  s.num_tasks = 30;
+  s.runs = 200;
+  s.budget = 120.0;
+  return s;
+}
+
+estimators::MelodyEstimatorConfig tracker_config(const LongTermScenario& s) {
+  estimators::MelodyEstimatorConfig config;
+  config.initial_posterior = {s.initial_mu, s.initial_sigma};
+  config.reestimation_period = s.reestimation_period;
+  return config;
+}
+
+FaultPlan test_plan() {
+  FaultPlan plan;
+  plan.no_show_rate = 0.1;
+  plan.score_drop_rate = 0.1;
+  plan.score_corrupt_rate = 0.05;
+  plan.churn_rate = 0.2;
+  plan.churn_min_absence = 2;
+  plan.churn_max_absence = 5;
+  return plan;
+}
+
+constexpr std::uint64_t kPopulationSeed = 3;
+constexpr std::uint64_t kPlatformSeed = 44;
+
+struct Rig {
+  LongTermScenario scenario;
+  auction::MelodyAuction mechanism;
+  estimators::MelodyEstimator estimator;
+  Platform platform;
+
+  Rig(const LongTermScenario& s, std::vector<SimWorker> workers)
+      : scenario(s),
+        estimator(tracker_config(s)),
+        platform(scenario, mechanism, estimator, std::move(workers),
+                 kPlatformSeed) {}
+};
+
+std::vector<SimWorker> population(const LongTermScenario& s) {
+  util::Rng rng(kPopulationSeed);
+  return sample_population(s.population_config(), rng);
+}
+
+void expect_records_identical(const std::vector<RunRecord>& a,
+                              const std::vector<RunRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "run " << i + 1;
+  }
+}
+
+std::vector<RunRecord> run_plain(const LongTermScenario& s,
+                                 const FaultPlan& plan) {
+  Rig rig(s, population(s));
+  if (plan.active()) rig.platform.set_fault_plan(plan);
+  return rig.platform.run_all();
+}
+
+/// The incremental platform with a kill/resume in the middle: step to
+/// `interrupt_after`, snapshot, destroy the rig, reconstruct from an empty
+/// population with the book enabled, load, and finish.
+std::vector<RunRecord> run_incremental_resumed(const LongTermScenario& s,
+                                               const FaultPlan& plan,
+                                               int interrupt_after) {
+  std::string checkpoint;
+  std::vector<RunRecord> records;
+  {
+    Rig rig(s, population(s));
+    rig.platform.enable_bid_book();
+    if (plan.active()) rig.platform.set_fault_plan(plan);
+    for (int r = 0; r < interrupt_after; ++r) {
+      records.push_back(rig.platform.step());
+    }
+    EXPECT_EQ(rig.platform.bid_book().check_links(), "");
+    std::ostringstream snap;
+    rig.platform.save(snap);
+    checkpoint = snap.str();
+  }
+  Rig rig(s, {});
+  rig.platform.enable_bid_book();
+  std::istringstream snap(checkpoint);
+  rig.platform.load(snap);
+  EXPECT_TRUE(rig.platform.bid_book_enabled());
+  EXPECT_EQ(rig.platform.bid_book().check_links(), "");
+  EXPECT_EQ(rig.platform.current_run(), interrupt_after + 1);
+  auto rest = rig.platform.run_all();
+  records.insert(records.end(), rest.begin(), rest.end());
+  return records;
+}
+
+class IncrementalMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { util::set_shared_thread_count(GetParam()); }
+  void TearDown() override { util::set_shared_thread_count(1); }
+};
+
+TEST_P(IncrementalMatrix, TrajectoryBitIdenticalWithoutFaults) {
+  const auto scenario = fig9_scenario();
+  const auto plain = run_plain(scenario, FaultPlan{});
+  expect_records_identical(
+      plain, run_incremental_resumed(scenario, FaultPlan{}, 77));
+}
+
+TEST_P(IncrementalMatrix, TrajectoryBitIdenticalWithFaults) {
+  const auto scenario = fig9_scenario();
+  const auto plain = run_plain(scenario, test_plan());
+  expect_records_identical(
+      plain, run_incremental_resumed(scenario, test_plan(), 77));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, IncrementalMatrix,
+                         ::testing::Values(1, 2, 8));
+
+TEST(IncrementalAuction, BookSurvivesCheckpointWithDigestIntact) {
+  auto scenario = fig9_scenario();
+  scenario.runs = 20;
+  Rig rig(scenario, population(scenario));
+  rig.platform.enable_bid_book();
+  for (int r = 0; r < 10; ++r) rig.platform.step();
+  const std::uint64_t digest = rig.platform.bid_book().content_digest();
+  ASSERT_NE(rig.platform.bid_book().size(), 0u);
+
+  std::ostringstream snap;
+  rig.platform.save(snap);
+  Rig restored(scenario, {});
+  restored.platform.enable_bid_book();
+  std::istringstream in(snap.str());
+  restored.platform.load(in);
+  EXPECT_EQ(restored.platform.bid_book().content_digest(), digest);
+}
+
+TEST(IncrementalAuction, V1SnapshotLoadsIntoEnabledPlatform) {
+  // A checkpoint written by a plain platform (MLDYCKPT v1, no book
+  // section) must restore into a book-enabled platform and continue
+  // bit-identically: the ladder starts empty and the first diff
+  // repopulates it before the next auction.
+  auto scenario = fig9_scenario();
+  scenario.runs = 30;
+  const auto straight = run_plain(scenario, FaultPlan{});
+
+  std::string v1_checkpoint;
+  std::vector<RunRecord> records;
+  {
+    Rig rig(scenario, population(scenario));
+    for (int r = 0; r < 12; ++r) records.push_back(rig.platform.step());
+    std::ostringstream snap;
+    rig.platform.save(snap);
+    v1_checkpoint = snap.str();
+  }
+  Rig rig(scenario, {});
+  rig.platform.enable_bid_book();
+  std::istringstream snap(v1_checkpoint);
+  rig.platform.load(snap);
+  EXPECT_TRUE(rig.platform.bid_book().empty());
+  auto rest = rig.platform.run_all();
+  records.insert(records.end(), rest.begin(), rest.end());
+  expect_records_identical(straight, records);
+  EXPECT_FALSE(rig.platform.bid_book().empty());
+}
+
+TEST(IncrementalAuction, PlainSnapshotBytesUnchangedByTheFeature) {
+  // A platform that never enables the book writes byte-identical v1
+  // snapshots — the golden-digest lattice in test_soa_equivalence depends
+  // on this, and it is what keeps old tooling readable.
+  auto scenario = fig9_scenario();
+  scenario.runs = 10;
+  Rig plain(scenario, population(scenario));
+  Rig enabled(scenario, population(scenario));
+  enabled.platform.enable_bid_book();
+  for (int r = 0; r < 5; ++r) {
+    plain.platform.step();
+    enabled.platform.step();
+  }
+  std::ostringstream plain_snap, enabled_snap;
+  plain.platform.save(plain_snap);
+  enabled.platform.save(enabled_snap);
+  // Same prefix stream, different container version: the enabled platform
+  // writes strictly more bytes (withdrawn set + book blob), the plain one
+  // stays v1.
+  EXPECT_NE(plain_snap.str(), enabled_snap.str());
+  EXPECT_GT(enabled_snap.str().size(), plain_snap.str().size());
+}
+
+TEST(IncrementalAuction, WithdrawnWorkersSitOutAndSurviveResume) {
+  auto scenario = fig9_scenario();
+  scenario.runs = 20;
+
+  // Withdraw one worker on both of two identical platforms; outcomes must
+  // agree (determinism of the withdrawn set), and a withdrawn worker's
+  // flag must survive a checkpoint round trip.
+  const auto run_with_withdrawal = [&](bool through_snapshot) {
+    Rig rig(scenario, population(scenario));
+    rig.platform.enable_bid_book();
+    const auction::WorkerId victim = rig.platform.workers().front().id();
+    for (int r = 0; r < 5; ++r) rig.platform.step();
+    EXPECT_TRUE(rig.platform.set_withdrawn(victim, true));
+    EXPECT_TRUE(rig.platform.is_withdrawn(victim));
+    std::vector<RunRecord> records;
+    if (through_snapshot) {
+      std::ostringstream snap;
+      rig.platform.save(snap);
+      Rig restored(scenario, {});
+      restored.platform.enable_bid_book();
+      std::istringstream in(snap.str());
+      restored.platform.load(in);
+      EXPECT_TRUE(restored.platform.is_withdrawn(victim));
+      return restored.platform.run_all();
+    }
+    return rig.platform.run_all();
+  };
+  expect_records_identical(run_with_withdrawal(false),
+                           run_with_withdrawal(true));
+}
+
+TEST(IncrementalAuction, UpdateBidTakesEffectDeterministically) {
+  auto scenario = fig9_scenario();
+  scenario.runs = 20;
+  const auto run_with_rebid = [&] {
+    Rig rig(scenario, population(scenario));
+    rig.platform.enable_bid_book();
+    const auction::WorkerId worker = rig.platform.workers().front().id();
+    std::vector<RunRecord> records;
+    for (int r = 0; r < 5; ++r) records.push_back(rig.platform.step());
+    EXPECT_TRUE(rig.platform.update_bid(worker, {1.05, 5}));
+    EXPECT_FALSE(rig.platform.update_bid(9999, {1.0, 1}));
+    auto rest = rig.platform.run_all();
+    records.insert(records.end(), rest.begin(), rest.end());
+    return records;
+  };
+  expect_records_identical(run_with_rebid(), run_with_rebid());
+}
+
+}  // namespace
+}  // namespace melody::sim

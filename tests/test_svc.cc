@@ -112,6 +112,39 @@ TEST(RunBatcher, InactivePolicyNeverFires) {
   EXPECT_FALSE(batcher.should_fire(1e9));
 }
 
+TEST(RunBatcher, PerTaskArrivalTriggerQueuesOneRunPerArrival) {
+  RunBatcher batcher({.per_task_arrival = true});
+  EXPECT_FALSE(batcher.should_fire(0.0));
+  batcher.note_task_arrival();
+  batcher.note_task_arrival();
+  EXPECT_EQ(batcher.pending_arrivals(), 2);
+  // Two arrivals between polls schedule two back-to-back runs.
+  EXPECT_TRUE(batcher.should_fire(0.0));
+  batcher.consume(0.0);
+  EXPECT_EQ(batcher.pending_arrivals(), 1);
+  EXPECT_TRUE(batcher.should_fire(0.0));
+  batcher.consume(0.0);
+  EXPECT_FALSE(batcher.should_fire(0.0));
+}
+
+TEST(RunBatcher, ArrivalsAreInertWithoutTheRollingPolicy) {
+  RunBatcher batcher({.min_bids = 3});
+  batcher.note_task_arrival();
+  EXPECT_EQ(batcher.pending_arrivals(), 0);
+  EXPECT_FALSE(batcher.should_fire(0.0));
+}
+
+TEST(RunBatcher, RestoreCarriesPendingArrivals) {
+  RunBatcher a({.per_task_arrival = true});
+  a.note_task_arrival();
+  a.note_task_arrival();
+  RunBatcher b(a.policy());
+  b.restore(a.pending_bids(), a.oldest_bid_time(), a.accrued_budget(),
+            a.pending_arrivals());
+  EXPECT_EQ(b.pending_arrivals(), 2);
+  EXPECT_TRUE(b.should_fire(0.0));
+}
+
 TEST(RunBatcher, RestoreReproducesAccumulationState) {
   RunBatcher a({.min_bids = 5, .max_delay = 3.0, .budget_target = 40.0});
   a.note_bid(1.5);
@@ -203,6 +236,19 @@ std::vector<Request> every_op_request() {
   r.has_bid = true;
   requests.push_back(r);
   r = {};
+  r.op = Op::kUpdateBid;
+  r.id = 13;
+  r.worker = "w17";
+  r.cost = 1.25;
+  r.frequency = 4;
+  r.has_bid = true;  // parse always marks the payload: it IS the update
+  requests.push_back(r);
+  r = {};
+  r.op = Op::kWithdrawBid;
+  r.id = 14;
+  r.worker = "w17";
+  requests.push_back(r);
+  r = {};
   r.op = Op::kSubmitTasks;
   r.id = 4;
   r.task_count = 500;
@@ -284,6 +330,21 @@ TEST(ProtocolCodec, RejectsMalformedLines) {
   EXPECT_THROW(parse_request(R"({"op":"submit_bid"})"), WireError);  // worker
   EXPECT_THROW(parse_request(R"({"op":"tick","seconds":"fast"})"), WireError);
   EXPECT_THROW(parse_request(R"({"op":"hello"} trailing)"), WireError);
+  // update_bid is a full replacement, so both halves of the bid are
+  // mandatory (unlike submit_bid, where the payload is optional).
+  EXPECT_THROW(parse_request(R"({"op":"update_bid","worker":"w1","cost":1.5})"),
+               WireError);
+  EXPECT_THROW(
+      parse_request(R"({"op":"update_bid","worker":"w1","frequency":2})"),
+      WireError);
+}
+
+TEST(ProtocolCodec, MinProtoGatesTheContinuousAuctionOps) {
+  EXPECT_GE(kProtoVersion, 3);
+  EXPECT_EQ(min_proto(Op::kUpdateBid), 3);
+  EXPECT_EQ(min_proto(Op::kWithdrawBid), 3);
+  EXPECT_EQ(min_proto(Op::kSubmitBid), 1);
+  EXPECT_EQ(min_proto(Op::kHello), 1);
 }
 
 // ----------------------------------------------------- loop backpressure --
@@ -418,6 +479,108 @@ TEST(AuctionService, NewcomerRegistration) {
             2u);
 }
 
+TEST(AuctionService, UpdateBidRebidsAndCountsTowardTheBatch) {
+  AuctionService service(tiny_config());
+  Request update;
+  update.op = Op::kUpdateBid;
+  update.id = 1;
+  update.worker = "w3";
+  update.cost = 1.5;
+  update.frequency = 2;
+  update.has_bid = true;
+  Response r = service.apply(update);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.fields.number("internal_id"), 3.0);
+  // A re-bid participates in batching exactly like a submission.
+  EXPECT_EQ(r.fields.number("pending_bids"), 1.0);
+  EXPECT_EQ(service.registry().bids_submitted(3), 1u);
+  EXPECT_EQ(service.batcher().pending_bids(), 1);
+
+  // Unknown workers are never auto-registered: structured error instead.
+  update.id = 2;
+  update.worker = "ghost";
+  r = service.apply(update);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown_worker");
+  EXPECT_EQ(r.fields.text("worker"), "ghost");
+  EXPECT_EQ(service.platform().workers().size(), 8u);
+
+  // The replacement bid must be a valid bid.
+  update.worker = "w3";
+  update.cost = -2.0;
+  EXPECT_FALSE(service.apply(update).ok);
+  update.cost = 1.5;
+  update.frequency = 0;
+  EXPECT_FALSE(service.apply(update).ok);
+}
+
+TEST(AuctionService, WithdrawBidSitsOutUntilResubmission) {
+  AuctionService service(tiny_config());
+  Request withdraw;
+  withdraw.op = Op::kWithdrawBid;
+  withdraw.id = 1;
+  withdraw.worker = "w2";
+  Response r = service.apply(withdraw);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.fields.boolean_or("withdrawn", false));
+  EXPECT_TRUE(service.platform().is_withdrawn(2));
+  // A withdrawal is not a bid: it must not arm the batch trigger.
+  EXPECT_EQ(service.batcher().pending_bids(), 0);
+
+  withdraw.id = 2;
+  withdraw.worker = "ghost";
+  r = service.apply(withdraw);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown_worker");
+  EXPECT_EQ(r.fields.text("worker"), "ghost");
+
+  // A fresh submission supersedes the standing withdrawal.
+  ASSERT_TRUE(service.apply(bid_for(2, 3)).ok);
+  EXPECT_FALSE(service.platform().is_withdrawn(2));
+}
+
+TEST(AuctionService, RollingModeRunsOncePerTaskBatch) {
+  ServiceConfig config = tiny_config();
+  config.batch.per_task_arrival = true;
+  AuctionService service(config);
+  // Rolling mode implies the persistent bid book.
+  EXPECT_TRUE(service.platform().bid_book_enabled());
+
+  Request tasks;
+  tasks.op = Op::kSubmitTasks;
+  tasks.id = 1;
+  tasks.task_count = 10;
+  tasks.budget = 5.0;
+  Response r = service.apply(tasks);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.fields.number("runs_executed"), 1.0);
+  EXPECT_EQ(service.records().size(), 1u);
+
+  // A zero-count submission accrues budget but schedules no run.
+  tasks.id = 2;
+  tasks.task_count = 0;
+  r = service.apply(tasks);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.fields.has("runs_executed"));
+  EXPECT_EQ(service.records().size(), 1u);
+}
+
+TEST(AuctionService, HelloAdvertisesProtocolAndRollingMode) {
+  ServiceConfig config = tiny_config();
+  config.batch.per_task_arrival = true;
+  config.incremental = true;
+  AuctionService service(config);
+  Request hello;
+  hello.op = Op::kHello;
+  hello.id = 1;
+  const Response r = service.apply(hello);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fields.number("proto_version"),
+            static_cast<double>(kProtoVersion));
+  EXPECT_TRUE(r.fields.boolean_or("incremental", false));
+  EXPECT_TRUE(r.fields.boolean_or("rolling", false));
+}
+
 TEST(AuctionService, QueryRunBoundsAndStats) {
   AuctionService service(tiny_config());
   Request query;
@@ -532,6 +695,33 @@ TEST(StdioSession, BitIdenticalToBatchRun) {
             expected.back().estimation_error);
   EXPECT_EQ(final_run.fields.number("total_payment"),
             expected.back().total_payment);
+}
+
+TEST(StdioSession, IncrementalServiceStaysBitIdenticalToBatch) {
+  // --incremental keeps the price ladder across runs instead of rebuilding
+  // it; the allocation (and hence every record) must not move.
+  const sim::LongTermScenario scenario = e2e_scenario();
+  const std::vector<sim::RunRecord> expected =
+      batch_records(scenario, sim::FaultPlan{});
+
+  ServiceConfig config = e2e_config();
+  config.incremental = true;
+  AuctionService service(config);
+  ASSERT_TRUE(service.platform().bid_book_enabled());
+  ServiceLoop loop(service, 64);
+  std::stringstream trace;
+  std::int64_t next_id = 1;
+  for (int round = 0; round < scenario.runs; ++round) {
+    append_round(trace, scenario.num_workers, &next_id);
+  }
+  std::ostringstream responses;
+  run_stdio_session(loop, trace, responses);
+
+  ASSERT_EQ(service.records().size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(service.records()[k], expected[k]) << "run " << k + 1;
+  }
+  EXPECT_EQ(service.platform().bid_book().check_links(), "");
 }
 
 TEST(StdioSession, BitIdenticalWithFaultPlanAttached) {

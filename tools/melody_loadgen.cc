@@ -56,6 +56,8 @@ struct Options {
   double think_ms = 0.0;
   double task_budget = 800.0;
   std::int64_t seed = 1;
+  std::int64_t proto = svc::kProtoVersion;
+  std::string ops;
   std::string csv;
   bool dry_run = false;
   bool quiet = false;
@@ -83,6 +85,14 @@ Options read_options(const util::Flags& flags) {
                                    "budget carried by submit_tasks requests");
   o.seed = flags.get_int("seed", o.seed, "S",
                          "master seed for the per-client request streams");
+  o.proto = flags.get_int(
+      "proto", o.proto, "V",
+      "client protocol version; the stream speaks min(V, build version) — "
+      "below 3 it never emits update_bid/withdraw_bid");
+  o.ops = flags.get_string(
+      "ops", "", "LIST",
+      "dry-run only: restrict the printed stream to these comma-separated "
+      "op names; names the negotiated proto does not support are rejected");
   o.csv = flags.get_string("csv", "loadgen_latency.csv", "NAME",
                            "latency summary CSV (written under out/)");
   o.dry_run = flags.has_switch(
@@ -106,12 +116,64 @@ int usage(const char* error) {
 
 /// The shared deterministic stream (svc/loadgen.h): request k of client c
 /// is a pure function of (seed, c, k).
+/// The protocol version the stream may assume: what a hello handshake with
+/// this build would negotiate (both sides speak the older version).
+int negotiated_proto(const Options& options) {
+  return static_cast<int>(
+      std::min<std::int64_t>(options.proto, svc::kProtoVersion));
+}
+
 svc::loadgen::StreamConfig stream_config(const Options& options) {
   svc::loadgen::StreamConfig config;
   config.seed = static_cast<std::uint64_t>(options.seed);
   config.workers = options.workers;
   config.task_budget = options.task_budget;
+  config.proto = negotiated_proto(options);
   return config;
+}
+
+/// Every op the build knows, for --ops name resolution.
+constexpr svc::Op kAllOps[] = {
+    svc::Op::kHello,      svc::Op::kSubmitBid,   svc::Op::kUpdateBid,
+    svc::Op::kWithdrawBid, svc::Op::kSubmitTasks, svc::Op::kPostScores,
+    svc::Op::kQueryWorker, svc::Op::kQueryRun,    svc::Op::kRunNow,
+    svc::Op::kTick,        svc::Op::kStats,       svc::Op::kCheckpoint,
+    svc::Op::kShutdown,
+};
+
+/// Parse the --ops filter. Throws std::invalid_argument on an op name the
+/// build does not know or one the negotiated protocol version cannot carry.
+std::vector<svc::Op> parse_ops_filter(const std::string& list,
+                                      int negotiated) {
+  std::vector<svc::Op> allowed;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    bool found = false;
+    svc::Op match = svc::Op::kHello;
+    for (const svc::Op op : kAllOps) {
+      if (svc::to_string(op) == name) {
+        found = true;
+        match = op;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("--ops: unknown op '" + name + "'");
+    }
+    if (svc::min_proto(match) > negotiated) {
+      throw std::invalid_argument(
+          "--ops: op '" + name + "' requires proto >= " +
+          std::to_string(svc::min_proto(match)) + " (negotiated " +
+          std::to_string(negotiated) + ")");
+    }
+    allowed.push_back(match);
+  }
+  return allowed;
 }
 
 svc::Request make_request(const Options& options, int client, int index) {
@@ -349,11 +411,39 @@ int main(int argc, char** argv) {
   if (options.clients < 1 || options.requests < 1 || options.workers < 1) {
     return usage("--clients/--requests/--workers must be positive");
   }
+  if (options.proto < 1) {
+    return usage("--proto must be at least 1");
+  }
+  if (!options.ops.empty() && !options.dry_run) {
+    return usage("--ops only applies to --dry-run streams");
+  }
+  const int negotiated = negotiated_proto(options);
+  std::vector<svc::Op> allowed;
+  if (!options.ops.empty()) {
+    try {
+      allowed = parse_ops_filter(options.ops, negotiated);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  }
 
   if (options.dry_run) {
+    // The stream a hello handshake with this build would produce; stdout
+    // stays pure request lines for piping into melody_serve --stdin.
+    std::fprintf(stderr,
+                 "melody_loadgen: negotiated proto %d (requested %d, build "
+                 "speaks %d)\n",
+                 negotiated, static_cast<int>(options.proto),
+                 svc::kProtoVersion);
     for (int c = 0; c < options.clients; ++c) {
       for (int k = 0; k < options.requests; ++k) {
-        std::puts(svc::format_request(make_request(options, c, k)).c_str());
+        const svc::Request request = make_request(options, c, k);
+        if (!allowed.empty() &&
+            std::find(allowed.begin(), allowed.end(), request.op) ==
+                allowed.end()) {
+          continue;
+        }
+        std::puts(svc::format_request(request).c_str());
       }
     }
     return 0;

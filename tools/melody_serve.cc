@@ -16,6 +16,12 @@
 // the equivalent batch simulation. SIGINT drains the queues, executes due
 // batches, writes a final composed checkpoint when --checkpoint is set
 // (MLDYSVCK v2: one sub-snapshot per shard), and exits cleanly.
+//
+// --rolling turns the service into a continuous auction: every submit_tasks
+// queues exactly one run against the standing price-ladder bid book (implies
+// --incremental — bids persist across runs and can be revised with the v3
+// update_bid / withdraw_bid ops; allocation stays bit-identical to a full
+// re-sort).
 #include <csignal>
 #include <cstdio>
 #include <iostream>
