@@ -9,6 +9,7 @@
 #include "auction/bid_book.h"
 #include "auction/types.h"
 #include "obs/sink.h"
+#include "obs/trace.h"
 
 namespace melody::sim {
 struct FaultPlan;  // sim/fault.h — carried by pointer, never dereferenced here
@@ -54,6 +55,12 @@ struct AuctionContext {
   /// book). Provenance for incremental mechanisms and event streams — must
   /// never influence the allocation beyond what the book already reflects.
   std::span<const BidDelta> deltas;
+  /// The request trace context active when the platform entered this run
+  /// (inactive for untraced runs and standalone auctions). Mechanism-phase
+  /// ScopedSpans pick their parent up from the thread-local slot
+  /// automatically; this copy is provenance for sinks and mechanisms that
+  /// hand work to other threads. Must never influence the allocation.
+  obs::TraceContext trace;
 
   /// Emit a structured event to this context's sink, falling back to the
   /// process-wide obs::sink() when none was attached.

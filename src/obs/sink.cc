@@ -123,4 +123,10 @@ void emit(std::string_view name, std::initializer_list<Field> fields) {
   s->event(name, std::span<const Field>(fields.begin(), fields.size()));
 }
 
+void emit(std::string_view name, std::span<const Field> fields) {
+  Sink* s = g_sink.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->event(name, fields);
+}
+
 }  // namespace melody::obs

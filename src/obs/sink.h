@@ -35,6 +35,9 @@ struct Field {
   std::int64_t integer = 0;
   std::string_view text{};
 
+  /// Default: an empty-key double 0 — a placeholder slot for fixed-size
+  /// field arrays (obs/trace.h builds span events this way).
+  Field() = default;
   Field(std::string_view k, double v) : key(k), kind(Kind::kDouble), num(v) {}
   Field(std::string_view k, std::int64_t v)
       : key(k), kind(Kind::kInt), integer(v) {}
@@ -97,6 +100,9 @@ void set_sink(Sink* sink) noexcept;
 
 /// Emit through the global sink; no-op (one relaxed load) when none is set.
 void emit(std::string_view name, std::initializer_list<Field> fields);
+
+/// Same, for callers that build their field set dynamically (span events).
+void emit(std::string_view name, std::span<const Field> fields);
 
 /// Installs a sink for the current scope and restores the previous one on
 /// destruction (tests, tools).

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace melody::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span{1};
+
+TraceContext& current_slot() noexcept {
+  thread_local TraceContext context;
+  return context;
+}
+
+Counter& span_counter() {
+  static Counter& counter = registry().counter("trace/spans");
+  return counter;
+}
+
+}  // namespace
+
+std::uint64_t mint_trace_id(std::uint64_t conn, std::uint64_t seq) noexcept {
+  return (conn << 24) + seq + 1;
+}
+
+std::uint64_t next_span_id() noexcept {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext current_trace() noexcept { return current_slot(); }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context) noexcept {
+  if (!context.active()) return;
+  previous_ = current_slot();
+  current_slot() = context;
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (installed_) current_slot() = previous_;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name,
+                       const TraceContext& parent) noexcept
+    : name_(name) {
+  if (!enabled() || !parent.active()) return;
+  active_ = true;
+  context_ = {parent.trace_id, next_span_id(), parent.span_id};
+  previous_ = current_slot();
+  current_slot() = context_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  current_slot() = previous_;
+  span_counter().add();
+  const double us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::array<Field, kMaxAnnotations + 4> fields = {
+      Field{"trace", static_cast<std::int64_t>(context_.trace_id)},
+      Field{"span", static_cast<std::int64_t>(context_.span_id)},
+      Field{"parent", static_cast<std::int64_t>(context_.parent_span_id)},
+      Field{"us", us},
+  };
+  for (std::size_t i = 0; i < note_count_; ++i) fields[4 + i] = notes_[i];
+  emit(name_, std::span<const Field>(fields.data(), 4 + note_count_));
+}
+
+void ScopedSpan::push(Field field) noexcept {
+  if (!active_ || note_count_ >= kMaxAnnotations) return;
+  notes_[note_count_++] = field;
+}
+
+void ScopedSpan::annotate(std::string_view key, std::int64_t value) noexcept {
+  push(Field{key, value});
+}
+
+void ScopedSpan::annotate(std::string_view key, double value) noexcept {
+  push(Field{key, value});
+}
+
+void ScopedSpan::annotate(std::string_view key,
+                          std::string_view value) noexcept {
+  push(Field{key, value});
+}
+
+std::uint64_t spans_emitted() noexcept { return span_counter().value(); }
+
+}  // namespace melody::obs

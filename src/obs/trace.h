@@ -1,0 +1,121 @@
+// Request-scoped tracing on top of the metrics/sink layer: a TraceContext
+// (trace id, span id, parent span id) is minted once per inbound wire frame
+// by the serve front end, carried through the request's entire path — shard
+// fan-out, AuctionService op handling, auction phases, checkpoint
+// save/load — and every interesting stage opens a ScopedSpan that emits one
+// structured event through the obs::Sink seam when it closes.
+//
+// Cost contract (same as the metrics layer): everything here is gated on
+// obs::enabled(). With tracing off a ScopedSpan costs one relaxed load plus
+// a branch — no clock reads, no thread-local writes, no emission — and an
+// inactive TraceContext (trace_id == 0) propagates for free. Trace ids are
+// deterministic functions of (connection, sequence), so two recordings of
+// the same session mint the same ids; span ids come off one process-wide
+// relaxed counter and are unique, not reproducible — identity lives in the
+// trace id, ordering in the logical clocks the spans annotate.
+//
+// Propagation model: the serve path carries the context explicitly down to
+// the shard consumer thread (Envelope), which installs it in a thread-local
+// slot (ScopedTraceContext). From there nesting is automatic: ScopedSpan
+// reads the slot, publishes its own child context for its scope, and
+// restores the parent on close — so Platform::step and the mechanism phases
+// pick up their parent span without any signature changes.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/sink.h"
+
+namespace melody::obs {
+
+/// One request's position in the trace tree. trace_id == 0 means "not
+/// traced" and makes every span opened under it inert.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Deterministic trace id for the frame `seq` of connection `conn`:
+/// conn * 2^24 + seq + 1. Human-decodable, never 0, and exact inside the
+/// wire format's double for any plausible session (conn < 2^29 connections,
+/// 16M frames per connection).
+std::uint64_t mint_trace_id(std::uint64_t conn, std::uint64_t seq) noexcept;
+
+/// Next span id off the process-wide relaxed counter (starts at 1).
+std::uint64_t next_span_id() noexcept;
+
+/// The calling thread's current trace context (inactive by default).
+TraceContext current_trace() noexcept;
+
+/// Installs `context` as the thread's current trace context for the scope
+/// and restores the previous one on destruction. A no-op (no thread-local
+/// write) for an inactive context — the tracing-off hot path.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+  bool installed_ = false;
+};
+
+/// RAII span: child of `parent` (default: the thread's current context).
+/// While alive it is the thread's current context; on close it emits one
+/// event named `name` with trace/span/parent ids, the elapsed monotonic
+/// time in microseconds, and any annotations. Inert — one enabled() load,
+/// nothing else — when tracing is off or the parent is inactive.
+///
+/// `name` and string annotation values are captured as views and must
+/// outlive the span (string literals and to_string(Op) results qualify).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) noexcept
+      : ScopedSpan(name, current_trace()) {}
+  ScopedSpan(std::string_view name, const TraceContext& parent) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value to the close event (logical clocks: run index,
+  /// tick seconds, batch size, shard index...). Silently dropped past
+  /// kMaxAnnotations; a no-op on an inactive span.
+  void annotate(std::string_view key, std::int64_t value) noexcept;
+  void annotate(std::string_view key, int value) noexcept {
+    annotate(key, static_cast<std::int64_t>(value));
+  }
+  void annotate(std::string_view key, double value) noexcept;
+  void annotate(std::string_view key, std::string_view value) noexcept;
+
+  bool active() const noexcept { return active_; }
+  /// This span's own context (what children should parent on). Inactive
+  /// when the span is.
+  const TraceContext& context() const noexcept { return context_; }
+
+  static constexpr std::size_t kMaxAnnotations = 6;
+
+ private:
+  void push(Field field) noexcept;
+
+  std::string_view name_;
+  TraceContext context_;
+  TraceContext previous_;
+  std::chrono::steady_clock::time_point start_;
+  std::array<Field, kMaxAnnotations> notes_;
+  std::size_t note_count_ = 0;
+  bool active_ = false;
+};
+
+/// Spans closed (and emitted) since process start / the last registry
+/// reset — the "trace/spans" counter's value.
+std::uint64_t spans_emitted() noexcept;
+
+}  // namespace melody::obs

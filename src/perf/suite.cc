@@ -21,6 +21,7 @@
 #include "estimators/factory.h"
 #include "estimators/melody_estimator.h"
 #include "obs/metrics.h"
+#include "obs/sink.h"
 #include "perf/reference.h"
 #include "sim/platform.h"
 #include "sim/scenario.h"
@@ -28,6 +29,7 @@
 #include "svc/loop.h"
 #include "svc/protocol.h"
 #include "svc/router.h"
+#include "svc/trace_log.h"
 #include "svc/service.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -431,16 +433,10 @@ BenchmarkResult bench_platform_step(bool quick, int repeats) {
       nullptr);
 }
 
-BenchmarkResult bench_svc_serve(bool quick, int repeats) {
-  const int num_requests = quick ? 1500 : 6000;
-  svc::ServiceConfig config;
-  config.scenario.num_workers = 100;
-  config.scenario.num_tasks = 200;
-  config.scenario.runs = 2000;
-  config.manual_clock = true;
-  config.seed = 2017;
-  // Deterministic request mix mirroring melody_loadgen's distribution:
-  // mostly bids (the batch trigger), some task postings, some reads.
+/// Deterministic request mix mirroring melody_loadgen's distribution:
+/// mostly bids (the batch trigger), some task postings, some reads. Shared
+/// by svc_serve and svc_serve_traced so both time identical sessions.
+std::string serve_request_mix(int num_requests) {
   std::string trace;
   util::Rng rng(0x5E7CE);
   for (int k = 0; k < num_requests; ++k) {
@@ -463,6 +459,23 @@ BenchmarkResult bench_svc_serve(bool quick, int repeats) {
     trace += svc::format_request(request);
     trace += '\n';
   }
+  return trace;
+}
+
+svc::ServiceConfig serve_bench_config() {
+  svc::ServiceConfig config;
+  config.scenario.num_workers = 100;
+  config.scenario.num_tasks = 200;
+  config.scenario.runs = 2000;
+  config.manual_clock = true;
+  config.seed = 2017;
+  return config;
+}
+
+BenchmarkResult bench_svc_serve(bool quick, int repeats) {
+  const int num_requests = quick ? 1500 : 6000;
+  const svc::ServiceConfig config = serve_bench_config();
+  const std::string trace = serve_request_mix(num_requests);
   return measure(
       "svc_serve", repeats,
       {{"requests", static_cast<double>(num_requests)},
@@ -479,6 +492,96 @@ BenchmarkResult bench_svc_serve(bool quick, int repeats) {
                  static_cast<double>(out.str().size());
       },
       nullptr);
+}
+
+BenchmarkResult bench_svc_serve_traced(bool quick, int repeats) {
+  // The tracing cost contract, measured: the svc_serve session served with
+  // end-to-end tracing ON (span minting, per-frame root contexts, a live
+  // MLDYTRC recorder) paired against the identical session with tracing
+  // OFF. The headline median is the traced pass; counters record the
+  // untraced median and the traced/untraced wall ratio. The gate the CI
+  // perfsuite enforces is on svc_serve itself (tracing-disabled code must
+  // stay within the usual threshold of the committed baseline) — this
+  // entry pins what turning tracing on actually costs.
+  const int num_requests = quick ? 1500 : 6000;
+  const svc::ServiceConfig config = serve_bench_config();
+  const std::string trace = serve_request_mix(num_requests);
+
+  const auto session = [&](bool traced) {
+    svc::ShardedService service(config);
+    std::istringstream in(trace);
+    std::ostringstream out;
+    if (traced) {
+      std::ostringstream trace_bytes;
+      svc::TraceRecorder recorder(trace_bytes);
+      const svc::StdioResult outcome =
+          svc::run_stdio_session(service, in, out, &recorder);
+      recorder.finish();
+      g_sink = g_sink + static_cast<double>(outcome.requests) +
+               static_cast<double>(trace_bytes.str().size());
+    } else {
+      const svc::StdioResult outcome = svc::run_stdio_session(service, in, out);
+      g_sink = g_sink + static_cast<double>(outcome.requests);
+    }
+    g_sink = g_sink + static_cast<double>(out.str().size());
+  };
+
+  BenchmarkResult result;
+  result.name = "svc_serve_traced";
+  result.repeats = repeats;
+  result.config = {{"requests", static_cast<double>(num_requests)},
+                   {"workers", 100.0},
+                   {"runs_horizon", static_cast<double>(config.scenario.runs)},
+                   {"seed", static_cast<double>(config.seed)}};
+  // Spans emit into a null sink: the bench times minting/propagation and
+  // the recorder, not some sink's disk.
+  obs::NullSink null_sink;
+  // Paired design (see measure()): alternate traced and untraced repeats
+  // after one warm-up of each so drift hits both sides equally.
+  std::vector<std::pair<double, double>> traced_samples;
+  std::vector<double> untraced_wall;
+  {
+    obs::ScopedSink scoped(&null_sink);
+    {
+      obs::ScopedEnable on(true);
+      session(true);
+    }
+    {
+      obs::ScopedEnable off(false);
+      session(false);
+    }
+    for (int k = 0; k < repeats; ++k) {
+      {
+        obs::ScopedEnable on(true);
+        const double wall0 = wall_now_ms();
+        const double cpu0 = cpu_now_ms();
+        session(true);
+        traced_samples.emplace_back(wall_now_ms() - wall0,
+                                    cpu_now_ms() - cpu0);
+      }
+      {
+        obs::ScopedEnable off(false);
+        const double wall0 = wall_now_ms();
+        session(false);
+        untraced_wall.push_back(wall_now_ms() - wall0);
+      }
+    }
+  }
+  std::sort(traced_samples.begin(), traced_samples.end());
+  for (const auto& [wall, cpu] : traced_samples) {
+    result.wall_ms.push_back(wall);
+    result.cpu_ms.push_back(cpu);
+  }
+  result.median_wall_ms = median(result.wall_ms);
+  result.median_cpu_ms = median(result.cpu_ms);
+  const double untraced_median = median(untraced_wall);
+  result.counters.emplace_back("untraced_median_wall_ms", untraced_median);
+  result.counters.emplace_back(
+      "tracing_overhead",
+      untraced_median > 0.0 ? result.median_wall_ms / untraced_median : 0.0);
+  obs::registry().reset();
+  result.peak_rss_kb = peak_rss_kb_now();
+  return result;
 }
 
 BenchmarkResult bench_svc_serve_sharded(bool quick, int repeats) {
@@ -558,7 +661,8 @@ std::vector<std::string> suite_bench_names() {
   return {"greedy_scoring_100k", "greedy_incremental_100k",
           "auction_scale_1m",    "kalman_chain",
           "kalman_em_chain",     "platform_step",
-          "svc_serve",           "svc_serve_sharded"};
+          "svc_serve",           "svc_serve_traced",
+          "svc_serve_sharded"};
 }
 
 std::string detect_git_sha() {
@@ -623,6 +727,8 @@ PerfArtifact run_suite(const SuiteOptions& options, std::ostream& log) {
        }},
       {"platform_step", [&] { return bench_platform_step(quick, repeats); }},
       {"svc_serve", [&] { return bench_svc_serve(quick, repeats); }},
+      {"svc_serve_traced",
+       [&] { return bench_svc_serve_traced(quick, repeats); }},
       {"svc_serve_sharded",
        [&] { return bench_svc_serve_sharded(quick, repeats); }},
   };

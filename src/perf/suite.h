@@ -21,6 +21,11 @@
 //   svc_serve            end-to-end service pass: a deterministic request
 //                        trace driven through svc::run_stdio_session
 //                        (same queue/backpressure path as the TCP server).
+//   svc_serve_traced     the same session with end-to-end tracing ON (span
+//                        minting + a live MLDYTRC recorder) paired against
+//                        tracing OFF; counters.tracing_overhead pins the
+//                        traced/untraced wall ratio. The tracing-disabled
+//                        cost gate rides on svc_serve vs the baseline.
 //
 // Timed repeats run with the obs layer OFF (the production default); one
 // extra instrumented pass per bench collects the obs phase timers into

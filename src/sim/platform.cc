@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/sink.h"
+#include "obs/trace.h"
 #include "sim/score_gen.h"
 #include "util/parallel_for.h"
 
@@ -66,6 +67,10 @@ RunRecord Platform::step() {
   const auction::AuctionConfig config = scenario_.auction_config();
   const bool faults_active = fault_plan_.active();
   obs::ScopedTimer step_timer(obs::timer_if_enabled("platform/step"));
+  // Nests under the serve path's svc/run span when this step executes a
+  // traced request's batch; inert in batch tools and untraced serving.
+  obs::ScopedSpan step_span("platform/step");
+  step_span.annotate("run", run_);
 
   // 0) Fault layer, part one: absence decisions. Each worker's absence is a
   //    pure function of (seed, plan, worker, run), so this stage is
@@ -127,6 +132,7 @@ RunRecord Platform::step() {
     auction::AuctionContext context{profiles, tasks, config, obs::sink(),
                                     run_,
                                     faults_active ? &fault_plan_ : nullptr};
+    context.trace = obs::current_trace();
     if (bid_book_enabled_) {
       // Fold this run's bid changes into the persistent ladder and hand the
       // mechanism the book (already current) plus the delta provenance.

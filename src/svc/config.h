@@ -59,6 +59,11 @@ struct ServiceConfig {
   /// shard planner sets this so shard s's local dense ids map onto the
   /// global name space; standalone services keep 0.
   int worker_name_offset = 0;
+  /// Prefix for this service's obs metric names ("shard<k>/" set by the
+  /// shard planner at K>1, empty otherwise). K=1 keeps the historical
+  /// un-prefixed names — "svc/requests", "svc/request_time" — so
+  /// single-shard metric output is unchanged.
+  std::string obs_prefix;
 
   /// The estimator factory input equivalent to this config (scenario
   /// posterior/period plus the exploration weight).

@@ -9,13 +9,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/trace_log.h"
 
 namespace melody::svc {
 
@@ -33,6 +37,15 @@ void set_nonblocking(int fd) {
 
 }  // namespace
 
+// In-flight trace bookkeeping for one accepted frame: the minted ids plus
+// the monotonic receive time, so the frame_out event can report the
+// wall-to-wall latency the client saw. Populated only while tracing is on.
+struct FrameTrace {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::chrono::steady_clock::time_point start;
+};
+
 // Per-connection state machine: a framing buffer on the read side, a
 // reorder map + write buffer on the response side.
 struct EventLoop::Connection {
@@ -43,6 +56,7 @@ struct EventLoop::Connection {
   std::uint64_t next_seq = 0;    // assigned to the next accepted line
   std::uint64_t next_flush = 0;  // seq whose response leaves next
   std::map<std::uint64_t, Completion> pending;  // out-of-order completions
+  std::map<std::uint64_t, FrameTrace> inflight;  // traced frames by seq
   bool want_write = false;  // EPOLLOUT currently registered
   bool read_eof = false;    // peer half-closed; flush remaining, then close
   bool closing = false;     // close once the write buffer drains
@@ -106,6 +120,9 @@ void EventLoop::listen() {
 
 EventLoopStats EventLoop::run() {
   if (epoll_fd_ < 0) throw std::logic_error("event_loop: listen() first");
+  if (options_.recorder != nullptr) {
+    options_.recorder->begin_session(service_.config());
+  }
   epoll_event events[128];
   for (;;) {
     const int n = ::epoll_wait(epoll_fd_, events,
@@ -299,21 +316,88 @@ void EventLoop::handle_line(Connection* conn, std::string line) {
     request = parse_request(line);
   } catch (const UnsupportedOpError& e) {
     ++stats_.parse_errors;
+    if (options_.recorder != nullptr) {
+      options_.recorder->record_in(conn->id, seq, line, kShardNone, 0);
+    }
     answer_inline(conn, seq,
                   format_response(Response::unsupported_op(e.id(), e.op())));
     return;
   } catch (const WireError& e) {
     ++stats_.parse_errors;
+    if (options_.recorder != nullptr) {
+      options_.recorder->record_in(conn->id, seq, line, kShardNone, 0);
+    }
     answer_inline(conn, seq, format_response(Response::failure(0, e.what())));
     return;
   }
+  // Mint the frame's root trace context: the trace id is a deterministic
+  // function of (conn, seq), the span id the process-wide counter. The
+  // frame_in/frame_out pair brackets the frame's entire residence time.
+  obs::TraceContext trace;
+  if (obs::enabled()) {
+    trace = obs::TraceContext{obs::mint_trace_id(conn->id, seq),
+                              obs::next_span_id(), 0};
+    conn->inflight.emplace(
+        seq, FrameTrace{trace.trace_id, trace.span_id,
+                        std::chrono::steady_clock::now()});
+    obs::emit("svc/frame_in",
+              {{"conn", static_cast<std::int64_t>(conn->id)},
+               {"seq", static_cast<std::int64_t>(seq)},
+               {"trace", static_cast<std::int64_t>(trace.trace_id)},
+               {"span", static_cast<std::int64_t>(trace.span_id)}});
+  }
+  if (options_.recorder != nullptr) {
+    int proto = 0;
+    if (request.op == Op::kHello) {
+      proto = request.proto == 0 ? kProtoVersion
+                                 : std::min(kProtoVersion, request.proto);
+    }
+    options_.recorder->record_in(conn->id, seq, line,
+                                 service_.routing_decision(request),
+                                 trace.span_id, proto);
+  }
   const bool close_after = request.op == Op::kShutdown;
   const std::uint64_t conn_id = conn->id;
+  // stats replies get the loop's own tallies appended before they leave —
+  // the only live view of front-end state the wire offers. Snapshot here
+  // (the loop thread owns stats_); the completion may format on a shard
+  // thread. +1 counts this request, matching the service-side tally.
+  const bool augment_stats = request.op == Op::kStats;
+  EventLoopStats snapshot;
+  std::int64_t live_connections = 0;
+  if (augment_stats) {
+    snapshot = stats_;
+    snapshot.requests += 1;
+    live_connections = static_cast<std::int64_t>(connections_.size());
+  }
   const PushResult submitted = service_.submit(
-      request, [this, conn_id, seq, close_after](const Response& response) {
+      request,
+      [this, conn_id, seq, close_after, augment_stats, snapshot,
+       live_connections](const Response& response) {
+        if (!augment_stats || !response.ok) {
+          post_completion(
+              {conn_id, seq, format_response(response), close_after});
+          return;
+        }
+        Response annotated = response;
+        annotated.fields.set("connections",
+                             WireValue::of(live_connections));
+        annotated.fields.set(
+            "loop_accepted",
+            WireValue::of(static_cast<std::int64_t>(snapshot.accepted)));
+        annotated.fields.set(
+            "loop_requests",
+            WireValue::of(static_cast<std::int64_t>(snapshot.requests)));
+        annotated.fields.set(
+            "loop_parse_errors",
+            WireValue::of(static_cast<std::int64_t>(snapshot.parse_errors)));
+        annotated.fields.set(
+            "loop_rejected",
+            WireValue::of(static_cast<std::int64_t>(snapshot.rejected)));
         post_completion(
-            {conn_id, seq, format_response(response), close_after});
-      });
+            {conn_id, seq, format_response(annotated), close_after});
+      },
+      trace);
   if (submitted != PushResult::kOk) {
     ++stats_.rejected;
     answer_inline(conn, seq,
@@ -334,6 +418,27 @@ void EventLoop::flush_ready(Connection* conn) {
   for (;;) {
     const auto it = conn->pending.find(conn->next_flush);
     if (it == conn->pending.end()) break;
+    // Record / trace the outbound frame here: flush order is the
+    // per-connection sequence order, exactly what the client reads.
+    if (options_.recorder != nullptr) {
+      options_.recorder->record_out(conn->id, it->first, it->second.line);
+    }
+    const auto traced = conn->inflight.find(it->first);
+    if (traced != conn->inflight.end()) {
+      if (obs::enabled()) {
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - traced->second.start)
+                .count();
+        obs::emit("svc/frame_out",
+                  {{"conn", static_cast<std::int64_t>(conn->id)},
+                   {"seq", static_cast<std::int64_t>(it->first)},
+                   {"trace", static_cast<std::int64_t>(traced->second.trace)},
+                   {"span", static_cast<std::int64_t>(traced->second.span)},
+                   {"us", us}});
+      }
+      conn->inflight.erase(traced);
+    }
     conn->outbuf += it->second.line;
     conn->outbuf += '\n';
     if (it->second.close_after) conn->closing = true;

@@ -32,6 +32,8 @@
 
 namespace melody::svc {
 
+class TraceRecorder;
+
 struct EventLoopOptions {
   /// TCP port to listen on; 0 picks a free port (tests) — read it back
   /// with actual_port() after listen().
@@ -42,9 +44,17 @@ struct EventLoopOptions {
   /// Polled between epoll waits; return true to begin the drain shutdown
   /// (the SIGINT flag). The loop also drains when a shutdown op lands.
   std::function<bool()> should_stop;
+  /// Optional wire-trace recorder (melody_serve --trace-out). run() writes
+  /// the session header; every frame is recorded — inbound lines with
+  /// their routing decision and root span id, outbound lines in flush
+  /// order. Borrowed; the caller finish()es it after run() returns.
+  TraceRecorder* recorder = nullptr;
 };
 
-/// Tallies of one serve session, for the operator log line.
+/// Tallies of one serve session: the operator drain-summary line, and —
+/// through the stats op's loop_* / connections fields — live introspection
+/// (the event loop augments stats replies with a snapshot of these before
+/// the response leaves).
 struct EventLoopStats {
   std::uint64_t accepted = 0;      // connections accepted
   std::uint64_t requests = 0;      // lines submitted to the service

@@ -14,16 +14,17 @@ constexpr std::chrono::milliseconds kIdleTick{50};
 }  // namespace
 
 PushResult ServiceLoop::try_submit(Request request,
-                                   std::function<void(const Response&)> done) {
-  const PushResult result =
-      queue_.try_push(Envelope{std::move(request), std::move(done), nullptr});
+                                   std::function<void(const Response&)> done,
+                                   const obs::TraceContext& trace) {
+  const PushResult result = queue_.try_push(
+      Envelope{std::move(request), std::move(done), nullptr, trace});
   if (result != PushResult::kOk) service_.note_overload_reject();
   return result;
 }
 
 PushResult ServiceLoop::submit_task(
     std::function<void(AuctionService&)> task) {
-  return queue_.push_force(Envelope{Request{}, nullptr, std::move(task)});
+  return queue_.push_force(Envelope{Request{}, nullptr, std::move(task), {}});
 }
 
 Response ServiceLoop::rejection(PushResult result,
@@ -89,6 +90,8 @@ void ServiceLoop::process(Envelope& envelope) {
     envelope.task(service_);
     return;
   }
+  // Install the frame's root context for the apply; free when inactive.
+  obs::ScopedTraceContext install(envelope.trace);
   const Response response = service_.apply(envelope.request);
   if (envelope.done) envelope.done(response);
 }

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "obs/trace.h"
 #include "svc/protocol.h"
 #include "svc/queue.h"
 #include "svc/service.h"
@@ -26,10 +27,14 @@ namespace melody::svc {
 /// must not call back into the loop. Alternatively an envelope can carry a
 /// `task` — an arbitrary closure over the service (coordinated checkpoints
 /// save shard state this way); a task envelope's request/done are unused.
+/// `trace` is the frame's root trace context (inactive when tracing is
+/// off); the consumer thread installs it around apply() so every span the
+/// request opens parents on the inbound frame.
 struct Envelope {
   Request request;
   std::function<void(const Response&)> done;
   std::function<void(AuctionService&)> task;
+  obs::TraceContext trace;
 };
 
 class ServiceLoop {
@@ -39,9 +44,12 @@ class ServiceLoop {
 
   /// Enqueue a request from any thread. kFull / kClosed results mean the
   /// request was NOT accepted and `done` will never run — the caller should
-  /// send `rejection(...)` to the client instead.
+  /// send `rejection(...)` to the client instead. `trace` (optional) is the
+  /// frame's root trace context, installed around apply() on the consumer
+  /// thread.
   PushResult try_submit(Request request,
-                        std::function<void(const Response&)> done);
+                        std::function<void(const Response&)> done,
+                        const obs::TraceContext& trace = {});
 
   /// Enqueue a service task past the capacity bound (control plane; see
   /// BoundedQueue::push_force). kClosed means the loop is shutting down and

@@ -21,6 +21,7 @@ constexpr struct {
     {Op::kRunNow, "run_now"},
     {Op::kTick, "tick"},
     {Op::kStats, "stats"},
+    {Op::kTraceStatus, "trace_status"},
     {Op::kCheckpoint, "checkpoint"},
     {Op::kShutdown, "shutdown"},
 };
@@ -55,6 +56,8 @@ int min_proto(Op op) noexcept {
     case Op::kUpdateBid:
     case Op::kWithdrawBid:
       return 3;
+    case Op::kTraceStatus:
+      return 4;
     default:
       return 1;
   }
@@ -112,6 +115,7 @@ Request parse_request(std::string_view line) {
       break;
     case Op::kRunNow:
     case Op::kStats:
+    case Op::kTraceStatus:
     case Op::kShutdown:
       break;
   }
@@ -175,6 +179,7 @@ std::string format_request(const Request& request) {
       break;
     case Op::kRunNow:
     case Op::kStats:
+    case Op::kTraceStatus:
     case Op::kShutdown:
       break;
   }

@@ -14,6 +14,7 @@
 //   {"op":"run_now","id":7}
 //   {"op":"tick","id":8,"seconds":0.25}
 //   {"op":"stats","id":9}
+//   {"op":"trace_status","id":9}                                        (v4)
 //   {"op":"checkpoint","id":10,"path":"svc.ckpt"}
 //   {"op":"shutdown","id":11}
 //
@@ -43,8 +44,10 @@ namespace melody::svc {
 /// replies, and the optional "shard" routing field on query_run. v3 added
 /// the continuous-auction ops update_bid / withdraw_bid (re-bid between
 /// runs, withdraw until the next submit/update) with structured
-/// unknown_worker errors; v2 clients simply never send them.
-inline constexpr int kProtoVersion = 3;
+/// unknown_worker errors; v2 clients simply never send them. v4 added the
+/// trace_status introspection op (tracing state + per-shard phase-latency
+/// percentiles merged from the shard-namespaced obs registries).
+inline constexpr int kProtoVersion = 4;
 
 enum class Op {
   kHello,
@@ -58,6 +61,7 @@ enum class Op {
   kRunNow,
   kTick,
   kStats,
+  kTraceStatus,
   kCheckpoint,
   kShutdown,
 };

@@ -1,0 +1,244 @@
+#include "svc/replay.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "svc/router.h"
+
+namespace melody::svc {
+
+namespace {
+
+// One mask pattern against one key: exact, "prefix*", or "*suffix".
+bool pattern_matches(std::string_view pattern, std::string_view key) {
+  if (pattern.empty()) return false;
+  if (pattern.front() == '*') {
+    const std::string_view suffix = pattern.substr(1);
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  }
+  if (pattern.back() == '*') {
+    const std::string_view prefix = pattern.substr(0, pattern.size() - 1);
+    return key.substr(0, prefix.size()) == prefix;
+  }
+  return key == pattern;
+}
+
+std::string value_repr(const WireValue* value) {
+  if (value == nullptr) return "<absent>";
+  switch (value->kind) {
+    case WireValue::Kind::kNull:
+      return "null";
+    case WireValue::Kind::kBool:
+      return value->boolean ? "true" : "false";
+    case WireValue::Kind::kNumber: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.17g", value->number);
+      return buffer;
+    }
+    case WireValue::Kind::kString:
+      return "\"" + value->text + "\"";
+    case WireValue::Kind::kNumberList: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < value->numbers.size(); ++i) {
+        if (i > 0) out += ",";
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", value->numbers[i]);
+        out += buffer;
+      }
+      return out + "]";
+    }
+  }
+  return "<?>";
+}
+
+const WireValue* find_value(const WireObject& object, std::string_view key) {
+  for (const auto& [k, v] : object.entries()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// True when the recorded response is a front-end rejection: the live
+// session answered it from queue state (overload backpressure, or the
+// post-shutdown drain) without ever mutating a shard.
+bool is_rejection(const std::string& line) {
+  try {
+    const Response response = parse_response(line);
+    return !response.ok &&
+           (response.error == "overloaded" || response.error == "shutting down");
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ReplayOptions::default_mask() {
+  return {
+      "retry_after_ms",     // backpressure hint scaled to queue capacity
+      "*queue_depth",       // producer-timing dependent gauge
+      "*overload_rejects",  // environment (load) dependent tally
+      "loop_*",             // event-loop tallies; a replay has no loop
+      "connections",        // live connection count (event loop only)
+      "*tracing",           // whether tracing was on when recording
+                            // (suffix form: covers shard<k>/tracing too)
+      "*spans",             // span tallies follow the tracing switch
+      "*_ms",               // latency percentiles (trace_status)
+      "*_count",            // latency sample counts (trace_status)
+  };
+}
+
+bool mask_matches(const std::vector<std::string>& mask, std::string_view key) {
+  for (const std::string& pattern : mask) {
+    if (pattern_matches(pattern, key)) return true;
+  }
+  return false;
+}
+
+ServiceConfig config_from_trace(const TraceFile& trace) {
+  const WireObject& header = trace.header;
+  ServiceConfig config;
+  config.shards = static_cast<int>(header.number_or("shards", 1));
+  config.scenario.num_workers = static_cast<int>(
+      header.number_or("workers", config.scenario.num_workers));
+  config.scenario.num_tasks =
+      static_cast<int>(header.number_or("tasks", config.scenario.num_tasks));
+  config.scenario.runs =
+      static_cast<int>(header.number_or("runs", config.scenario.runs));
+  config.scenario.budget = header.number_or("budget", config.scenario.budget);
+  config.seed = static_cast<std::uint64_t>(
+      header.number_or("seed", static_cast<double>(config.seed)));
+  config.estimator = header.text_or("estimator", config.estimator);
+  config.manual_clock = header.boolean_or("manual_clock", false);
+  config.incremental = header.boolean_or("incremental", false);
+  config.batch.per_task_arrival = header.boolean_or("rolling", false);
+  config.batch.min_bids = static_cast<int>(header.number_or("min_bids", 0));
+  config.batch.budget_target = header.number_or("budget_target", 0.0);
+  config.queue_capacity = static_cast<std::int64_t>(
+      header.number_or("queue_capacity", config.queue_capacity));
+  if (header.has("faults")) {
+    config.faults = sim::FaultPlan::parse(header.text("faults"));
+  }
+  if (header.has("checkpoint")) {
+    config.checkpoint_path = header.text("checkpoint");
+  }
+  return config;
+}
+
+ReplayResult replay_trace(const TraceFile& trace, ShardedService& service,
+                          const ReplayOptions& options) {
+  ReplayResult result;
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<Key, const std::string*> recorded_out;
+  std::set<Key> recorded_in;
+  for (const TraceFrame& frame : trace.frames) {
+    if (frame.dir == TraceFrame::Dir::kIn) {
+      recorded_in.insert({frame.conn, frame.seq});
+    } else {
+      recorded_out.emplace(Key{frame.conn, frame.seq}, &frame.line);
+    }
+  }
+  for (const auto& [key, line] : recorded_out) {
+    if (!recorded_in.contains(key)) ++result.unmatched_out;
+  }
+
+  bool full = false;
+  const auto compare = [&](std::size_t index, const TraceFrame& in,
+                           const std::string& expected,
+                           const std::string& actual) {
+    ++result.compared;
+    if (full || expected == actual) return;
+    const auto push = [&](std::string field, std::string recorded,
+                          std::string replayed) {
+      if (full) return;
+      result.diffs.push_back(FrameDiff{index, in.conn, in.seq,
+                                       std::move(field), std::move(recorded),
+                                       std::move(replayed)});
+      full = options.max_diffs > 0 && result.diffs.size() >= options.max_diffs;
+    };
+    WireObject recorded, replayed;
+    try {
+      recorded = parse_wire(expected);
+      replayed = parse_wire(actual);
+    } catch (const WireError&) {
+      push(FrameDiff::kWholeLine, expected, actual);
+      return;
+    }
+    // Field-by-field over the union of keys, recorded order first.
+    for (const auto& [key, value] : recorded.entries()) {
+      if (mask_matches(options.mask, key)) continue;
+      const WireValue* other = find_value(replayed, key);
+      if (other == nullptr || !(*other == value)) {
+        push(key, value_repr(&value), value_repr(other));
+      }
+    }
+    for (const auto& [key, value] : replayed.entries()) {
+      if (mask_matches(options.mask, key)) continue;
+      if (find_value(recorded, key) == nullptr) {
+        push(key, value_repr(nullptr), value_repr(&value));
+      }
+    }
+  };
+
+  for (std::size_t index = 0; index < trace.frames.size(); ++index) {
+    const TraceFrame& frame = trace.frames[index];
+    if (frame.dir != TraceFrame::Dir::kIn) continue;
+    const auto out_it = recorded_out.find(Key{frame.conn, frame.seq});
+    const std::string* expected =
+        out_it == recorded_out.end() ? nullptr : out_it->second;
+    // Front-end rejections never reached a shard; replaying them would
+    // mutate state the live session did not. Skip, tallied.
+    if (expected != nullptr && is_rejection(*expected)) {
+      ++result.skipped_rejections;
+      continue;
+    }
+    Request request;
+    try {
+      request = parse_request(frame.line);
+    } catch (const UnsupportedOpError& e) {
+      // The front ends answer parse errors locally; reproduce that.
+      const std::string local =
+          format_response(Response::unsupported_op(e.id(), e.op()));
+      if (expected != nullptr) compare(index, frame, *expected, local);
+      continue;
+    } catch (const WireError& e) {
+      const std::string local =
+          format_response(Response::failure(0, e.what()));
+      if (expected != nullptr) compare(index, frame, *expected, local);
+      continue;
+    }
+    std::string actual;
+    bool delivered = false;
+    const PushResult submitted = service.submit(
+        request, [&actual, &delivered](const Response& response) {
+          actual = format_response(response);
+          delivered = true;
+        });
+    if (submitted != PushResult::kOk) {
+      ++result.skipped_after_shutdown;
+      continue;
+    }
+    // Single-threaded drain: poll every shard until the (possibly merged)
+    // response lands — the stdio-session driving pattern.
+    while (!delivered) {
+      if (!service.poll_once(std::chrono::nanoseconds{0})) break;
+    }
+    if (!delivered) continue;  // should not happen; nothing to compare
+    ++result.applied;
+    if (expected != nullptr) compare(index, frame, *expected, actual);
+  }
+  return result;
+}
+
+std::string format_diff(const FrameDiff& diff) {
+  return "frame " + std::to_string(diff.frame_index) + " (conn " +
+         std::to_string(diff.conn) + ", seq " + std::to_string(diff.seq) +
+         ") field " + diff.field + ": recorded " + diff.recorded +
+         " != replayed " + diff.replayed;
+}
+
+}  // namespace melody::svc

@@ -1,0 +1,94 @@
+// Wire-trace replay: re-drive a recorded MLDYTRC session (svc/trace_log.h)
+// against a fresh — or checkpoint-resumed — sharded service and assert the
+// responses are byte-identical to what the live session sent.
+//
+// Why this works: the event loop is the single thread that submits frames,
+// so each shard's apply order equals the submission order — the trace's
+// in-frame file order filtered to that shard. Replaying the in-frames in
+// file order through a single-threaded poll loop reproduces every shard's
+// exact request sequence, and with a manual clock every response is then a
+// pure function of the trace. Frames the live session answered without
+// touching a shard are reproduced locally (parse errors) or skipped
+// (overload rejections — queue pressure is an environment fact, and a
+// rejected frame never mutated state).
+//
+// Comparison is byte-equality first; on mismatch both lines are parsed and
+// diffed field by field against a volatile-field mask (timing-, queue- and
+// tracing-scoped fields that legitimately differ across environments), so
+// a divergence report names the frame and the exact field that changed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/config.h"
+#include "svc/trace_log.h"
+
+namespace melody::svc {
+
+class ShardedService;
+
+/// One field-level divergence between the recorded and replayed response
+/// for a frame. `field` is the wire key ("ok", "error", "run", ...);
+/// kWholeLine means the line did not parse as a wire object on one side.
+struct FrameDiff {
+  static constexpr const char* kWholeLine = "<line>";
+
+  std::size_t frame_index = 0;  // index into TraceFile::frames
+  std::uint64_t conn = 0;
+  std::uint64_t seq = 0;
+  std::string field;
+  std::string recorded;  // formatted recorded value ("<absent>" if missing)
+  std::string replayed;
+};
+
+/// Replay knobs. The default mask covers every field the serve path emits
+/// that is a fact about the recording environment rather than the service
+/// trajectory: backpressure hints, queue gauges, the event loop's own
+/// tallies (a replay has no event loop), and tracing/latency introspection.
+struct ReplayOptions {
+  /// Mask patterns: exact keys, or one leading/trailing '*' wildcard
+  /// ("loop_*", "*_ms"). Matched keys never produce diffs.
+  std::vector<std::string> mask = default_mask();
+  /// Stop after this many diffs (0: collect all).
+  std::size_t max_diffs = 0;
+
+  static std::vector<std::string> default_mask();
+};
+
+/// Outcome of one replay.
+struct ReplayResult {
+  std::size_t applied = 0;    // in-frames driven through the service
+  std::size_t compared = 0;   // responses checked against recorded ones
+  std::size_t skipped_rejections = 0;     // recorded overload rejections
+  std::size_t skipped_after_shutdown = 0; // in-frames past the shutdown op
+  std::size_t unmatched_out = 0;  // out-frames with no recorded in-frame
+  std::vector<FrameDiff> diffs;
+
+  bool clean() const noexcept { return diffs.empty(); }
+};
+
+/// True when `key` matches any mask pattern.
+bool mask_matches(const std::vector<std::string>& mask, std::string_view key);
+
+/// The deployment config a trace header pins: shard count, population,
+/// seed, estimator, batch triggers, fault plan, clock mode, checkpoint
+/// path. Scenario knobs the header does not carry keep their defaults —
+/// record with the default scenario shape (tests do) or reconstruct the
+/// config out of band. Throws WireError / std::invalid_argument on a
+/// malformed header.
+ServiceConfig config_from_trace(const TraceFile& trace);
+
+/// Drive every in-frame of `trace` through `service` (fresh, or restore()d
+/// from a mid-trace checkpoint by the caller) in file order, comparing each
+/// response against the recorded out-frame. The service must not be
+/// start()ed — replay is single-threaded by construction and polls the
+/// shards itself. Returns the diff report; never throws for divergences.
+ReplayResult replay_trace(const TraceFile& trace, ShardedService& service,
+                          const ReplayOptions& options = {});
+
+/// Render one diff as a human-readable line (the melody_replay report).
+std::string format_diff(const FrameDiff& diff);
+
+}  // namespace melody::svc

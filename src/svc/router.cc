@@ -11,6 +11,9 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/trace_log.h"
 #include "util/binio.h"
 
 namespace melody::svc {
@@ -129,7 +132,8 @@ int ShardedService::route(const std::string& worker) const {
 }
 
 PushResult ShardedService::submit(const Request& request,
-                                  std::function<void(const Response&)> done) {
+                                  std::function<void(const Response&)> done,
+                                  const obs::TraceContext& trace) {
   switch (request.op) {
     case Op::kSubmitBid:
     case Op::kUpdateBid:
@@ -137,22 +141,40 @@ PushResult ShardedService::submit(const Request& request,
     case Op::kPostScores:
     case Op::kQueryWorker:
       return shards_[static_cast<std::size_t>(route(request.worker))]->submit(
-          request, std::move(done));
+          request, std::move(done), trace);
     case Op::kQueryRun: {
       if (request.shard < 0 || request.shard >= shard_count()) {
         done(Response::failure(request.id, "query_run: shard out of range"));
         return PushResult::kOk;
       }
       return shards_[static_cast<std::size_t>(request.shard)]->submit(
-          request, std::move(done));
+          request, std::move(done), trace);
     }
     case Op::kCheckpoint:
-      return submit_checkpoint(request, std::move(done));
+      return submit_checkpoint(request, std::move(done), trace);
     case Op::kShutdown:
       shutdown_.store(true, std::memory_order_relaxed);
-      return broadcast(request, std::move(done));
+      return broadcast(request, std::move(done), trace);
     default:
-      return broadcast(request, std::move(done));
+      return broadcast(request, std::move(done), trace);
+  }
+}
+
+int ShardedService::routing_decision(const Request& request) const {
+  switch (request.op) {
+    case Op::kSubmitBid:
+    case Op::kUpdateBid:
+    case Op::kWithdrawBid:
+    case Op::kPostScores:
+    case Op::kQueryWorker:
+      return route(request.worker);
+    case Op::kQueryRun:
+      if (request.shard < 0 || request.shard >= shard_count()) {
+        return kShardNone;  // answered inline by submit()
+      }
+      return request.shard;
+    default:
+      return kShardBroadcast;  // fan-out ops, incl. checkpoint tasks
   }
 }
 
@@ -162,7 +184,8 @@ Response ShardedService::rejection(PushResult result,
 }
 
 PushResult ShardedService::broadcast(
-    const Request& request, std::function<void(const Response&)> done) {
+    const Request& request, std::function<void(const Response&)> done,
+    const obs::TraceContext& trace) {
   const int k = shard_count();
   // All-or-nothing admission. The front end is the single regular
   // producer, so a free slot observed on every queue cannot be taken
@@ -222,7 +245,10 @@ PushResult ShardedService::broadcast(
     // above already admitted).
     const PushResult pushed =
         shards_[static_cast<std::size_t>(s)]->submit_task(
-            [part, deliver](AuctionService& service) mutable {
+            [part, deliver, trace](AuctionService& service) mutable {
+              // Install the frame's root context so every shard's apply
+              // span parents on the same inbound frame.
+              obs::ScopedTraceContext install(trace);
               deliver(service.apply(part));
             });
     if (pushed != PushResult::kOk) {
@@ -233,7 +259,8 @@ PushResult ShardedService::broadcast(
 }
 
 PushResult ShardedService::submit_checkpoint(
-    const Request& request, std::function<void(const Response&)> done) {
+    const Request& request, std::function<void(const Response&)> done,
+    const obs::TraceContext& trace) {
   const std::string path =
       request.path.empty() ? config_.checkpoint_path : request.path;
   if (path.empty()) {
@@ -256,7 +283,8 @@ PushResult ShardedService::submit_checkpoint(
   for (int s = 0; s < k; ++s) {
     const PushResult pushed =
         shards_[static_cast<std::size_t>(s)]->submit_task(
-            [this, job, s](AuctionService& service) {
+            [this, job, s, trace](AuctionService& service) {
+              obs::ScopedTraceContext install(trace);
               service.note_control_request();
               std::ostringstream blob;
               service.save_state(blob);
@@ -335,7 +363,7 @@ void ShardedService::on_run(int /*shard_index*/,
   submit_checkpoint(request, [](const Response&) {});
 }
 
-Response ShardedService::merge_parts(Op /*op*/, std::int64_t id,
+Response ShardedService::merge_parts(Op op, std::int64_t id,
                                      const std::vector<Response>& parts) {
   Response merged;
   merged.id = id;
@@ -350,6 +378,20 @@ Response ShardedService::merge_parts(Op /*op*/, std::int64_t id,
   }
   const Response& head = parts.front();
   for (const auto& [key, value] : head.fields.entries()) {
+    if (op == Op::kTraceStatus && parts.size() > 1) {
+      // Latency percentiles are per-shard distributions — they cannot be
+      // merged by value, so the top level drops them (they survive under
+      // the shard<k>/ views below); sample counts sum.
+      if (std::string_view(key).ends_with("_ms")) continue;
+      if (std::string_view(key).ends_with("_count")) {
+        double sum = 0.0;
+        for (const Response& part : parts) {
+          if (part.fields.has(key)) sum += part.fields.number(key);
+        }
+        merged.fields.set(key, WireValue::of(sum));
+        continue;
+      }
+    }
     if (value.kind == WireValue::Kind::kNumber && additive_field(key)) {
       double sum = 0.0;
       for (const Response& part : parts) {
@@ -370,6 +412,18 @@ Response ShardedService::merge_parts(Op /*op*/, std::int64_t id,
       merged.fields.set(key, WireValue::of(all));
     } else {
       merged.fields.set(key, value);
+    }
+  }
+  // Introspection ops additionally expose every shard's own numbers,
+  // re-homed under "shard<k>/..." after the merged totals. Guarded on
+  // K > 1 so the single-shard reply stays byte-identical to the
+  // unsharded service (the bit-identity contract).
+  if (parts.size() > 1 && (op == Op::kStats || op == Op::kTraceStatus)) {
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      const std::string prefix = "shard" + std::to_string(s) + "/";
+      for (const auto& [key, value] : parts[s].fields.entries()) {
+        merged.fields.set(prefix + key, value);
+      }
     }
   }
   return merged;
@@ -482,32 +536,71 @@ void ShardedService::load_state(std::istream& in) {
 }
 
 StdioResult run_stdio_session(ShardedService& service, std::istream& in,
-                              std::ostream& out) {
+                              std::ostream& out, TraceRecorder* recorder) {
   StdioResult result;
   std::string line;
+  // Stdio sessions record as connection 1, frames numbered in line order —
+  // the same (conn, seq) keying the TCP front end uses.
+  std::uint64_t seq = 0;
+  if (recorder != nullptr) recorder->begin_session(service.config());
+  // Answer a line the router never routes (parse errors, rejections)
+  // directly, mirroring it into the trace as an unrouted frame pair.
+  const auto answer_inline = [&](std::uint64_t frame_seq,
+                                 const std::string& request_line,
+                                 const Response& response) {
+    const std::string reply = format_response(response);
+    if (recorder != nullptr) {
+      recorder->record_in(1, frame_seq, request_line, kShardNone, 0);
+      recorder->record_out(1, frame_seq, reply);
+    }
+    out << reply << '\n';
+  };
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    const std::uint64_t frame_seq = seq++;
     Request request;
     try {
       request = parse_request(line);
     } catch (const UnsupportedOpError& e) {
       ++result.parse_errors;
-      out << format_response(Response::unsupported_op(e.id(), e.op())) << '\n';
+      answer_inline(frame_seq, line, Response::unsupported_op(e.id(), e.op()));
       continue;
     } catch (const WireError& e) {
       ++result.parse_errors;
-      out << format_response(Response::failure(0, e.what())) << '\n';
+      answer_inline(frame_seq, line, Response::failure(0, e.what()));
       continue;
+    }
+    obs::TraceContext trace;
+    if (obs::enabled()) {
+      trace = obs::TraceContext{obs::mint_trace_id(1, frame_seq),
+                                obs::next_span_id(), 0};
+    }
+    if (recorder != nullptr) {
+      int proto = 0;
+      if (request.op == Op::kHello) {
+        proto = request.proto == 0 ? kProtoVersion
+                                   : std::min(kProtoVersion, request.proto);
+      }
+      recorder->record_in(1, frame_seq, line,
+                          service.routing_decision(request), trace.span_id,
+                          proto);
     }
     auto delivered = std::make_shared<bool>(false);
     const PushResult submitted = service.submit(
-        request, [&out, delivered](const Response& r) {
-          out << format_response(r) << '\n';
+        request,
+        [&out, delivered, recorder, frame_seq](const Response& r) {
+          const std::string reply = format_response(r);
+          if (recorder != nullptr) recorder->record_out(1, frame_seq, reply);
+          out << reply << '\n';
           *delivered = true;
-        });
+        },
+        trace);
     if (submitted != PushResult::kOk) {
       ++result.rejected;
-      out << format_response(service.rejection(submitted, request)) << '\n';
+      const std::string reply =
+          format_response(service.rejection(submitted, request));
+      if (recorder != nullptr) recorder->record_out(1, frame_seq, reply);
+      out << reply << '\n';
       continue;
     }
     // Single-threaded session: drain every shard until the (possibly

@@ -58,9 +58,19 @@ class ShardedService {
   /// Route or broadcast one request. kFull / kClosed mean the request was
   /// NOT accepted anywhere and `done` will never run — send rejection().
   /// `done` may run on any shard's consumer thread (or inline, for
-  /// requests the router answers itself).
+  /// requests the router answers itself). `trace` (optional) is the
+  /// inbound frame's root trace context; it rides the envelope (or the
+  /// fan-out task closures) so every shard-side span parents on the frame.
   PushResult submit(const Request& request,
-                    std::function<void(const Response&)> done);
+                    std::function<void(const Response&)> done,
+                    const obs::TraceContext& trace = {});
+
+  /// Where submit() would send `request`: a shard index for single-worker
+  /// ops and an in-range query_run, kShardBroadcast (see svc/trace_log.h)
+  /// for fan-out ops (including checkpoint), kShardNone for a request the
+  /// router answers inline (query_run with the shard out of range). Pure —
+  /// the trace recorder's routing column.
+  int routing_decision(const Request& request) const;
 
   Response rejection(PushResult result, const Request& request) const;
 
@@ -116,9 +126,11 @@ class ShardedService {
   struct CheckpointJob;
 
   PushResult broadcast(const Request& request,
-                       std::function<void(const Response&)> done);
+                       std::function<void(const Response&)> done,
+                       const obs::TraceContext& trace);
   PushResult submit_checkpoint(const Request& request,
-                               std::function<void(const Response&)> done);
+                               std::function<void(const Response&)> done,
+                               const obs::TraceContext& trace = {});
   void complete_checkpoint(const std::shared_ptr<CheckpointJob>& job);
   void on_run(int shard_index, const sim::RunRecord& record);
   static Response merge_parts(Op op, std::int64_t id,
@@ -134,12 +146,18 @@ class ShardedService {
   bool finalized_ = false;
 };
 
+class TraceRecorder;
+
 /// Drive a sharded service from line-delimited requests on `in`, one
 /// response line on `out` per request, in order. Single-threaded: every
 /// line is submitted and then all shards are polled until the merged
 /// response has been delivered. At K=1 the output is bit-identical to the
-/// ServiceLoop overload.
+/// ServiceLoop overload. When `recorder` is given every frame is recorded
+/// as connection 1 (stdio sessions have exactly one client) with the
+/// router's routing decision; when tracing is enabled each line also mints
+/// a root trace context, exactly like the TCP front end.
 StdioResult run_stdio_session(ShardedService& service, std::istream& in,
-                              std::ostream& out);
+                              std::ostream& out,
+                              TraceRecorder* recorder = nullptr);
 
 }  // namespace melody::svc

@@ -9,6 +9,7 @@
 #include "estimators/factory.h"
 #include "lds/gaussian.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/trajectory.h"
 #include "util/binio.h"
 #include "util/rng.h"
@@ -80,13 +81,33 @@ void AuctionService::restore(const std::string& path) {
   load_state(in);
 }
 
+obs::Counter& AuctionService::metric_counter(obs::Counter*& slot,
+                                             std::string_view name) const {
+  if (slot == nullptr) {
+    slot = &obs::registry().counter(config_.obs_prefix + std::string(name));
+  }
+  return *slot;
+}
+
+obs::Summary* AuctionService::metric_timer(obs::Summary*& slot,
+                                           std::string_view name) const {
+  if (!obs::enabled()) return nullptr;
+  if (slot == nullptr) {
+    slot = &obs::registry().timer(config_.obs_prefix + std::string(name));
+  }
+  return slot;
+}
+
 Response AuctionService::apply(const Request& request) {
   ++requests_total_;
   if (obs::enabled()) {
-    static obs::Counter& requests = obs::registry().counter("svc/requests");
-    requests.add();
+    metric_counter(requests_metric_, "svc/requests").add();
   }
-  obs::ScopedTimer timer(obs::timer_if_enabled("svc/request_time"));
+  obs::ScopedSpan span("svc/apply");
+  span.annotate("op", to_string(request.op));
+  span.annotate("run", platform_->current_run());
+  span.annotate("now", now_);
+  obs::ScopedTimer timer(metric_timer(request_timer_, "svc/request_time"));
   try {
     return dispatch(request);
   } catch (const std::exception& e) {
@@ -147,6 +168,9 @@ Response AuctionService::dispatch(const Request& request) {
       break;
     case Op::kStats:
       handle_stats(response);
+      break;
+    case Op::kTraceStatus:
+      handle_trace_status(response);
       break;
     case Op::kCheckpoint:
       handle_checkpoint(request, response);
@@ -330,9 +354,8 @@ void AuctionService::handle_post_scores(const Request& request,
   // stay bit-identical to a batch run simply do not use this op.
   estimator_->observe(*id, lds::ScoreSet::from(request.scores));
   if (obs::enabled()) {
-    static obs::Counter& posted =
-        obs::registry().counter("svc/out_of_band_scores");
-    posted.add(request.scores.size());
+    metric_counter(oob_scores_metric_, "svc/out_of_band_scores")
+        .add(request.scores.size());
   }
   response.fields.set("worker", WireValue::of(request.worker));
   response.fields.set("scores", of_int(static_cast<std::int64_t>(
@@ -425,6 +448,35 @@ void AuctionService::handle_stats(Response& response) {
   response.fields.set("finished", WireValue::of(platform_->finished()));
 }
 
+void AuctionService::handle_trace_status(Response& response) {
+  // Live introspection of the tracing layer plus this shard's phase-latency
+  // percentiles, read from the same obs registry the instrumentation
+  // records into (under this shard's namespace). The router's merge
+  // re-homes these fields under "shard<k>/..." and sums the tallies, so a
+  // K-shard deployment answers with per-shard and union views at once.
+  // With tracing off the timer stats are simply zero.
+  response.fields.set("tracing", WireValue::of(obs::enabled()));
+  response.fields.set("spans",
+                      of_int(static_cast<std::int64_t>(obs::spans_emitted())));
+  response.fields.set("requests",
+                      of_int(static_cast<std::int64_t>(requests_total_)));
+  response.fields.set("runs", of_int(platform_->current_run() - 1));
+  const auto add_timer = [this, &response](const std::string& label,
+                                           std::string_view metric) {
+    const obs::Summary::Stats stats =
+        obs::registry()
+            .timer(config_.obs_prefix + std::string(metric))
+            .stats();
+    response.fields.set(label + "_count",
+                        of_int(static_cast<std::int64_t>(stats.count)));
+    response.fields.set(label + "_p50_ms", WireValue::of(stats.p50 * 1e3));
+    response.fields.set(label + "_p90_ms", WireValue::of(stats.p90 * 1e3));
+    response.fields.set(label + "_p99_ms", WireValue::of(stats.p99 * 1e3));
+  };
+  add_timer("request_time", "svc/request_time");
+  add_timer("run_time", "svc/run_time");
+}
+
 void AuctionService::handle_checkpoint(const Request& request,
                                        Response& response) {
   const std::string& path =
@@ -457,14 +509,19 @@ int AuctionService::execute_due_runs(Response* response) {
 
 void AuctionService::execute_one_run(int batch_bids) {
   {
-    obs::ScopedTimer timer(obs::timer_if_enabled("svc/run_time"));
+    obs::ScopedSpan span("svc/run");
+    span.annotate("run", platform_->current_run());
+    span.annotate("batch_bids", batch_bids);
+    obs::ScopedTimer timer(metric_timer(run_timer_, "svc/run_time"));
     records_.push_back(platform_->step());
   }
   if (obs::enabled()) {
-    static obs::Counter& runs = obs::registry().counter("svc/runs");
-    static obs::Summary& batch = obs::registry().summary("svc/batch_size");
-    runs.add();
-    batch.record(batch_bids);
+    metric_counter(runs_metric_, "svc/runs").add();
+    if (batch_summary_ == nullptr) {
+      batch_summary_ =
+          &obs::registry().summary(config_.obs_prefix + "svc/batch_size");
+    }
+    batch_summary_->record(batch_bids);
   }
   const int run = records_.back().run;
   if (config_.checkpoint_every > 0 && run % config_.checkpoint_every == 0) {
@@ -490,8 +547,11 @@ double AuctionService::seconds_until_deadline() const noexcept {
 void AuctionService::note_queue_depth(std::size_t depth) {
   last_queue_depth_ = depth;
   if (obs::enabled()) {
-    static obs::Gauge& gauge = obs::registry().gauge("svc/queue_depth");
-    gauge.set(static_cast<double>(depth));
+    if (queue_gauge_ == nullptr) {
+      queue_gauge_ =
+          &obs::registry().gauge(config_.obs_prefix + "svc/queue_depth");
+    }
+    queue_gauge_->set(static_cast<double>(depth));
   }
 }
 
@@ -503,17 +563,14 @@ void AuctionService::set_run_hook(
 void AuctionService::note_control_request() {
   ++requests_total_;
   if (obs::enabled()) {
-    static obs::Counter& requests = obs::registry().counter("svc/requests");
-    requests.add();
+    metric_counter(requests_metric_, "svc/requests").add();
   }
 }
 
 void AuctionService::note_overload_reject() {
   ++overload_rejects_;
   if (obs::enabled()) {
-    static obs::Counter& rejects =
-        obs::registry().counter("svc/overload_rejects");
-    rejects.add();
+    metric_counter(rejects_metric_, "svc/overload_rejects").add();
   }
 }
 
@@ -526,6 +583,8 @@ void AuctionService::finalize() {
 }
 
 void AuctionService::save_state(std::ostream& out) const {
+  obs::ScopedSpan span("svc/checkpoint_save");
+  span.annotate("run", platform_->current_run() - 1);
   out.write(kMagic, sizeof kMagic);
   binio::write_u32(out, kVersion);
   binio::write_f64(out, now_);
@@ -539,6 +598,7 @@ void AuctionService::save_state(std::ostream& out) const {
 }
 
 void AuctionService::load_state(std::istream& in) {
+  obs::ScopedSpan span("svc/checkpoint_load");
   char magic[8];
   if (!in.read(magic, sizeof magic) ||
       !std::equal(magic, magic + sizeof magic, kMagic)) {

@@ -35,6 +35,12 @@
 #include "svc/protocol.h"
 #include "svc/session.h"
 
+namespace melody::obs {
+class Counter;
+class Gauge;
+class Summary;
+}  // namespace melody::obs
+
 namespace melody::svc {
 
 class AuctionService {
@@ -119,6 +125,7 @@ class AuctionService {
   void handle_query_worker(const Request& request, Response& response);
   void handle_query_run(const Request& request, Response& response);
   void handle_stats(Response& response);
+  void handle_trace_status(Response& response);
   void handle_checkpoint(const Request& request, Response& response);
   void handle_hello(Response& response);
 
@@ -127,6 +134,12 @@ class AuctionService {
   int execute_due_runs(Response* response);
   void execute_one_run(int batch_bids);
   void write_checkpoint(const std::string& path) const;
+  /// &registry().counter(obs_prefix + name), resolved once and cached in
+  /// `slot`. Shard-local services register under their plan's "shard<k>/"
+  /// prefix; standalone (K=1) services keep the un-prefixed names.
+  obs::Counter& metric_counter(obs::Counter*& slot,
+                               std::string_view name) const;
+  obs::Summary* metric_timer(obs::Summary*& slot, std::string_view name) const;
 
   ServiceConfig config_;
   auction::MelodyAuction mechanism_;
@@ -142,6 +155,17 @@ class AuctionService {
   std::size_t last_queue_depth_ = 0;
   bool shutdown_requested_ = false;
   bool finalized_ = false;
+  // Lazily-resolved obs handles under config_.obs_prefix (stable for the
+  // registry's lifetime; null until the first enabled use). Per-instance
+  // instead of static locals so each shard records under its own names.
+  mutable obs::Counter* requests_metric_ = nullptr;
+  mutable obs::Counter* runs_metric_ = nullptr;
+  mutable obs::Counter* rejects_metric_ = nullptr;
+  mutable obs::Counter* oob_scores_metric_ = nullptr;
+  mutable obs::Gauge* queue_gauge_ = nullptr;
+  mutable obs::Summary* request_timer_ = nullptr;
+  mutable obs::Summary* run_timer_ = nullptr;
+  mutable obs::Summary* batch_summary_ = nullptr;
 };
 
 }  // namespace melody::svc

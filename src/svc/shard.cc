@@ -39,6 +39,9 @@ std::vector<ShardPlan> plan_shards(const ServiceConfig& config) {
     plan.config.checkpoint_path.clear();
     plan.config.checkpoint_every = 0;
     if (k > 1) {
+      // Shard-local metrics register under their own namespace so the
+      // trace_status / stats merges can report per-shard views.
+      plan.config.obs_prefix = "shard" + std::to_string(s) + "/";
       const int shard_workers = slice_size(total_workers, k, s);
       const double share = static_cast<double>(shard_workers) /
                            static_cast<double>(total_workers);
@@ -78,19 +81,20 @@ PlatformShard::~PlatformShard() {
 }
 
 PushResult PlatformShard::submit(Request request,
-                                 std::function<void(const Response&)> done) {
-  const PushResult result = loop_.try_submit(std::move(request),
-                                             std::move(done));
+                                 std::function<void(const Response&)> done,
+                                 const obs::TraceContext& trace) {
+  const PushResult result =
+      loop_.try_submit(std::move(request), std::move(done), trace);
   if (obs::enabled()) {
-    const std::string prefix = "svc/shard/" + std::to_string(index_) + "/";
+    const std::string& prefix = service_.config().obs_prefix;
     if (result == PushResult::kOk) {
       if (requests_ == nullptr) {
-        requests_ = &obs::registry().counter(prefix + "requests");
+        requests_ = &obs::registry().counter(prefix + "svc/routed");
       }
       requests_->add();
     } else {
       if (rejects_ == nullptr) {
-        rejects_ = &obs::registry().counter(prefix + "overload_rejects");
+        rejects_ = &obs::registry().counter(prefix + "svc/routed_rejects");
       }
       rejects_->add();
     }
@@ -105,15 +109,10 @@ PushResult PlatformShard::submit_task(
 
 void PlatformShard::set_run_sink(
     std::function<void(int, const sim::RunRecord&)> sink) {
+  // The service already counts runs under obs_prefix + "svc/runs"; the
+  // sink hook only forwards to the router's cross-shard aggregation.
   service_.set_run_hook(
       [this, sink = std::move(sink)](const sim::RunRecord& record) {
-        if (obs::enabled()) {
-          if (runs_ == nullptr) {
-            runs_ = &obs::registry().counter(
-                "svc/shard/" + std::to_string(index_) + "/runs");
-          }
-          runs_->add();
-        }
         if (sink) sink(index_, record);
       });
 }

@@ -54,7 +54,10 @@ std::vector<ShardPlan> plan_shards(const ServiceConfig& config);
 
 /// One platform shard: an AuctionService plus its single-consumer
 /// ServiceLoop and, once start() is called, the consumer thread. Tracks
-/// per-shard obs counters under "svc/shard/<index>/...".
+/// router-level obs counters under the plan's obs_prefix namespace
+/// ("shard<k>/svc/routed", "shard<k>/svc/routed_rejects"; un-prefixed at
+/// K=1) — the service-level counters live under the same prefix, so one
+/// shard's whole metric surface shares one namespace.
 class PlatformShard {
  public:
   explicit PlatformShard(const ShardPlan& plan);
@@ -64,7 +67,8 @@ class PlatformShard {
   PlatformShard& operator=(const PlatformShard&) = delete;
 
   /// Enqueue a request from any thread (see ServiceLoop::try_submit).
-  PushResult submit(Request request, std::function<void(const Response&)> done);
+  PushResult submit(Request request, std::function<void(const Response&)> done,
+                    const obs::TraceContext& trace = {});
 
   /// Enqueue a control-plane task past the capacity bound.
   PushResult submit_task(std::function<void(AuctionService&)> task);
@@ -111,7 +115,6 @@ class PlatformShard {
   // Lazily-resolved per-shard obs counters (null until first enabled use).
   obs::Counter* requests_ = nullptr;
   obs::Counter* rejects_ = nullptr;
-  obs::Counter* runs_ = nullptr;
 };
 
 }  // namespace melody::svc

@@ -16,9 +16,12 @@
 //     a rejected run offers the same deterministic load as a clean one.
 //
 // Latency percentiles over all completed requests are printed and mirrored
-// via bench::Reporter (CSV lands in out/). With --dry-run the request lines
-// go to stdout instead of a socket — piping them into `melody_serve
-// --stdin` replays the identical stream without networking.
+// via bench::Reporter (CSV lands in out/). --metrics-json additionally
+// records one obs::Summary per op ("loadgen/<op>_latency_ms") and dumps the
+// registry as JSON lines at exit, so per-op tails are visible without
+// re-running. With --dry-run the request lines go to stdout instead of a
+// socket — piping them into `melody_serve --stdin` replays the identical
+// stream without networking.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +39,8 @@
 #include <unistd.h>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "svc/loadgen.h"
 #include "svc/protocol.h"
 #include "util/flags.h"
@@ -59,6 +64,7 @@ struct Options {
   std::int64_t proto = svc::kProtoVersion;
   std::string ops;
   std::string csv;
+  std::string metrics_json;
   bool dry_run = false;
   bool quiet = false;
 };
@@ -95,6 +101,10 @@ Options read_options(const util::Flags& flags) {
       "op names; names the negotiated proto does not support are rejected");
   o.csv = flags.get_string("csv", "loadgen_latency.csv", "NAME",
                            "latency summary CSV (written under out/)");
+  o.metrics_json = flags.get_string(
+      "metrics-json", "", "PATH",
+      "record per-op latency summaries (loadgen/<op>_latency_ms) and write "
+      "the metric registry to PATH as JSON lines at exit");
   o.dry_run = flags.has_switch(
       "dry-run", "print request lines to stdout instead of connecting "
                  "(pipe into melody_serve --stdin)");
@@ -180,6 +190,16 @@ svc::Request make_request(const Options& options, int client, int index) {
   return svc::loadgen::make_request(stream_config(options), client, index);
 }
 
+/// Per-op latency distribution under --metrics-json. Off the measurement
+/// path (the latency is already taken) and gated on obs::enabled(), so the
+/// default run pays one load + branch per response.
+void record_op_latency(svc::Op op, double latency_ms) {
+  if (!obs::enabled()) return;
+  obs::registry()
+      .summary("loadgen/" + std::string(svc::to_string(op)) + "_latency_ms")
+      .record(latency_ms);
+}
+
 struct ClientResult {
   std::vector<double> latencies_ms;
   std::size_t sent = 0;
@@ -263,9 +283,11 @@ ClientResult run_closed_client(const Options& options, int client) {
       ++result.errors;
       break;
     }
-    result.latencies_ms.push_back(
+    const double latency_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start)
-            .count());
+            .count();
+    result.latencies_ms.push_back(latency_ms);
+    record_op_latency(request.op, latency_ms);
     ++result.sent;
     tally_response(line, result);
     if (options.think_ms > 0.0) {
@@ -311,9 +333,13 @@ ClientResult run_open_client(const Options& options, int client) {
         sent_at = in_flight.front().second;
         in_flight.pop_front();
       }
-      result.latencies_ms.push_back(
+      const double latency_ms =
           std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
-              .count());
+              .count();
+      result.latencies_ms.push_back(latency_ms);
+      // The request op is a pure function of (seed, client, index), so the
+      // receiver regenerates it instead of threading it through in_flight.
+      record_op_latency(make_request(options, client, index).op, latency_ms);
       try {
         const svc::Response response = svc::parse_response(line);
         if (response.ok) {
@@ -417,6 +443,17 @@ int main(int argc, char** argv) {
   if (!options.ops.empty() && !options.dry_run) {
     return usage("--ops only applies to --dry-run streams");
   }
+  std::unique_ptr<obs::JsonLinesSink> metrics_sink;
+  if (!options.metrics_json.empty() && !options.dry_run) {
+    try {
+      metrics_sink = std::make_unique<obs::JsonLinesSink>(options.metrics_json);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+    obs::set_sink(metrics_sink.get());
+    obs::set_enabled(true);
+  }
+
   const int negotiated = negotiated_proto(options);
   std::vector<svc::Op> allowed;
   if (!options.ops.empty()) {
@@ -462,6 +499,13 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
 
+  const auto flush_metrics = [&] {
+    if (metrics_sink == nullptr) return;
+    metrics_sink->append_registry(obs::registry());
+    obs::set_sink(nullptr);
+    obs::set_enabled(false);
+  };
+
   ClientResult total;
   for (const ClientResult& r : results) {
     total.sent += r.sent;
@@ -477,6 +521,7 @@ int main(int argc, char** argv) {
                  "melody_loadgen: no requests completed — is melody_serve "
                  "running on %s:%d?\n",
                  options.host.c_str(), static_cast<int>(options.port));
+    flush_metrics();
     return 1;
   }
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
@@ -518,6 +563,10 @@ int main(int argc, char** argv) {
                 std::to_string(max)});
   if (reporter.active()) {
     std::printf("  summary CSV: %s\n", reporter.path().c_str());
+  }
+  flush_metrics();
+  if (metrics_sink != nullptr) {
+    std::printf("  metrics JSON: %s\n", options.metrics_json.c_str());
   }
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "svc/config.h"
 #include "svc/event_loop.h"
 #include "svc/router.h"
+#include "svc/trace_log.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -47,9 +48,11 @@ struct Options {
   svc::ServiceConfig service;
   std::string resume_path;
   std::string metrics_path;
+  std::string trace_path;
   std::int64_t port = 7117;
   std::int64_t threads = 1;
   bool stdin_mode = false;
+  bool trace = false;
   bool quiet = false;
 };
 
@@ -61,6 +64,13 @@ Options read_options(const util::Flags& flags) {
   o.metrics_path = flags.get_string(
       "metrics-json", "", "PATH",
       "enable observability and write metric summaries to PATH at exit");
+  o.trace_path = flags.get_string(
+      "trace-out", "", "PATH",
+      "record every wire frame to an MLDYTRC trace at PATH (atomic tmp + "
+      "rename; replay with melody_replay)");
+  o.trace = flags.has_switch(
+      "trace", "enable request tracing (span minting + trace ids in "
+               "--trace-out) without a --metrics-json sink");
   o.port = flags.get_int("port", 7117, "PORT", "TCP port to listen on");
   o.threads = flags.get_int("threads", 1, "T",
                             "worker threads for run execution (0: all "
@@ -127,11 +137,17 @@ int main(int argc, char** argv) {
     obs::set_sink(metrics_sink.get());
     obs::set_enabled(true);
   }
+  if (options.trace) obs::set_enabled(true);
 
   int exit_code = 0;
   try {
     svc::ShardedService service(std::move(options.service));
     if (!options.resume_path.empty()) service.restore(options.resume_path);
+
+    std::unique_ptr<svc::TraceRecorder> recorder;
+    if (!options.trace_path.empty()) {
+      recorder = std::make_unique<svc::TraceRecorder>(options.trace_path);
+    }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -139,20 +155,28 @@ int main(int argc, char** argv) {
 
     if (options.stdin_mode) {
       const svc::StdioResult result =
-          svc::run_stdio_session(service, std::cin, std::cout);
+          svc::run_stdio_session(service, std::cin, std::cout, recorder.get());
       service.finalize();
+      if (recorder != nullptr) recorder->finish();
       if (!options.quiet) {
+        const std::string trace_note =
+            recorder == nullptr
+                ? ""
+                : " (trace " + options.trace_path + ", " +
+                      std::to_string(recorder->frames()) + " frames)";
         std::fprintf(stderr,
                      "melody_serve: %zu requests, %zu parse errors, %zu "
-                     "rejected, %zu runs this session across %d shard(s)%s\n",
+                     "rejected, %zu runs this session across %d shard(s)%s%s\n",
                      result.requests, result.parse_errors, result.rejected,
                      total_session_runs(service), service.shard_count(),
-                     result.shutdown ? " (shutdown op)" : "");
+                     result.shutdown ? " (shutdown op)" : "",
+                     trace_note.c_str());
       }
     } else {
       svc::EventLoopOptions loop_options;
       loop_options.port = static_cast<int>(options.port);
       loop_options.should_stop = [] { return g_stop != 0; };
+      loop_options.recorder = recorder.get();
       svc::EventLoop front(service, loop_options);
       front.listen();
       service.start();
@@ -166,16 +190,26 @@ int main(int argc, char** argv) {
       }
       const svc::EventLoopStats stats = front.run();
       service.finalize();
+      if (recorder != nullptr) recorder->finish();
       if (!options.quiet) {
-        const std::string note =
-            service.config().checkpoint_path.empty()
-                ? ""
-                : " (checkpoint " + service.config().checkpoint_path + ")";
+        std::string note = service.config().checkpoint_path.empty()
+                               ? ""
+                               : " (checkpoint " +
+                                     service.config().checkpoint_path + ")";
+        if (recorder != nullptr) {
+          note += " (trace " + options.trace_path + ", " +
+                  std::to_string(recorder->frames()) + " frames)";
+        }
+        // The full drain summary: every EventLoopStats tally, so operators
+        // see parse errors and backpressure without scraping the stats op.
         std::fprintf(stderr,
                      "melody_serve: stopped after %llu connections, %llu "
-                     "requests, %zu runs%s\n",
+                     "requests, %llu parse errors, %llu rejected, %zu "
+                     "runs%s\n",
                      static_cast<unsigned long long>(stats.accepted),
                      static_cast<unsigned long long>(stats.requests),
+                     static_cast<unsigned long long>(stats.parse_errors),
+                     static_cast<unsigned long long>(stats.rejected),
                      total_session_runs(service), note.c_str());
       }
     }
