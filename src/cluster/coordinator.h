@@ -1,0 +1,115 @@
+// Cluster coordinator: the single writer of the routing table, the driver
+// of live shard migration, and the registry the chaos harness and load
+// generator read. It owns no shard state itself — every shard lives inside
+// a melody_serve member process — and it talks to members over the regular
+// data protocol through an injected RPC (a std::function), so the exact
+// same coordinator logic runs over real TCP in tools/melody_cluster and
+// over in-process ShardedService instances in the unit tests.
+//
+// Control protocol (one flat JSON line per command, "cmd" selects):
+//   {"cmd":"ping"}
+//   {"cmd":"join","member":"a","host":"127.0.0.1","port":7201,"pid":12,
+//    "shards":[0,1,2,3]}            members announce themselves (and, on a
+//                                   respawn, an empty list: the coordinator
+//                                   re-imports their shards from the last
+//                                   published envelopes)
+//   {"cmd":"heartbeat","member":"a"}
+//   {"cmd":"status"}                joined/expected/ready/epoch
+//   {"cmd":"route_table"}           the full RoutingTable encoding
+//   {"cmd":"migrate","shard":3,"to":"b"}   live migration, synchronous
+//   {"cmd":"drain","member":"a"}    migrate every shard off one member
+//   {"cmd":"publish"}               snapshot every shard (no detach) into
+//                                   publish_dir — the chaos recovery floor
+//   {"cmd":"spawn_args"}            argv tail for respawning a member
+//   {"cmd":"shutdown"}              forward shutdown to members, mark done
+//
+// Migration is a three-step synchronous handshake per shard:
+//   1. shard_export {detach:true, epoch:E+1} on the owner — the owner
+//      stops accepting the shard's frames *before* the envelope is cut,
+//      so the envelope holds exactly the acknowledged prefix;
+//   2. shard_import {epoch:E+1} on the target — state is restored, then
+//      the shard flips active;
+//   3. the table flips: owner[shard] = target, epoch = E+1.
+// A client caught mid-flight sees not_owner from the old owner, refreshes
+// the table, and retries — no acknowledged frame is ever dropped. If the
+// export fails after the detach took effect the shard is left unowned
+// (the table still names the old owner but that member answers not_owner);
+// recovery is a respawn-join, which re-imports from the last published
+// envelope — the same path a chaos kill takes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "svc/protocol.h"
+
+namespace melody::cluster {
+
+struct CoordinatorOptions {
+  int shards = 1;
+  int workers = 1;
+  /// status reports ready once this many members joined (and every shard
+  /// has an owner).
+  int expected_members = 1;
+  /// Directory for published snapshots and migration envelopes.
+  std::string publish_dir = ".";
+  /// argv tail a respawned member should be started with (spawn_args op).
+  std::vector<std::string> spawn_args;
+};
+
+class Coordinator {
+ public:
+  /// Data-plane RPC to one member: send the request, parse one response.
+  /// Returns false only on transport failure (protocol failures come back
+  /// as ok=false responses). Injected: TCP in tools, in-process in tests.
+  using DataRpc = std::function<bool(const ClusterMember&,
+                                     const svc::Request&, svc::Response*)>;
+
+  Coordinator(CoordinatorOptions options, DataRpc rpc);
+
+  /// Execute one control command; always returns a reply object whose
+  /// first field is "ok". Serialized internally — callers may invoke from
+  /// any thread.
+  svc::WireObject handle(const svc::WireObject& command);
+
+  /// Snapshot of the current routing table.
+  RoutingTable table() const;
+  /// Every shard owned and expected_members joined.
+  bool ready() const;
+  /// A shutdown command has been handled.
+  bool shutdown_requested() const;
+
+ private:
+  svc::WireObject do_join(const svc::WireObject& command);
+  svc::WireObject do_migrate(const svc::WireObject& command);
+  svc::WireObject do_drain(const svc::WireObject& command);
+  svc::WireObject do_publish(const svc::WireObject& command);
+  svc::WireObject do_status() const;
+  svc::WireObject do_spawn_args() const;
+  svc::WireObject do_shutdown();
+
+  /// One shard hop (export detach on `from`, import on `to`, table flip).
+  /// Returns empty on success, the failure reason otherwise; *pause_ms
+  /// gets the unavailability window (export start to import done).
+  std::string migrate_shard(int shard, int from, int to, double* pause_ms);
+
+  int member_index(const std::string& name) const;
+  std::string envelope_path(int shard, std::int64_t epoch,
+                            const char* kind) const;
+
+  CoordinatorOptions options_;
+  DataRpc rpc_;
+  mutable std::mutex mutex_;
+  RoutingTable table_;
+  std::map<int, std::string> published_;  // shard -> latest envelope path
+  std::map<std::string, std::uint64_t> heartbeats_;  // member -> count
+  std::int64_t next_request_id_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace melody::cluster

@@ -1,0 +1,154 @@
+#include "cluster/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cluster/routing.h"
+
+namespace melody::cluster {
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      error_(std::move(other.error_)) {}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+bool LineClient::connect(const std::string& host, int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    error_ = "bad host address: " + host;
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error_ = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return true;
+}
+
+void LineClient::close() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool LineClient::send_line(const std::string& line) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      error_ = std::string("send: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineClient::recv_line(std::string* line) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      error_ = n == 0 ? "connection closed"
+                      : std::string("recv: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool LineClient::exchange(const std::string& line, std::string* reply) {
+  return send_line(line) && recv_line(reply);
+}
+
+namespace {
+
+std::string endpoint_key(const ClusterMember& member) {
+  return member.host + ":" + std::to_string(member.port);
+}
+
+}  // namespace
+
+bool MemberPool::call(const ClusterMember& member, const svc::Request& request,
+                      svc::Response* out) {
+  const std::string key = endpoint_key(member);
+  const std::string line = svc::format_request(request);
+  std::string reply;
+  // One redial: a cached fd may point at a process that has since been
+  // killed and respawned on the same port — the first exchange fails on
+  // the dead socket and the retry dials the live one.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    LineClient& conn = conns_[key];
+    if (!conn.connected() && !conn.connect(member.host, member.port)) {
+      error_ = member.name + ": " + conn.last_error();
+      continue;
+    }
+    if (!conn.exchange(line, &reply)) {
+      error_ = member.name + ": " + conn.last_error();
+      continue;
+    }
+    try {
+      *out = svc::parse_response(reply);
+    } catch (const svc::WireError& e) {
+      error_ = member.name + ": bad response line: " + e.what();
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+void MemberPool::drop(const ClusterMember& member) {
+  conns_.erase(endpoint_key(member));
+}
+
+}  // namespace melody::cluster

@@ -1,0 +1,72 @@
+// Blocking line-oriented TCP plumbing for the cluster planes. Both the
+// coordinator's control protocol and the service data protocol are
+// newline-delimited JSON, so one small client covers them: connect to a
+// member or coordinator, write a line, read a line. The nonblocking epoll
+// machinery in svc/event_loop.h is the *server* side; clients here are
+// sequential request/reply callers (coordinator RPCs, the chaos harness,
+// melody_loadgen's cluster mode) where blocking I/O is the simple and
+// correct shape.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "svc/protocol.h"
+
+namespace melody::cluster {
+
+struct ClusterMember;
+
+/// One blocking TCP connection speaking newline-delimited lines. Movable
+/// so it can live in containers; a failed send/recv records last_error()
+/// and leaves the connection closed (callers reconnect explicitly).
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connect to host:port (numeric IPv4 host). False on failure, with the
+  /// reason in last_error(). An already-open connection is closed first.
+  bool connect(const std::string& host, int port);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Write `line` plus the newline terminator. False closes the socket.
+  bool send_line(const std::string& line);
+  /// Read one line (terminator stripped), carrying leftover bytes across
+  /// calls. False on EOF/error, which closes the socket.
+  bool recv_line(std::string* line);
+  /// send_line + recv_line.
+  bool exchange(const std::string& line, std::string* reply);
+
+  const std::string& last_error() const noexcept { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string error_;
+};
+
+/// Data-plane RPC over cached per-member connections: format the request,
+/// exchange one line, parse the response. A dead connection (member was
+/// killed and respawned on the same endpoint) is dropped and redialed once
+/// before the call is reported failed; protocol-level failures come back
+/// as ok=false responses, not as call failures.
+class MemberPool {
+ public:
+  bool call(const ClusterMember& member, const svc::Request& request,
+            svc::Response* out);
+  /// Forget the cached connection to `member` (after a deliberate kill).
+  void drop(const ClusterMember& member);
+  const std::string& last_error() const noexcept { return error_; }
+
+ private:
+  std::map<std::string, LineClient> conns_;  // keyed "host:port"
+  std::string error_;
+};
+
+}  // namespace melody::cluster

@@ -4,11 +4,14 @@
 #include <time.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <filesystem>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <sstream>
@@ -18,6 +21,8 @@
 
 #include "auction/bid_book.h"
 #include "auction/melody_auction.h"
+#include "cluster/coordinator.h"
+#include "cluster/routing.h"
 #include "estimators/factory.h"
 #include "estimators/melody_estimator.h"
 #include "obs/metrics.h"
@@ -655,6 +660,177 @@ BenchmarkResult bench_svc_serve_sharded(bool quick, int repeats) {
   return result;
 }
 
+BenchmarkResult bench_svc_serve_cluster(bool quick, int repeats) {
+  // Same deployment and request stream as svc_serve_sharded, but split
+  // across a two-member in-process cluster behind a Coordinator: each
+  // member is a full global-K ShardedService serving half the shard mask,
+  // and the timed body routes with the coordinator's RoutingTable (the
+  // same shard_for arithmetic melody_loadgen --cluster uses) before the
+  // queue handoff. The delta vs svc_serve_sharded is therefore the cluster
+  // routing layer. After the timed stream, a ping-pong of live migrations
+  // pins the per-shard unavailability window as migration_pause_ms.
+  svc::ServiceConfig config;
+  config.scenario.num_workers = quick ? 100000 : 1000000;
+  config.scenario.num_tasks = 2000;
+  config.scenario.runs = 50;
+  config.shards = quick ? 4 : 8;
+  config.queue_capacity = 4096;
+  config.manual_clock = true;
+  config.batch.min_bids = config.scenario.num_workers * 2;  // never fires
+  config.seed = 2017;
+  const int k = config.shards;
+
+  std::array<std::unique_ptr<svc::ShardedService>, 2> members;
+  for (int m = 0; m < 2; ++m) {
+    members[static_cast<std::size_t>(m)] =
+        std::make_unique<svc::ShardedService>(config);
+    std::uint64_t mask = 0;
+    for (int s = 0; s < k; ++s) {
+      if ((s < k / 2) == (m == 0)) mask |= std::uint64_t{1} << s;
+    }
+    members[static_cast<std::size_t>(m)]->configure_cluster(mask, 1);
+    members[static_cast<std::size_t>(m)]->start();
+  }
+
+  // The coordinator's data plane: submit into the named member and wait
+  // for the consumer thread's delivery, exactly what the TCP transport
+  // does for a one-command exchange.
+  const auto rpc = [&members](const cluster::ClusterMember& member,
+                              const svc::Request& request,
+                              svc::Response* out) {
+    svc::ShardedService& service =
+        *members[member.name == "a" ? 0 : 1];
+    std::atomic<bool> delivered{false};
+    const auto done = [&](const svc::Response& response) {
+      *out = response;
+      delivered.store(true, std::memory_order_release);
+    };
+    svc::PushResult pushed;
+    while ((pushed = service.submit(request, done)) ==
+           svc::PushResult::kFull) {
+      std::this_thread::yield();
+    }
+    if (pushed != svc::PushResult::kOk) return false;
+    while (!delivered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return true;
+  };
+
+  const std::string publish_dir = "bench_cluster_tmp";
+  std::filesystem::create_directories(publish_dir);
+  cluster::CoordinatorOptions coordinator_options;
+  coordinator_options.shards = k;
+  coordinator_options.workers = config.scenario.num_workers;
+  coordinator_options.expected_members = 2;
+  coordinator_options.publish_dir = publish_dir;
+  cluster::Coordinator coordinator(coordinator_options, rpc);
+  for (int m = 0; m < 2; ++m) {
+    svc::WireObject join;
+    join.set("cmd", svc::WireValue::of("join"));
+    join.set("member", svc::WireValue::of(m == 0 ? "a" : "b"));
+    join.set("host", svc::WireValue::of("127.0.0.1"));
+    join.set("port", svc::WireValue::of(static_cast<std::int64_t>(m + 1)));
+    join.set("pid", svc::WireValue::of(static_cast<std::int64_t>(m + 1)));
+    std::vector<double> shards;
+    for (int s = 0; s < k; ++s) {
+      if ((s < k / 2) == (m == 0)) shards.push_back(s);
+    }
+    join.set("shards", svc::WireValue::of(std::move(shards)));
+    const svc::WireObject reply = coordinator.handle(join);
+    if (!reply.boolean_or("ok", false)) {
+      throw std::runtime_error("svc_serve_cluster: join failed: " +
+                               reply.text_or("error", "?"));
+    }
+  }
+  const cluster::RoutingTable table = coordinator.table();
+
+  const int num_requests = quick ? 60000 : 240000;
+  std::vector<svc::Request> requests(static_cast<std::size_t>(num_requests));
+  util::Rng rng(0x5A4D);
+  for (int j = 0; j < num_requests; ++j) {
+    auto& request = requests[static_cast<std::size_t>(j)];
+    request.id = j + 1;
+    request.op = svc::Op::kSubmitBid;
+    request.worker =
+        "w" + std::to_string(
+                  rng.uniform_int(0, config.scenario.num_workers - 1));
+  }
+
+  BenchmarkResult result = measure(
+      "svc_serve_cluster", repeats,
+      {{"workers", static_cast<double>(config.scenario.num_workers)},
+       {"shards", static_cast<double>(k)},
+       {"members", 2.0},
+       {"requests", static_cast<double>(num_requests)},
+       {"queue_capacity", static_cast<double>(config.queue_capacity)},
+       {"seed", static_cast<double>(config.seed)}},
+      [&] {
+        std::atomic<int> delivered{0};
+        std::atomic<int> rejected{0};
+        const auto done = [&](const svc::Response& response) {
+          if (!response.ok) rejected.fetch_add(1, std::memory_order_relaxed);
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (const svc::Request& request : requests) {
+          const int shard = table.shard_for(request.worker);
+          svc::ShardedService& service =
+              *members[static_cast<std::size_t>(
+                  table.owner[static_cast<std::size_t>(shard)])];
+          svc::PushResult pushed;
+          while ((pushed = service.submit(request, done)) ==
+                 svc::PushResult::kFull) {
+            std::this_thread::yield();
+          }
+          if (pushed != svc::PushResult::kOk) {
+            throw std::runtime_error("svc_serve_cluster: service closed");
+          }
+        }
+        while (delivered.load(std::memory_order_acquire) < num_requests) {
+          std::this_thread::yield();
+        }
+        // Steady state has no migration in flight: a not_owner here means
+        // the routing layer disagreed with the shard masks.
+        if (rejected.load() != 0) {
+          throw std::runtime_error("svc_serve_cluster: rejected submissions");
+        }
+        g_sink = g_sink + static_cast<double>(delivered.load());
+      },
+      nullptr);
+
+  // Live-migration pause: ping-pong the last shard between the members and
+  // record the coordinator-reported unavailability window (export detach to
+  // import done) for each hop.
+  const int migrations = 6;
+  std::vector<double> pauses;
+  pauses.reserve(static_cast<std::size_t>(migrations));
+  for (int hop = 0; hop < migrations; ++hop) {
+    svc::WireObject migrate;
+    migrate.set("cmd", svc::WireValue::of("migrate"));
+    migrate.set("shard", svc::WireValue::of(static_cast<std::int64_t>(k - 1)));
+    migrate.set("to", svc::WireValue::of(hop % 2 == 0 ? "a" : "b"));
+    const svc::WireObject reply = coordinator.handle(migrate);
+    if (!reply.boolean_or("ok", false)) {
+      throw std::runtime_error("svc_serve_cluster: migrate failed: " +
+                               reply.text_or("error", "?"));
+    }
+    pauses.push_back(reply.number("pause_ms"));
+  }
+  std::sort(pauses.begin(), pauses.end());
+
+  result.counters.emplace_back(
+      "submissions_per_sec",
+      result.median_wall_ms > 0.0
+          ? static_cast<double>(num_requests) / (result.median_wall_ms * 1e-3)
+          : 0.0);
+  result.counters.emplace_back("migrations_timed",
+                               static_cast<double>(migrations));
+  result.counters.emplace_back("migration_pause_ms", median(pauses));
+  std::error_code ec;
+  std::filesystem::remove_all(publish_dir, ec);
+  return result;
+}
+
 }  // namespace
 
 std::vector<std::string> suite_bench_names() {
@@ -662,7 +838,7 @@ std::vector<std::string> suite_bench_names() {
           "auction_scale_1m",    "kalman_chain",
           "kalman_em_chain",     "platform_step",
           "svc_serve",           "svc_serve_traced",
-          "svc_serve_sharded"};
+          "svc_serve_sharded",   "svc_serve_cluster"};
 }
 
 std::string detect_git_sha() {
@@ -731,6 +907,8 @@ PerfArtifact run_suite(const SuiteOptions& options, std::ostream& log) {
        [&] { return bench_svc_serve_traced(quick, repeats); }},
       {"svc_serve_sharded",
        [&] { return bench_svc_serve_sharded(quick, repeats); }},
+      {"svc_serve_cluster",
+       [&] { return bench_svc_serve_cluster(quick, repeats); }},
   };
   for (const auto& [name, bench] : matrix) {
     if (!selected(name)) continue;

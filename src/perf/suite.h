@@ -26,6 +26,19 @@
 //                        tracing OFF; counters.tracing_overhead pins the
 //                        traced/untraced wall ratio. The tracing-disabled
 //                        cost gate rides on svc_serve vs the baseline.
+//   svc_serve_sharded    ingest throughput of the K-shard front of house
+//                        (router + bounded-queue handoff + per-shard
+//                        consumers) over 240k / 60k submissions into a
+//                        1M / 100k-worker population;
+//                        counters.submissions_per_sec.
+//   svc_serve_cluster    the same stream routed through the cluster layer:
+//                        two in-process members each serving half the
+//                        shard mask behind a Coordinator, routing by the
+//                        pushed RoutingTable; comparable
+//                        counters.submissions_per_sec, plus
+//                        counters.migration_pause_ms — the median per-shard
+//                        unavailability window across a ping-pong of live
+//                        migrations (export-detach to import-done).
 //
 // Timed repeats run with the obs layer OFF (the production default); one
 // extra instrumented pass per bench collects the obs phase timers into

@@ -24,6 +24,8 @@ constexpr struct {
     {Op::kTraceStatus, "trace_status"},
     {Op::kCheckpoint, "checkpoint"},
     {Op::kShutdown, "shutdown"},
+    {Op::kShardExport, "shard_export"},
+    {Op::kShardImport, "shard_import"},
 };
 
 Op op_from(const std::string& name, std::int64_t id) {
@@ -58,6 +60,9 @@ int min_proto(Op op) noexcept {
       return 3;
     case Op::kTraceStatus:
       return 4;
+    case Op::kShardExport:
+    case Op::kShardImport:
+      return 5;
     default:
       return 1;
   }
@@ -109,6 +114,19 @@ Request parse_request(std::string_view line) {
       break;
     case Op::kCheckpoint:
       request.path = object.text_or("path", "");
+      break;
+    case Op::kShardExport:
+      request.shard = int_field(object, "shard", 0);
+      request.path = object.text("path");
+      request.detach = object.boolean_or("detach", false);
+      request.epoch =
+          static_cast<std::int64_t>(object.number_or("epoch", 0.0));
+      break;
+    case Op::kShardImport:
+      request.shard = int_field(object, "shard", 0);
+      request.path = object.text("path");
+      request.epoch =
+          static_cast<std::int64_t>(object.number_or("epoch", 0.0));
       break;
     case Op::kHello:
       request.proto = int_field(object, "proto", 0);
@@ -170,6 +188,19 @@ std::string format_request(const Request& request) {
       if (!request.path.empty()) {
         object.set("path", WireValue::of(request.path));
       }
+      break;
+    case Op::kShardExport:
+      object.set("shard",
+                 WireValue::of(static_cast<std::int64_t>(request.shard)));
+      object.set("path", WireValue::of(request.path));
+      if (request.detach) object.set("detach", WireValue::of(true));
+      if (request.epoch != 0) object.set("epoch", WireValue::of(request.epoch));
+      break;
+    case Op::kShardImport:
+      object.set("shard",
+                 WireValue::of(static_cast<std::int64_t>(request.shard)));
+      object.set("path", WireValue::of(request.path));
+      if (request.epoch != 0) object.set("epoch", WireValue::of(request.epoch));
       break;
     case Op::kHello:
       if (request.proto != 0) {

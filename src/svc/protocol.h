@@ -17,6 +17,9 @@
 //   {"op":"trace_status","id":9}                                        (v4)
 //   {"op":"checkpoint","id":10,"path":"svc.ckpt"}
 //   {"op":"shutdown","id":11}
+//   {"op":"shard_export","id":12,"shard":3,"path":"s3.migr",
+//    "detach":true,"epoch":2}                                          (v5)
+//   {"op":"shard_import","id":13,"shard":3,"path":"s3.migr","epoch":2} (v5)
 //
 // Response lines always carry "ok" plus the echoed "id" (when the request
 // had one). Failures carry "error"; overload rejections additionally carry
@@ -46,8 +49,12 @@ namespace melody::svc {
 /// runs, withdraw until the next submit/update) with structured
 /// unknown_worker errors; v2 clients simply never send them. v4 added the
 /// trace_status introspection op (tracing state + per-shard phase-latency
-/// percentiles merged from the shard-namespaced obs registries).
-inline constexpr int kProtoVersion = 4;
+/// percentiles merged from the shard-namespaced obs registries). v5 added
+/// the cluster shard-handoff ops shard_export / shard_import plus the
+/// routing-epoch fields ("epoch" in cluster hello replies, structured
+/// not_owner rejections) that let a coordinator migrate live shards
+/// between processes.
+inline constexpr int kProtoVersion = 5;
 
 enum class Op {
   kHello,
@@ -64,6 +71,8 @@ enum class Op {
   kTraceStatus,
   kCheckpoint,
   kShutdown,
+  kShardExport,
+  kShardImport,
 };
 
 std::string_view to_string(Op op) noexcept;
@@ -105,10 +114,12 @@ struct Request {
   double budget = 0.0;      // submit_tasks (budget-accumulation trigger)
   std::vector<double> scores;  // post_scores
   int run = 0;              // query_run
-  int shard = 0;            // query_run (sharded deployments; 0 = shard 0)
+  int shard = 0;            // query_run / shard_export / shard_import
   double seconds = 0.0;     // tick
-  std::string path;         // checkpoint
+  std::string path;         // checkpoint / shard_export / shard_import
   int proto = 0;            // hello (client's protocol version; 0 = unset)
+  bool detach = false;      // shard_export: deactivate the shard (migration)
+  std::int64_t epoch = 0;   // shard_export / shard_import: new routing epoch
 
   bool operator==(const Request&) const = default;
 };
@@ -155,6 +166,16 @@ struct Response {
   static Response unknown_worker(std::int64_t id, const std::string& worker) {
     Response r = failure(id, "unknown_worker");
     r.fields.set("worker", WireValue::of(worker));
+    return r;
+  }
+  /// Structured reply for a frame routed to a shard this process does not
+  /// currently own (cluster deployments, mid-migration). Carries the shard
+  /// and the responder's routing epoch so the client can refresh its table
+  /// and retry against the new owner.
+  static Response not_owner(std::int64_t id, int shard, std::int64_t epoch) {
+    Response r = failure(id, "not_owner");
+    r.fields.set("shard", WireValue::of(static_cast<std::int64_t>(shard)));
+    r.fields.set("epoch", WireValue::of(epoch));
     return r;
   }
 };

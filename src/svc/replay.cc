@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <utility>
@@ -97,6 +98,15 @@ bool mask_matches(const std::vector<std::string>& mask, std::string_view key) {
     if (pattern_matches(pattern, key)) return true;
   }
   return false;
+}
+
+std::string resume_path_from_trace(const TraceFile& trace) {
+  return trace.header.text_or("resume", "");
+}
+
+void require_resume_checkpoint(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw CheckpointMissingError(path);
 }
 
 ServiceConfig config_from_trace(const TraceFile& trace) {

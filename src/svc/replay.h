@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,31 @@ struct ReplayResult {
 
 /// True when `key` matches any mask pattern.
 bool mask_matches(const std::vector<std::string>& mask, std::string_view key);
+
+/// Structured failure for a resume checkpoint the trace references but the
+/// filesystem no longer has: carries the offending path, and the what()
+/// message names it plus the fix (restore the file, or point --resume at
+/// its new location) instead of a generic open error deep in restore().
+class CheckpointMissingError : public std::runtime_error {
+ public:
+  explicit CheckpointMissingError(std::string path)
+      : std::runtime_error(
+            "resume checkpoint not found: " + path +
+            " (the trace was recorded against a restored checkpoint; put "
+            "the file back or pass --resume with its current location)"),
+        path_(std::move(path)) {}
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// The checkpoint the recorded session resumed from, pinned by the trace
+/// header's "resume" field ("" when the session started fresh).
+std::string resume_path_from_trace(const TraceFile& trace);
+
+/// Throw CheckpointMissingError unless `path` names a readable file.
+void require_resume_checkpoint(const std::string& path);
 
 /// The deployment config a trace header pins: shard count, population,
 /// seed, estimator, batch triggers, fault plan, clock mode, checkpoint

@@ -51,12 +51,46 @@ std::uint64_t fnv1a(const std::string& s) noexcept {
 
 }  // namespace
 
+int route_worker(const std::string& worker,
+                 const std::vector<int>& worker_offsets,
+                 const int num_workers) {
+  const int k = static_cast<int>(worker_offsets.size()) - 1;
+  if (k == 1) return 0;
+  // Scenario names "w<g>" with g inside the initial population map to the
+  // contiguous range owner (matches the planner's split and the per-shard
+  // worker_name_offset bindings).
+  if (worker.size() > 1 && worker.front() == 'w') {
+    bool digits = true;
+    long g = 0;
+    for (std::size_t i = 1; i < worker.size(); ++i) {
+      const char c = worker[i];
+      if (c < '0' || c > '9' || g > num_workers) {
+        digits = false;
+        break;
+      }
+      g = g * 10 + (c - '0');
+    }
+    if (digits && g < num_workers) {
+      const auto it = std::upper_bound(worker_offsets.begin(),
+                                       worker_offsets.end() - 1,
+                                       static_cast<int>(g));
+      return static_cast<int>(it - worker_offsets.begin()) - 1;
+    }
+  }
+  // Newcomers and foreign names: deterministic hash affinity — the same
+  // name always lands on the same shard, so its session state sticks.
+  return static_cast<int>(fnv1a(worker) % static_cast<std::uint64_t>(k));
+}
+
 struct ShardedService::FanOut {
   std::mutex mutex;
   std::vector<Response> parts;
+  std::vector<int> shard_indices;  // global shard producing each part
   int remaining = 0;
   Op op = Op::kHello;
   std::int64_t id = 0;
+  int global_shards = 1;
+  bool rehome_all = false;  // cluster members re-home every broadcast op
   std::function<void(const Response&)> done;
   std::function<void(Response&)> post;  // final router-level adjustment
 };
@@ -103,32 +137,36 @@ void ShardedService::start() {
 }
 
 int ShardedService::route(const std::string& worker) const {
-  const int k = shard_count();
-  if (k == 1) return 0;
-  // Scenario names "w<g>" with g inside the initial population map to the
-  // contiguous range owner (matches the planner's split and the per-shard
-  // worker_name_offset bindings).
-  if (worker.size() > 1 && worker.front() == 'w') {
-    bool digits = true;
-    long g = 0;
-    for (std::size_t i = 1; i < worker.size(); ++i) {
-      const char c = worker[i];
-      if (c < '0' || c > '9' || g > config_.scenario.num_workers) {
-        digits = false;
-        break;
-      }
-      g = g * 10 + (c - '0');
-    }
-    if (digits && g < config_.scenario.num_workers) {
-      const auto it = std::upper_bound(worker_offsets_.begin(),
-                                       worker_offsets_.end() - 1,
-                                       static_cast<int>(g));
-      return static_cast<int>(it - worker_offsets_.begin()) - 1;
-    }
+  return route_worker(worker, worker_offsets_, config_.scenario.num_workers);
+}
+
+void ShardedService::configure_cluster(const std::uint64_t active_mask,
+                                       const std::int64_t epoch) {
+  if (shard_count() > 64) {
+    throw std::invalid_argument(
+        "svc: cluster mode supports at most 64 shards (activity mask width)");
   }
-  // Newcomers and foreign names: deterministic hash affinity — the same
-  // name always lands on the same shard, so its session state sticks.
-  return static_cast<int>(fnv1a(worker) % static_cast<std::uint64_t>(k));
+  cluster_mode_ = true;
+  active_mask_.store(active_mask, std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+void ShardedService::set_shard_active(const int s, const bool active) noexcept {
+  const std::uint64_t bit = 1ull << static_cast<unsigned>(s);
+  if (active) {
+    active_mask_.fetch_or(bit, std::memory_order_acq_rel);
+  } else {
+    active_mask_.fetch_and(~bit, std::memory_order_acq_rel);
+  }
+}
+
+std::vector<int> ShardedService::broadcast_targets() const {
+  std::vector<int> targets;
+  targets.reserve(static_cast<std::size_t>(shard_count()));
+  for (int s = 0; s < shard_count(); ++s) {
+    if (!cluster_mode_ || shard_active(s)) targets.push_back(s);
+  }
+  return targets;
 }
 
 PushResult ShardedService::submit(const Request& request,
@@ -139,12 +177,24 @@ PushResult ShardedService::submit(const Request& request,
     case Op::kUpdateBid:
     case Op::kWithdrawBid:
     case Op::kPostScores:
-    case Op::kQueryWorker:
-      return shards_[static_cast<std::size_t>(route(request.worker))]->submit(
+    case Op::kQueryWorker: {
+      const int s = route(request.worker);
+      if (cluster_mode_ && !shard_active(s)) {
+        if (obs::enabled()) obs::registry().counter("cluster/not_owner").add();
+        done(Response::not_owner(request.id, s, routing_epoch()));
+        return PushResult::kOk;
+      }
+      return shards_[static_cast<std::size_t>(s)]->submit(
           request, std::move(done), trace);
+    }
     case Op::kQueryRun: {
       if (request.shard < 0 || request.shard >= shard_count()) {
         done(Response::failure(request.id, "query_run: shard out of range"));
+        return PushResult::kOk;
+      }
+      if (cluster_mode_ && !shard_active(request.shard)) {
+        if (obs::enabled()) obs::registry().counter("cluster/not_owner").add();
+        done(Response::not_owner(request.id, request.shard, routing_epoch()));
         return PushResult::kOk;
       }
       return shards_[static_cast<std::size_t>(request.shard)]->submit(
@@ -152,6 +202,10 @@ PushResult ShardedService::submit(const Request& request,
     }
     case Op::kCheckpoint:
       return submit_checkpoint(request, std::move(done), trace);
+    case Op::kShardExport:
+      return submit_shard_export(request, std::move(done), trace);
+    case Op::kShardImport:
+      return submit_shard_import(request, std::move(done), trace);
     case Op::kShutdown:
       shutdown_.store(true, std::memory_order_relaxed);
       return broadcast(request, std::move(done), trace);
@@ -173,6 +227,12 @@ int ShardedService::routing_decision(const Request& request) const {
         return kShardNone;  // answered inline by submit()
       }
       return request.shard;
+    case Op::kShardExport:
+    case Op::kShardImport:
+      if (request.shard < 0 || request.shard >= shard_count()) {
+        return kShardNone;  // answered inline by submit()
+      }
+      return request.shard;
     default:
       return kShardBroadcast;  // fan-out ops, incl. checkpoint tasks
   }
@@ -187,25 +247,41 @@ PushResult ShardedService::broadcast(
     const Request& request, std::function<void(const Response&)> done,
     const obs::TraceContext& trace) {
   const int k = shard_count();
+  const std::vector<int> targets = broadcast_targets();
+  if (targets.empty()) {
+    // A cluster member that owns no shards at the moment (mid-migration,
+    // or freshly respawned) has nothing to fan out to.
+    done(Response::failure(request.id, "no active shards"));
+    return PushResult::kOk;
+  }
   // All-or-nothing admission. The front end is the single regular
   // producer, so a free slot observed on every queue cannot be taken
   // before we enqueue; the parts then go in with push_force (checkpoint
   // tasks forced in concurrently must not fail a pre-checked broadcast).
-  for (const auto& shard : shards_) {
+  for (const int s : targets) {
+    const auto& shard = shards_[static_cast<std::size_t>(s)];
     if (shard->loop().queue_depth() >= shard->loop().queue_capacity()) {
       shard->service().note_overload_reject();
       return PushResult::kFull;
     }
   }
   auto fan = std::make_shared<FanOut>();
-  fan->parts.resize(static_cast<std::size_t>(k));
-  fan->remaining = k;
+  fan->parts.resize(targets.size());
+  fan->shard_indices = targets;
+  fan->remaining = static_cast<int>(targets.size());
   fan->op = request.op;
   fan->id = request.id;
+  fan->global_shards = k;
+  fan->rehome_all = cluster_mode_;
   fan->done = std::move(done);
   if (request.op == Op::kHello) {
-    fan->post = [k](Response& merged) {
+    const bool cluster = cluster_mode_;
+    const std::int64_t epoch = routing_epoch();
+    fan->post = [k, cluster, epoch](Response& merged) {
       merged.fields.set("shards", WireValue::of(static_cast<std::int64_t>(k)));
+      // Cluster members advertise their routing epoch so clients can
+      // detect a stale table right from the handshake.
+      if (cluster) merged.fields.set("epoch", WireValue::of(epoch));
     };
   } else if (request.op == Op::kShutdown &&
              !config_.checkpoint_path.empty()) {
@@ -215,7 +291,8 @@ PushResult ShardedService::broadcast(
       merged.fields.set("checkpoint", WireValue::of(path));
     };
   }
-  for (int s = 0; s < k; ++s) {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const int s = targets[i];
     Request part = request;
     if (request.op == Op::kSubmitTasks && k > 1) {
       const auto lo = static_cast<std::int64_t>(worker_offsets_[s]);
@@ -227,15 +304,18 @@ PushResult ShardedService::broadcast(
       part.task_count = static_cast<int>(request.task_count * hi / n -
                                          request.task_count * lo / n);
     }
-    auto deliver = [this, fan, s](const Response& response) {
+    auto deliver = [fan, i](const Response& response) {
       bool last = false;
       {
         std::lock_guard<std::mutex> lock(fan->mutex);
-        fan->parts[static_cast<std::size_t>(s)] = response;
+        fan->parts[i] = response;
         last = --fan->remaining == 0;
       }
       if (!last) return;
-      Response merged = merge_parts(fan->op, fan->id, fan->parts);
+      Response merged = merge_shard_parts(fan->op, fan->id, fan->parts,
+                                          fan->shard_indices,
+                                          fan->global_shards,
+                                          fan->rehome_all);
       if (fan->post) fan->post(merged);
       if (fan->done) fan->done(merged);
     };
@@ -272,25 +352,32 @@ PushResult ShardedService::submit_checkpoint(
     done(Response::failure(request.id, "checkpoint already in progress"));
     return PushResult::kOk;
   }
-  const int k = shard_count();
+  // Cluster members snapshot the shards they own; a single-process
+  // deployment snapshots all K (identical to the pre-cluster behavior).
+  const std::vector<int> targets = broadcast_targets();
+  if (targets.empty()) {
+    checkpoint_in_flight_.store(false, std::memory_order_relaxed);
+    done(Response::failure(request.id, "no active shards"));
+    return PushResult::kOk;
+  }
   auto job = std::make_shared<CheckpointJob>();
-  job->blobs.resize(static_cast<std::size_t>(k));
-  job->runs.resize(static_cast<std::size_t>(k), 0);
-  job->remaining.store(k, std::memory_order_relaxed);
+  job->blobs.resize(targets.size());
+  job->runs.resize(targets.size(), 0);
+  job->remaining.store(static_cast<int>(targets.size()),
+                       std::memory_order_relaxed);
   job->path = path;
   job->id = request.id;
   job->done = std::move(done);
-  for (int s = 0; s < k; ++s) {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     const PushResult pushed =
-        shards_[static_cast<std::size_t>(s)]->submit_task(
-            [this, job, s, trace](AuctionService& service) {
+        shards_[static_cast<std::size_t>(targets[i])]->submit_task(
+            [this, job, i, trace](AuctionService& service) {
               obs::ScopedTraceContext install(trace);
               service.note_control_request();
               std::ostringstream blob;
               service.save_state(blob);
-              job->blobs[static_cast<std::size_t>(s)] = blob.str();
-              job->runs[static_cast<std::size_t>(s)] =
-                  service.platform().current_run() - 1;
+              job->blobs[i] = blob.str();
+              job->runs[i] = service.platform().current_run() - 1;
               if (job->remaining.fetch_sub(1) == 1) complete_checkpoint(job);
             });
     if (pushed != PushResult::kOk) {
@@ -345,6 +432,148 @@ void ShardedService::complete_checkpoint(
   if (job->done) job->done(response);
 }
 
+PushResult ShardedService::submit_shard_export(
+    const Request& request, std::function<void(const Response&)> done,
+    const obs::TraceContext& trace) {
+  if (!cluster_mode_) {
+    done(Response::failure(request.id,
+                           "shard_export: cluster deployments only"));
+    return PushResult::kOk;
+  }
+  const int s = request.shard;
+  if (s < 0 || s >= shard_count()) {
+    done(Response::failure(request.id, "shard_export: shard out of range"));
+    return PushResult::kOk;
+  }
+  if (!shard_active(s)) {
+    done(Response::not_owner(request.id, s, routing_epoch()));
+    return PushResult::kOk;
+  }
+  if (request.path.empty()) {
+    done(Response::failure(request.id, "shard_export: path required"));
+    return PushResult::kOk;
+  }
+  // Detach on the submitting thread, BEFORE the export task is enqueued:
+  // every frame accepted so far is already in the shard's queue ahead of
+  // the snapshot task, and nothing routed after this point can land behind
+  // it — the envelope captures exactly the acknowledged prefix.
+  if (request.detach) {
+    set_shard_active(s, false);
+    if (request.epoch != 0) {
+      epoch_.store(request.epoch, std::memory_order_release);
+    }
+  }
+  const std::int64_t epoch = routing_epoch();
+  const PushResult pushed = shards_[static_cast<std::size_t>(s)]->submit_task(
+      [request, done, trace, epoch](AuctionService& service) {
+        obs::ScopedTraceContext install(trace);
+        obs::ScopedSpan span("cluster/export");
+        span.annotate("shard", request.shard);
+        span.annotate("detach", request.detach ? 1 : 0);
+        Response response = Response::success(request.id);
+        try {
+          const std::string tmp = request.path + ".tmp";
+          {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out) {
+              throw std::runtime_error("cluster: cannot write envelope: " +
+                                       tmp);
+            }
+            service.save_migration(out);
+            out.flush();
+            if (!out) {
+              throw std::runtime_error("cluster: short write on envelope: " +
+                                       tmp);
+            }
+          }
+          if (std::rename(tmp.c_str(), request.path.c_str()) != 0) {
+            throw std::runtime_error(
+                "cluster: cannot rename envelope into place: " + request.path);
+          }
+          response.fields.set(
+              "shard", WireValue::of(static_cast<std::int64_t>(request.shard)));
+          response.fields.set("path", WireValue::of(request.path));
+          response.fields.set("detached", WireValue::of(request.detach));
+          response.fields.set("epoch", WireValue::of(epoch));
+          response.fields.set(
+              "run", WireValue::of(static_cast<std::int64_t>(
+                         service.platform().current_run() - 1)));
+          if (obs::enabled()) obs::registry().counter("cluster/exports").add();
+        } catch (const std::exception& e) {
+          response = Response::failure(request.id, e.what());
+        }
+        done(response);
+      });
+  if (pushed != PushResult::kOk) {
+    // The queue is closed (shutdown); undo the detach so status reporting
+    // stays truthful — the shard never left this process.
+    if (request.detach) set_shard_active(s, true);
+    done(Response::failure(request.id, "shutting down"));
+  }
+  return PushResult::kOk;
+}
+
+PushResult ShardedService::submit_shard_import(
+    const Request& request, std::function<void(const Response&)> done,
+    const obs::TraceContext& trace) {
+  if (!cluster_mode_) {
+    done(Response::failure(request.id,
+                           "shard_import: cluster deployments only"));
+    return PushResult::kOk;
+  }
+  const int s = request.shard;
+  if (s < 0 || s >= shard_count()) {
+    done(Response::failure(request.id, "shard_import: shard out of range"));
+    return PushResult::kOk;
+  }
+  if (shard_active(s)) {
+    done(Response::failure(request.id,
+                           "shard_import: shard " + std::to_string(s) +
+                               " is already active here"));
+    return PushResult::kOk;
+  }
+  if (request.path.empty()) {
+    done(Response::failure(request.id, "shard_import: path required"));
+    return PushResult::kOk;
+  }
+  const PushResult pushed = shards_[static_cast<std::size_t>(s)]->submit_task(
+      [this, request, done, trace](AuctionService& service) {
+        obs::ScopedTraceContext install(trace);
+        obs::ScopedSpan span("cluster/import");
+        span.annotate("shard", request.shard);
+        Response response = Response::success(request.id);
+        try {
+          std::ifstream in(request.path, std::ios::binary);
+          if (!in) {
+            throw std::runtime_error("cluster: cannot open envelope: " +
+                                     request.path);
+          }
+          service.load_migration(in);
+          // Activate only after the state is fully loaded; a frame routed
+          // here in between answers not_owner and the client retries.
+          if (request.epoch != 0) {
+            epoch_.store(request.epoch, std::memory_order_release);
+          }
+          set_shard_active(request.shard, true);
+          response.fields.set(
+              "shard", WireValue::of(static_cast<std::int64_t>(request.shard)));
+          response.fields.set("path", WireValue::of(request.path));
+          response.fields.set("epoch", WireValue::of(routing_epoch()));
+          response.fields.set(
+              "next_run", WireValue::of(static_cast<std::int64_t>(
+                              service.platform().current_run())));
+          if (obs::enabled()) obs::registry().counter("cluster/imports").add();
+        } catch (const std::exception& e) {
+          response = Response::failure(request.id, e.what());
+        }
+        done(response);
+      });
+  if (pushed != PushResult::kOk) {
+    done(Response::failure(request.id, "shutting down"));
+  }
+  return PushResult::kOk;
+}
+
 void ShardedService::on_run(int /*shard_index*/,
                             const sim::RunRecord& /*record*/) {
   const std::uint64_t total =
@@ -363,8 +592,10 @@ void ShardedService::on_run(int /*shard_index*/,
   submit_checkpoint(request, [](const Response&) {});
 }
 
-Response ShardedService::merge_parts(Op op, std::int64_t id,
-                                     const std::vector<Response>& parts) {
+Response merge_shard_parts(Op op, std::int64_t id,
+                           const std::vector<Response>& parts,
+                           const std::vector<int>& shard_indices,
+                           int global_shards, bool rehome_all) {
   Response merged;
   merged.id = id;
   for (const Response& part : parts) {
@@ -378,7 +609,7 @@ Response ShardedService::merge_parts(Op op, std::int64_t id,
   }
   const Response& head = parts.front();
   for (const auto& [key, value] : head.fields.entries()) {
-    if (op == Op::kTraceStatus && parts.size() > 1) {
+    if (op == Op::kTraceStatus && global_shards > 1) {
       // Latency percentiles are per-shard distributions — they cannot be
       // merged by value, so the top level drops them (they survive under
       // the shard<k>/ views below); sample counts sum.
@@ -415,13 +646,17 @@ Response ShardedService::merge_parts(Op op, std::int64_t id,
     }
   }
   // Introspection ops additionally expose every shard's own numbers,
-  // re-homed under "shard<k>/..." after the merged totals. Guarded on
-  // K > 1 so the single-shard reply stays byte-identical to the
-  // unsharded service (the bit-identity contract).
-  if (parts.size() > 1 && (op == Op::kStats || op == Op::kTraceStatus)) {
-    for (std::size_t s = 0; s < parts.size(); ++s) {
-      const std::string prefix = "shard" + std::to_string(s) + "/";
-      for (const auto& [key, value] : parts[s].fields.entries()) {
+  // re-homed under "shard<g>/..." (GLOBAL index) after the merged totals.
+  // Guarded on the deployment's K, not the part count, so a cluster member
+  // owning one shard of a K-shard deployment still replies in the K-shard
+  // shape; a true single-shard reply stays byte-identical to the unsharded
+  // service (the bit-identity contract).
+  if (global_shards > 1 &&
+      (rehome_all || op == Op::kStats || op == Op::kTraceStatus)) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const std::string prefix =
+          "shard" + std::to_string(shard_indices[i]) + "/";
+      for (const auto& [key, value] : parts[i].fields.entries()) {
         merged.fields.set(prefix + key, value);
       }
     }

@@ -20,6 +20,20 @@
 // identical responses, identical trajectories, identical checkpoint
 // payloads (wrapped in the v2 header) — the bit-identity contract the
 // shard tests pin.
+//
+// Cluster mode (configure_cluster) turns one instance into one member of
+// a multi-process deployment: every member plans the full global-K shard
+// set (identical worker_offsets and per-shard seeds everywhere), and a
+// per-shard activity mask marks the shards this process currently owns.
+// Inactive shards answer structured not_owner rejections carrying the
+// member's routing epoch; broadcasts fan out to active shards only, and
+// the merge re-homes per-shard views under their GLOBAL indices, so the
+// cluster client can splice member replies back into the exact bytes a
+// single-process deployment would emit. Live handoff is the shard_export /
+// shard_import op pair: export detaches the shard on the submitting
+// thread (nothing can land behind the snapshot) and writes the MLDYMIGR
+// envelope from the shard's own consumer thread; import loads it and
+// activates the shard on the target.
 #pragma once
 
 #include <atomic>
@@ -92,6 +106,26 @@ class ShardedService {
   /// quiescence (threads joined, or never started). Idempotent.
   void finalize();
 
+  /// Enter cluster mode as one member of a multi-process deployment: bit s
+  /// of `active_mask` marks shard s as owned by this process, `epoch` seeds
+  /// the routing epoch. Must be called before any request is submitted.
+  /// Throws std::invalid_argument when the deployment has more than 64
+  /// shards (the mask width bounds cluster deployments).
+  void configure_cluster(std::uint64_t active_mask, std::int64_t epoch);
+  bool cluster_mode() const noexcept { return cluster_mode_; }
+  bool shard_active(int s) const noexcept {
+    return (active_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(s)) & 1u;
+  }
+  /// Current routing epoch (bumped by shard_export/shard_import).
+  std::int64_t routing_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// The mask of currently-active shards (cluster status reporting).
+  std::uint64_t active_mask() const noexcept {
+    return active_mask_.load(std::memory_order_acquire);
+  }
+
   int shard_count() const noexcept { return static_cast<int>(shards_.size()); }
   PlatformShard& shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
   const PlatformShard& shard(int s) const {
@@ -131,10 +165,18 @@ class ShardedService {
   PushResult submit_checkpoint(const Request& request,
                                std::function<void(const Response&)> done,
                                const obs::TraceContext& trace = {});
+  PushResult submit_shard_export(const Request& request,
+                                 std::function<void(const Response&)> done,
+                                 const obs::TraceContext& trace);
+  PushResult submit_shard_import(const Request& request,
+                                 std::function<void(const Response&)> done,
+                                 const obs::TraceContext& trace);
   void complete_checkpoint(const std::shared_ptr<CheckpointJob>& job);
   void on_run(int shard_index, const sim::RunRecord& record);
-  static Response merge_parts(Op op, std::int64_t id,
-                              const std::vector<Response>& parts);
+  void set_shard_active(int s, bool active) noexcept;
+  /// The global indices of the shards a broadcast fans out to: all of them,
+  /// or the active subset in cluster mode.
+  std::vector<int> broadcast_targets() const;
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<PlatformShard>> shards_;
@@ -144,7 +186,34 @@ class ShardedService {
   std::atomic<bool> shutdown_{false};
   bool started_ = false;
   bool finalized_ = false;
+  bool cluster_mode_ = false;
+  std::atomic<std::uint64_t> active_mask_{~0ull};
+  std::atomic<std::int64_t> epoch_{1};
 };
+
+/// Shard affinity as a pure function (shared by the router and the cluster
+/// client's routing table): scenario names "w<g>" with g inside the initial
+/// population map to the contiguous range owner; everything else hashes
+/// deterministically. `worker_offsets` has K+1 entries (plan_shards' split)
+/// and `num_workers` is the scenario population size.
+int route_worker(const std::string& worker,
+                 const std::vector<int>& worker_offsets, int num_workers);
+
+/// Merge per-shard broadcast responses into one reply line.
+/// `shard_indices[i]` is the GLOBAL shard that produced parts[i];
+/// `global_shards` is the deployment's K — re-homing and the trace_status
+/// percentile rules key on the deployment size, not on how many parts one
+/// process contributed. With `rehome_all` every op re-homes its parts
+/// under "shard<g>/..." (cluster members always do this — some additive
+/// fields appear only on shards that produced them, so a partial merge
+/// loses information the coordinator-side re-merge needs; re-homed parts
+/// carry every field verbatim). Exposed so the cluster client can re-merge
+/// per-member replies into the exact bytes a single-process deployment
+/// would have produced.
+Response merge_shard_parts(Op op, std::int64_t id,
+                           const std::vector<Response>& parts,
+                           const std::vector<int>& shard_indices,
+                           int global_shards, bool rehome_all = false);
 
 class TraceRecorder;
 

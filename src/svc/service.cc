@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "estimators/factory.h"
@@ -19,6 +20,10 @@ namespace melody::svc {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'L', 'D', 'Y', 'S', 'V', 'C', 'K'};
+// Live-migration envelope: the MLDYSVCK body plus the session tail a
+// checkpoint deliberately omits (request tally, run records). Version 1.
+constexpr char kMigrationMagic[8] = {'M', 'L', 'D', 'Y', 'M', 'I', 'G', 'R'};
+constexpr std::uint32_t kMigrationVersion = 1;
 // The MLDYSVCK version namespace is shared with the sharded router's
 // composed format, which owns version 2 — the plain service format jumps
 // from 1 to 3. v3 appends the rolling trigger's queued task arrivals after
@@ -183,6 +188,15 @@ Response AuctionService::dispatch(const Request& request) {
         response.fields.set("checkpoint",
                             WireValue::of(config_.checkpoint_path));
       }
+      break;
+    case Op::kShardExport:
+    case Op::kShardImport:
+      // Shard handoff is a router-level mechanic (the sharded service
+      // intercepts these before apply()); a standalone service has no
+      // routing table to hand a shard off from.
+      response = Response::failure(
+          request.id, std::string(to_string(request.op)) +
+                          ": cluster deployments only");
       break;
   }
   return response;
@@ -624,6 +638,83 @@ void AuctionService::load_state(std::istream& in) {
   first_session_run_ = platform_->current_run();
   records_.clear();
   finalized_ = false;
+}
+
+void AuctionService::save_migration(std::ostream& out) const {
+  obs::ScopedSpan span("svc/migration_save");
+  span.annotate("run", platform_->current_run() - 1);
+  out.write(kMigrationMagic, sizeof kMigrationMagic);
+  binio::write_u32(out, kMigrationVersion);
+  // The checkpoint body rides as one length-prefixed blob so the envelope
+  // can evolve its tail without touching the MLDYSVCK layout.
+  std::ostringstream blob;
+  save_state(blob);
+  binio::write_bytes(out, blob.str());
+  binio::write_u64(out, requests_total_);
+  binio::write_u64(out, overload_rejects_);
+  binio::write_i32(out, first_session_run_);
+  binio::write_u64(out, static_cast<std::uint64_t>(records_.size()));
+  for (const sim::RunRecord& r : records_) {
+    binio::write_i32(out, r.run);
+    binio::write_u64(out, static_cast<std::uint64_t>(r.estimated_utility));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.true_utility));
+    binio::write_f64(out, r.estimation_error);
+    binio::write_f64(out, r.total_payment);
+    binio::write_u64(out, static_cast<std::uint64_t>(r.assignments));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.qualified_workers));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.no_shows));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.churned_out));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.scores_dropped));
+    binio::write_u64(out, static_cast<std::uint64_t>(r.scores_corrupted));
+  }
+  if (!out) throw std::runtime_error("svc: migration write failure");
+}
+
+void AuctionService::load_migration(std::istream& in) {
+  obs::ScopedSpan span("svc/migration_load");
+  char magic[8];
+  if (!in.read(magic, sizeof magic) ||
+      !std::equal(magic, magic + sizeof magic, kMigrationMagic)) {
+    throw std::runtime_error("svc: bad migration magic");
+  }
+  const std::uint32_t version = binio::read_u32(in, "migration version");
+  if (version != kMigrationVersion) {
+    throw std::runtime_error("svc: unsupported migration version " +
+                             std::to_string(version));
+  }
+  {
+    std::istringstream blob(binio::read_bytes(in, "migration checkpoint"));
+    load_state(blob);  // resets records_ / first_session_run_; tail follows
+  }
+  requests_total_ = binio::read_u64(in, "migration requests");
+  overload_rejects_ = binio::read_u64(in, "migration overload rejects");
+  first_session_run_ = binio::read_i32(in, "migration first run");
+  const std::uint64_t count = binio::read_u64(in, "migration record count");
+  records_.clear();
+  records_.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    sim::RunRecord r;
+    r.run = binio::read_i32(in, "migration record run");
+    r.estimated_utility = static_cast<std::size_t>(
+        binio::read_u64(in, "migration estimated utility"));
+    r.true_utility =
+        static_cast<std::size_t>(binio::read_u64(in, "migration true utility"));
+    r.estimation_error = binio::read_f64(in, "migration estimation error");
+    r.total_payment = binio::read_f64(in, "migration total payment");
+    r.assignments =
+        static_cast<std::size_t>(binio::read_u64(in, "migration assignments"));
+    r.qualified_workers = static_cast<std::size_t>(
+        binio::read_u64(in, "migration qualified workers"));
+    r.no_shows =
+        static_cast<std::size_t>(binio::read_u64(in, "migration no shows"));
+    r.churned_out =
+        static_cast<std::size_t>(binio::read_u64(in, "migration churned out"));
+    r.scores_dropped = static_cast<std::size_t>(
+        binio::read_u64(in, "migration scores dropped"));
+    r.scores_corrupted = static_cast<std::size_t>(
+        binio::read_u64(in, "migration scores corrupted"));
+    records_.push_back(r);
+  }
 }
 
 void AuctionService::write_checkpoint(const std::string& path) const {

@@ -115,6 +115,14 @@ class AuctionService {
   void save_state(std::ostream& out) const;
   void load_state(std::istream& in);
 
+  /// Serialize / deserialize a live-migration envelope ("MLDYMIGR"): the
+  /// MLDYSVCK checkpoint body plus the session state a checkpoint
+  /// deliberately drops (request tallies, this session's run records). A
+  /// migrated shard must answer every subsequent frame byte-identically to
+  /// one that never moved, so the handoff carries what restore() does not.
+  void save_migration(std::ostream& out) const;
+  void load_migration(std::istream& in);
+
  private:
   Response dispatch(const Request& request);
   void handle_submit_bid(const Request& request, Response& response);

@@ -36,7 +36,8 @@ TraceRecorder::~TraceRecorder() {
   }
 }
 
-void TraceRecorder::begin_session(const ServiceConfig& config) {
+void TraceRecorder::begin_session(const ServiceConfig& config,
+                                  const std::string& resume_path) {
   WireObject header;
   header.set("magic", WireValue::of("MLDYTRC"));
   header.set("version", of_int(kTraceVersion));
@@ -59,6 +60,11 @@ void TraceRecorder::begin_session(const ServiceConfig& config) {
   }
   if (!config.checkpoint_path.empty()) {
     header.set("checkpoint", WireValue::of(config.checkpoint_path));
+  }
+  const std::string& resume =
+      resume_path.empty() ? resume_path_ : resume_path;
+  if (!resume.empty()) {
+    header.set("resume", WireValue::of(resume));
   }
   write_line(header);
 }

@@ -79,8 +79,17 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  /// Write the header line describing the deployment.
-  void begin_session(const ServiceConfig& config);
+  /// Write the header line describing the deployment. `resume_path` (when
+  /// non-empty) records the checkpoint the session restored from, so a
+  /// replayer can resume from the same file without being told out of band.
+  /// Omitting it falls back to set_resume_path's stash — the front ends
+  /// call begin_session themselves and only the tool knows the --resume
+  /// flag, so the tool stashes it on the recorder up front.
+  void begin_session(const ServiceConfig& config,
+                     const std::string& resume_path = "");
+
+  /// Stash the resume checkpoint for the next begin_session (see above).
+  void set_resume_path(std::string path) { resume_path_ = std::move(path); }
 
   /// One inbound frame: `shard` is the routing decision (>= 0, or
   /// kShardBroadcast / kShardNone), `span` the root span id (0 when
@@ -105,6 +114,7 @@ class TraceRecorder {
 
   mutable std::mutex mutex_;
   std::string path_;       // empty for the borrowed-stream form
+  std::string resume_path_;
   std::ofstream owned_;
   std::ostream* out_ = nullptr;
   std::size_t frames_ = 0;

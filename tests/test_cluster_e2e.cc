@@ -1,0 +1,175 @@
+// End-to-end cluster exercises over real processes and real TCP: a
+// coordinator (tools/melody_cluster) spawning two melody_serve members,
+// driven through the control port with cluster::LineClient — live
+// migration plus publish — and the chaos harness (tools/melody_chaos)
+// kill/respawn rounds asserting no acknowledged submission is lost.
+// Real networking, fork/exec and multi-second recovery loops, so this
+// suite lives outside tier-1; CI bounds it via the chaos --timeout-s.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/net.h"
+#include "svc/wire.h"
+
+#ifndef MELODY_TOOL_DIR
+#error "MELODY_TOOL_DIR must point at the built tools directory"
+#endif
+
+namespace melody::cluster {
+namespace {
+
+std::string tool(const char* name) {
+  return std::string(MELODY_TOOL_DIR) + "/" + name;
+}
+
+/// A port unlikely to collide across parallel ctest jobs.
+int pick_port(int salt) {
+  return 7300 + ((static_cast<int>(::getpid()) * 7 + salt) % 600);
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Wait for `pid` to exit, failing the test after `timeout`.
+int wait_exit(pid_t pid, std::chrono::seconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      return WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ADD_FAILURE() << "process " << pid << " had to be killed";
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// One control-plane exchange; empty reply object on transport failure.
+svc::WireObject control(LineClient& client, const std::string& host, int port,
+                        const svc::WireObject& command) {
+  if (!client.connected() && !client.connect(host, port)) return {};
+  std::string reply;
+  if (!client.exchange(svc::format_wire(command), &reply)) return {};
+  return svc::parse_wire(reply);
+}
+
+svc::WireObject cmd(const char* name) {
+  svc::WireObject command;
+  command.set("cmd", svc::WireValue::of(name));
+  return command;
+}
+
+bool wait_ready(LineClient& client, int port,
+                std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const svc::WireObject status =
+        control(client, "127.0.0.1", port, cmd("status"));
+    if (status.boolean_or("ready", false)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return false;
+}
+
+std::vector<std::string> cluster_args(int port, const std::string& dir) {
+  return {tool("melody_cluster"), "--shards", "8",  "--workers", "40",
+          "--tasks", "32",        "--runs",   "400", "--members", "2",
+          "--ctl-port", std::to_string(port),  "--publish-dir", dir,
+          "--quiet"};
+}
+
+TEST(ClusterE2E, LiveMigrationAndPublishOverTcp) {
+  const int port = pick_port(0);
+  const std::string dir = "cluster_e2e_migrate_tmp";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const pid_t coordinator = spawn(cluster_args(port, dir));
+  ASSERT_GT(coordinator, 0);
+  LineClient client;
+  ASSERT_TRUE(wait_ready(client, port)) << "cluster never became ready";
+
+  // Live migration: shard 2 (owned by m0 under the contiguous split) hops
+  // to m1; the epoch advances and the envelope lands in the publish dir.
+  svc::WireObject migrate = cmd("migrate");
+  migrate.set("shard", svc::WireValue::of(std::int64_t{2}));
+  migrate.set("to", svc::WireValue::of("m1"));
+  const svc::WireObject migrated =
+      control(client, "127.0.0.1", port, migrate);
+  ASSERT_TRUE(migrated.boolean_or("ok", false))
+      << migrated.text_or("error", "<no reply>");
+  EXPECT_EQ(static_cast<std::int64_t>(migrated.number("epoch")), 2);
+  EXPECT_GE(migrated.number("pause_ms"), 0.0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard2_e2_migrate.mldymigr"));
+
+  // Publish snapshots every shard without moving anything.
+  const svc::WireObject published =
+      control(client, "127.0.0.1", port, cmd("publish"));
+  ASSERT_TRUE(published.boolean_or("ok", false));
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/shard" + std::to_string(s) + "_e2_publish.mldymigr"))
+        << "shard " << s;
+  }
+
+  const svc::WireObject table =
+      control(client, "127.0.0.1", port, cmd("route_table"));
+  ASSERT_TRUE(table.boolean_or("ok", false));
+  const std::vector<double>& owner = table.number_list("owner");
+  ASSERT_EQ(owner.size(), 8u);
+  EXPECT_EQ(static_cast<int>(owner[2]), 1) << "shard 2 must now live on m1";
+
+  EXPECT_TRUE(
+      control(client, "127.0.0.1", port, cmd("shutdown")).boolean_or("ok",
+                                                                     false));
+  client.close();
+  EXPECT_EQ(wait_exit(coordinator, std::chrono::seconds(20)), 0);
+}
+
+TEST(ClusterE2E, ChaosKillsLoseNoAckedSubmission) {
+  const int port = pick_port(1);
+  const std::string dir = "cluster_e2e_chaos_tmp";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const pid_t coordinator = spawn(cluster_args(port, dir));
+  ASSERT_GT(coordinator, 0);
+
+  const pid_t chaos = spawn({tool("melody_chaos"), "--ctl",
+                             "127.0.0.1:" + std::to_string(port), "--rounds",
+                             "2", "--batch", "8", "--timeout-s", "50"});
+  ASSERT_GT(chaos, 0);
+  EXPECT_EQ(wait_exit(chaos, std::chrono::seconds(55)), 0)
+      << "chaos harness reported a lost acked submission or no recovery";
+  // The harness shuts the cluster down on success.
+  EXPECT_EQ(wait_exit(coordinator, std::chrono::seconds(20)), 0);
+}
+
+}  // namespace
+}  // namespace melody::cluster

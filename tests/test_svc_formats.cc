@@ -1,0 +1,277 @@
+// Format-robustness matrix for the persistence and trace surfaces: a
+// fuzz-style negative sweep over svc::config_from_trace (mistyped or
+// hostile header fields must throw, never misconfigure), malformed
+// MLDYSVCK / MLDYMIGR inputs (bad magic, alien version, truncation at
+// every prefix), the structured missing-resume-checkpoint error, and the
+// build-info pinning of every format version a binary speaks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/config.h"
+#include "svc/replay.h"
+#include "svc/router.h"
+#include "svc/service.h"
+#include "svc/trace_log.h"
+#include "svc/wire.h"
+#include "util/build_info.h"
+
+namespace melody::svc {
+namespace {
+
+/// A minimal valid MLDYTRC header; each negative case mutates one field.
+WireObject valid_header() {
+  WireObject header;
+  header.set("magic", WireValue::of("MLDYTRC"));
+  header.set("version", WireValue::of(std::int64_t{1}));
+  header.set("proto", WireValue::of(std::int64_t{kProtoVersion}));
+  header.set("shards", WireValue::of(std::int64_t{2}));
+  header.set("workers", WireValue::of(std::int64_t{12}));
+  header.set("tasks", WireValue::of(std::int64_t{8}));
+  header.set("runs", WireValue::of(std::int64_t{4}));
+  header.set("budget", WireValue::of(40.0));
+  header.set("seed", WireValue::of(std::int64_t{2017}));
+  header.set("estimator", WireValue::of("melody"));
+  header.set("manual_clock", WireValue::of(true));
+  return header;
+}
+
+TraceFile trace_with(WireObject header) {
+  TraceFile trace;
+  trace.header = std::move(header);
+  return trace;
+}
+
+TEST(ConfigFromTrace, AcceptsTheValidHeader) {
+  const ServiceConfig config = config_from_trace(trace_with(valid_header()));
+  EXPECT_EQ(config.shards, 2);
+  EXPECT_EQ(config.scenario.num_workers, 12);
+  EXPECT_TRUE(config.manual_clock);
+  ShardedService service(config);  // and it builds
+  EXPECT_EQ(service.shard_count(), 2);
+}
+
+TEST(ConfigFromTrace, MistypedFieldsThrowInsteadOfMisconfiguring) {
+  // Every numeric/boolean/text header field flipped to a hostile kind must
+  // surface as a WireError — silently adopting a fallback would replay the
+  // trace against the wrong deployment.
+  const struct {
+    const char* field;
+    WireValue value;
+  } cases[] = {
+      {"shards", WireValue::of("eight")},
+      {"workers", WireValue::of("lots")},
+      {"tasks", WireValue::of(true)},
+      {"runs", WireValue::of("many")},
+      {"budget", WireValue::of("big")},
+      {"seed", WireValue::of("hunter2")},
+      {"estimator", WireValue::of(std::int64_t{7})},
+      {"manual_clock", WireValue::of("yes")},
+      {"min_bids", WireValue::of("three")},
+      {"budget_target", WireValue::of(std::vector<double>{1.0, 2.0})},
+      {"queue_capacity", WireValue::of("deep")},
+      {"rolling", WireValue::of(std::int64_t{1})},
+      {"incremental", WireValue::of("on")},
+  };
+  for (const auto& c : cases) {
+    WireObject header = valid_header();
+    header.set(c.field, c.value);
+    EXPECT_THROW(config_from_trace(trace_with(std::move(header))), WireError)
+        << "field " << c.field;
+  }
+}
+
+TEST(ConfigFromTrace, HostileValuesFailServiceValidation) {
+  // Type-correct but semantically poisoned headers parse, then die in
+  // config validation when the deployment is built — never under-build.
+  const struct {
+    const char* field;
+    WireValue value;
+  } cases[] = {
+      {"shards", WireValue::of(std::int64_t{-3})},
+      {"shards", WireValue::of(std::int64_t{1000})},
+      {"workers", WireValue::of(std::int64_t{0})},
+      {"runs", WireValue::of(std::int64_t{-1})},
+      {"estimator", WireValue::of("quantum")},
+      {"queue_capacity", WireValue::of(std::int64_t{-5})},
+  };
+  for (const auto& c : cases) {
+    WireObject header = valid_header();
+    header.set(c.field, c.value);
+    ServiceConfig config;
+    try {
+      config = config_from_trace(trace_with(std::move(header)));
+    } catch (const std::exception&) {
+      continue;  // rejected at parse time: also fine
+    }
+    EXPECT_THROW(ShardedService service(config), std::exception)
+        << "field " << c.field;
+  }
+}
+
+TEST(ConfigFromTrace, MalformedFaultSpecThrows) {
+  WireObject header = valid_header();
+  header.set("faults", WireValue::of("no-show=purple"));
+  EXPECT_THROW(config_from_trace(trace_with(std::move(header))),
+               std::exception);
+}
+
+TEST(TraceParsing, RejectsBadHeaderMagicAndVersion) {
+  {
+    std::istringstream in("{\"magic\":\"MLDYXXX\",\"version\":1}\n");
+    EXPECT_THROW(parse_trace(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("{\"magic\":\"MLDYTRC\",\"version\":99}\n");
+    EXPECT_THROW(parse_trace(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW(parse_trace(in), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------- MLDYSVCK / MLDYMIGR --
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.scenario.num_workers = 10;
+  config.scenario.num_tasks = 6;
+  config.scenario.runs = 8;
+  config.scenario.budget = 30.0;
+  config.seed = 2017;
+  config.manual_clock = true;
+  return config;
+}
+
+/// A service with one executed run, so the serialized state is non-trivial.
+std::unique_ptr<AuctionService> warm_service() {
+  auto service = std::make_unique<AuctionService>(small_config());
+  for (int w = 0; w < 10; ++w) {
+    Request r;
+    r.op = Op::kSubmitBid;
+    r.id = w + 1;
+    r.worker = "w" + std::to_string(w);
+    const Response response = service->apply(r);
+    EXPECT_TRUE(response.ok) << response.error;
+  }
+  return service;
+}
+
+TEST(CheckpointFormat, RejectsBadMagicVersionAndTruncation) {
+  auto service = warm_service();
+  std::ostringstream out;
+  service->save_state(out);
+  const std::string bytes = out.str();
+  ASSERT_GT(bytes.size(), 16u);
+
+  {
+    std::string corrupt = bytes;
+    corrupt[0] = 'X';  // magic
+    std::istringstream in(corrupt);
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_state(in), std::runtime_error);
+  }
+  {
+    std::string corrupt = bytes;
+    corrupt[8] = 99;  // version u32 little-endian low byte
+    std::istringstream in(corrupt);
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_state(in), std::runtime_error);
+  }
+  // Truncation at a sweep of prefixes must throw, never half-load.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, bytes.size() / 4,
+        bytes.size() / 2, bytes.size() - 1}) {
+    std::istringstream in(bytes.substr(0, keep));
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_state(in), std::runtime_error)
+        << "prefix " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(MigrationFormat, RoundTripsAndRejectsCorruption) {
+  auto service = warm_service();
+  std::ostringstream out;
+  service->save_migration(out);
+  const std::string bytes = out.str();
+  ASSERT_GT(bytes.size(), 16u);
+
+  {
+    std::istringstream in(bytes);
+    AuctionService twin(small_config());
+    twin.load_migration(in);
+    // The envelope carries the session tail a checkpoint drops.
+    EXPECT_EQ(twin.records().size(), service->records().size());
+  }
+  {
+    std::string corrupt = bytes;
+    corrupt[0] = 'X';
+    std::istringstream in(corrupt);
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_migration(in), std::runtime_error);
+  }
+  {
+    std::string corrupt = bytes;
+    corrupt[8] = 42;  // version
+    std::istringstream in(corrupt);
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_migration(in), std::runtime_error);
+  }
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{10}, bytes.size() / 3, bytes.size() - 2}) {
+    std::istringstream in(bytes.substr(0, keep));
+    AuctionService victim(small_config());
+    EXPECT_THROW(victim.load_migration(in), std::runtime_error)
+        << "prefix " << keep << " of " << bytes.size();
+  }
+}
+
+// ------------------------------------------------- resume checkpoint --
+
+TEST(ResumeCheckpoint, MissingFileIsAStructuredError) {
+  const std::string path = "definitely_missing_dir/nope.ckpt";
+  try {
+    require_resume_checkpoint(path);
+    FAIL() << "expected CheckpointMissingError";
+  } catch (const CheckpointMissingError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos)
+        << "the message must carry the fix hint";
+  }
+}
+
+TEST(ResumeCheckpoint, TraceHeaderPinsTheResumePath) {
+  WireObject header = valid_header();
+  EXPECT_EQ(resume_path_from_trace(trace_with(header)), "");
+  header.set("resume", WireValue::of("state/svc.ckpt"));
+  EXPECT_EQ(resume_path_from_trace(trace_with(std::move(header))),
+            "state/svc.ckpt");
+}
+
+// ------------------------------------------------------- build info --
+
+TEST(BuildInfo, PinsEveryFormatVersion) {
+  const util::FormatVersions v = util::format_versions();
+  EXPECT_EQ(v.proto, kProtoVersion);
+  EXPECT_EQ(v.service_checkpoint, 3);
+  EXPECT_EQ(v.composed_checkpoint, 2);
+  EXPECT_EQ(v.trace, 1);
+  EXPECT_EQ(v.migration, 1);
+
+  const std::string line = util::build_info_line("melody_test");
+  EXPECT_EQ(line.find("melody_test "), 0u);
+  for (const char* tag : {"proto=", "checkpoint=", "composed=", "trace=",
+                          "migration="}) {
+    EXPECT_NE(line.find(tag), std::string::npos) << tag;
+  }
+  EXPECT_FALSE(util::build_git_sha().empty());
+}
+
+}  // namespace
+}  // namespace melody::svc

@@ -25,6 +25,7 @@
 #include "auction/melody_auction.h"
 #include "obs/metrics.h"
 #include "util/csv.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -39,6 +40,7 @@ struct Options {
   auction::AuctionConfig config;
   std::int64_t dual_target = -1;
   bool with_metrics = false;
+  bool version = false;
 };
 
 // All getter calls live here so the --help text is generated from the same
@@ -69,6 +71,8 @@ Options read_options(const util::Flags& flags) {
       "metrics", false, "",
       "print observability summaries (phase timers in ms, counters) "
       "collected during the replay");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
   return o;
 }
 
@@ -204,6 +208,10 @@ int main(int argc, char** argv) {
     util::Flags flags(argc, argv);
     const Options options = read_options(flags);
     if (flags.has("help")) return usage(nullptr);
+    if (options.version) {
+      std::printf("%s\n", util::build_info_line("melody_audit").c_str());
+      return 0;
+    }
     const std::string& workers_path = options.workers_path;
     const std::string& tasks_path = options.tasks_path;
     if (workers_path.empty() || tasks_path.empty()) {

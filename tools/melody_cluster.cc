@@ -1,0 +1,385 @@
+// melody_cluster — the cluster coordinator process (melody::cluster).
+//
+// Launches (or adopts, with --no-spawn) K melody_serve members, each
+// serving a contiguous slice of the global platform shards, and serves the
+// line-JSON control protocol (cluster/coordinator.h) beside the members'
+// data protocol: join/heartbeat from members, status/route_table for
+// clients, and the operator verbs — migrate one shard live between
+// processes, drain a member, publish recovery snapshots. All member state
+// moves over the regular v5 data ops (shard_export / shard_import), so the
+// coordinator itself holds nothing but the routing table.
+//
+// Scenario/seed flags mirror melody_serve (the shared
+// svc::ServiceConfig::from_flags set): the coordinator validates the
+// deployment shape once and re-serializes the canonical flags into the
+// spawn argv, so every member runs the identical global config and the
+// chaos harness can respawn a killed member from the spawn_args op alone.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/net.h"
+#include "svc/config.h"
+#include "svc/wire.h"
+#include "util/build_info.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace melody;
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  svc::ServiceConfig service;
+  std::string publish_dir = ".";
+  std::string serve_bin;
+  std::int64_t ctl_port = 7200;
+  std::int64_t members = 2;
+  std::int64_t heartbeat_ms = 1000;
+  bool no_spawn = false;
+  bool quiet = false;
+  bool version = false;
+};
+
+Options read_options(const util::Flags& flags) {
+  Options o;
+  o.service = svc::ServiceConfig::from_flags(flags);
+  o.ctl_port = flags.get_int("ctl-port", 7200, "PORT",
+                             "control-protocol TCP port");
+  o.members = flags.get_int("members", 2, "M",
+                            "cluster members to spawn (and expect)");
+  o.publish_dir = flags.get_string(
+      "publish-dir", ".", "DIR",
+      "directory for published snapshots and migration envelopes");
+  o.serve_bin = flags.get_string(
+      "serve-bin", "", "PATH",
+      "melody_serve binary to spawn (default: beside this binary)");
+  o.heartbeat_ms = flags.get_int("heartbeat-ms", 1000, "MS",
+                                 "member heartbeat cadence (0 disables)");
+  o.no_spawn = flags.has_switch(
+      "no-spawn", "adopt externally started members instead of spawning "
+                  "(members join with their own --cluster-shards)");
+  o.quiet = flags.has_switch("quiet", "suppress the startup/status lines");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
+  return o;
+}
+
+int usage(const char* error) {
+  util::Flags dummy;
+  read_options(dummy);
+  std::fputs(dummy.help("melody_cluster",
+                        "Cluster coordinator: spawns melody_serve members, "
+                        "serves the control protocol (join/status/"
+                        "route_table/migrate/drain/publish), and drives "
+                        "live shard migration.")
+                 .c_str(),
+             stderr);
+  if (error != nullptr) std::fprintf(stderr, "\nerror: %s\n", error);
+  return error != nullptr ? 1 : 0;
+}
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+/// The canonical argv (binary first) every member is spawned with; member
+/// identity (--cluster-member / --cluster-shards) is appended per spawn.
+std::vector<std::string> member_spawn_args(const Options& o) {
+  const svc::ServiceConfig& c = o.service;
+  std::vector<std::string> args;
+  args.push_back(o.serve_bin);
+  const auto flag = [&args](const char* name, const std::string& value) {
+    args.push_back(name);
+    args.push_back(value);
+  };
+  flag("--workers", std::to_string(c.scenario.num_workers));
+  flag("--tasks", std::to_string(c.scenario.num_tasks));
+  flag("--runs", std::to_string(c.scenario.runs));
+  flag("--budget", format_double(c.scenario.budget));
+  flag("--reestimation-period",
+       std::to_string(c.scenario.reestimation_period));
+  flag("--estimator", c.estimator);
+  flag("--exploration-beta", format_double(c.exploration_beta));
+  flag("--payment-rule",
+       c.payment_rule == auction::PaymentRule::kPaperNextInQueue ? "paper"
+                                                                 : "critical");
+  flag("--seed", std::to_string(c.seed));
+  if (c.faults.active()) flag("--faults", c.faults.describe());
+  if (c.incremental && !c.batch.per_task_arrival) {
+    args.push_back("--incremental");
+  }
+  if (c.batch.min_bids > 0) {
+    flag("--batch-min-bids", std::to_string(c.batch.min_bids));
+  }
+  if (c.batch.max_delay > 0.0) {
+    flag("--batch-max-delay", format_double(c.batch.max_delay));
+  }
+  if (c.batch.budget_target > 0.0) {
+    flag("--batch-budget", format_double(c.batch.budget_target));
+  }
+  if (c.batch.per_task_arrival) args.push_back("--rolling");
+  if (c.manual_clock) args.push_back("--manual-clock");
+  flag("--shards", std::to_string(c.shards));
+  flag("--queue-capacity", std::to_string(c.queue_capacity));
+  flag("--port", "0");  // ephemeral; the member reports its port on join
+  flag("--heartbeat-ms", std::to_string(o.heartbeat_ms));
+  flag("--cluster-ctl", "127.0.0.1:" + std::to_string(o.ctl_port));
+  args.push_back("--quiet");
+  return args;
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  std::fprintf(stderr, "melody_cluster: exec %s: %s\n", argv[0],
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+/// Poll-driven control-protocol server: one line in, one reply line out,
+/// per connection. Single-threaded — Coordinator::handle serializes
+/// anyway, and control traffic is a trickle next to the data plane.
+class ControlServer {
+ public:
+  ControlServer(cluster::Coordinator& coordinator, int port)
+      : coordinator_(coordinator) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("control: socket failed");
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof enable);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      throw std::runtime_error("control: cannot listen on port " +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    }
+  }
+
+  ~ControlServer() {
+    for (const auto& [fd, buffer] : clients_) ::close(fd);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  /// Serve for up to `timeout_ms`, then return (the caller interleaves
+  /// child reaping and the stop checks).
+  void serve_once(int timeout_ms) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buffer] : clients_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) return;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) clients_.emplace(fd, std::string());
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      handle_readable(fds[i].fd);
+    }
+  }
+
+ private:
+  void handle_readable(int fd) {
+    const auto it = clients_.find(fd);
+    if (it == clients_.end()) return;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      ::close(fd);
+      clients_.erase(it);
+      return;
+    }
+    it->second.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = it->second.find('\n')) != std::string::npos) {
+      const std::string line = it->second.substr(0, newline);
+      it->second.erase(0, newline + 1);
+      std::string reply_line;
+      try {
+        reply_line =
+            svc::format_wire(coordinator_.handle(svc::parse_wire(line)));
+      } catch (const std::exception& e) {
+        svc::WireObject reply;
+        reply.set("ok", svc::WireValue::of(false));
+        reply.set("error", svc::WireValue::of(std::string(e.what())));
+        reply_line = svc::format_wire(reply);
+      }
+      reply_line += "\n";
+      std::size_t sent = 0;
+      while (sent < reply_line.size()) {
+        const ssize_t w = ::send(fd, reply_line.data() + sent,
+                                 reply_line.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+  }
+
+  cluster::Coordinator& coordinator_;
+  int listen_fd_ = -1;
+  std::map<int, std::string> clients_;  // fd -> partial-line buffer
+};
+
+std::string shard_csv(int lo, int hi) {
+  std::string csv;
+  for (int s = lo; s < hi; ++s) {
+    if (!csv.empty()) csv += ",";
+    csv += std::to_string(s);
+  }
+  return csv.empty() ? "none" : csv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<util::Flags> flags;
+  try {
+    flags = std::make_unique<util::Flags>(argc, argv);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  Options options;
+  try {
+    options = read_options(*flags);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  if (flags->has("help")) return usage(nullptr);
+  if (options.version) {
+    std::puts(util::build_info_line("melody_cluster").c_str());
+    return 0;
+  }
+  if (const auto unknown = flags->unused(); !unknown.empty()) {
+    return usage(("unknown flag --" + unknown.front()).c_str());
+  }
+  if (options.members < 1) return usage("--members must be >= 1");
+  if (options.serve_bin.empty()) {
+    const std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    options.serve_bin = (slash == std::string::npos
+                             ? std::string(".")
+                             : self.substr(0, slash)) +
+                        "/melody_serve";
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    cluster::CoordinatorOptions coordinator_options;
+    coordinator_options.shards = options.service.shards;
+    coordinator_options.workers = options.service.scenario.num_workers;
+    coordinator_options.expected_members =
+        static_cast<int>(options.members);
+    coordinator_options.publish_dir = options.publish_dir;
+    coordinator_options.spawn_args = member_spawn_args(options);
+
+    cluster::MemberPool pool;
+    cluster::Coordinator coordinator(
+        coordinator_options,
+        [&pool](const cluster::ClusterMember& member,
+                const svc::Request& request, svc::Response* out) {
+          return pool.call(member, request, out);
+        });
+    ControlServer control(coordinator,
+                          static_cast<int>(options.ctl_port));
+
+    std::vector<pid_t> children;
+    if (!options.no_spawn) {
+      const int k = options.service.shards;
+      const int m = static_cast<int>(options.members);
+      for (int i = 0; i < m; ++i) {
+        // Contiguous shard slices, first K%M members take one extra.
+        const int lo = i * (k / m) + std::min(i, k % m);
+        const int hi = (i + 1) * (k / m) + std::min(i + 1, k % m);
+        std::vector<std::string> args = coordinator_options.spawn_args;
+        args.push_back("--cluster-member");
+        args.push_back("m" + std::to_string(i));
+        args.push_back("--cluster-shards");
+        args.push_back(shard_csv(lo, hi));
+        const pid_t pid = spawn(args);
+        if (pid < 0) throw std::runtime_error("fork failed");
+        children.push_back(pid);
+      }
+    }
+    if (!options.quiet) {
+      std::printf(
+          "melody_cluster: control on 127.0.0.1:%d, %d member(s) %s, "
+          "%d shard(s), publish dir %s\n",
+          static_cast<int>(options.ctl_port),
+          static_cast<int>(options.members),
+          options.no_spawn ? "expected" : "spawned", options.service.shards,
+          options.publish_dir.c_str());
+      std::fflush(stdout);
+    }
+
+    bool announced_ready = false;
+    while (g_stop == 0 && !coordinator.shutdown_requested()) {
+      control.serve_once(200);
+      if (!announced_ready && coordinator.ready()) {
+        announced_ready = true;
+        if (!options.quiet) {
+          std::printf("melody_cluster: ready (%zu members joined)\n",
+                      coordinator.table().members.size());
+          std::fflush(stdout);
+        }
+      }
+      // Reap members that exited (expected under the chaos harness; the
+      // respawn re-joins and re-imports from the published envelopes).
+      int status = 0;
+      while (::waitpid(-1, &status, WNOHANG) > 0) {
+      }
+    }
+    if (!coordinator.shutdown_requested()) {
+      // SIGINT path: forward the shutdown so members drain cleanly.
+      svc::WireObject cmd;
+      cmd.set("cmd", svc::WireValue::of("shutdown"));
+      coordinator.handle(cmd);
+    }
+    for (const pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (!options.quiet) {
+      std::fprintf(stderr, "melody_cluster: stopped (epoch %lld)\n",
+                   static_cast<long long>(coordinator.table().epoch));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "melody_cluster: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

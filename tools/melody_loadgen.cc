@@ -39,10 +39,13 @@
 #include <unistd.h>
 
 #include "bench_common.h"
+#include "cluster/client_router.h"
+#include "cluster/net.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "svc/loadgen.h"
 #include "svc/protocol.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 
 namespace {
@@ -65,8 +68,10 @@ struct Options {
   std::string ops;
   std::string csv;
   std::string metrics_json;
+  std::string cluster;
   bool dry_run = false;
   bool quiet = false;
+  bool version = false;
 };
 
 Options read_options(const util::Flags& flags) {
@@ -105,10 +110,17 @@ Options read_options(const util::Flags& flags) {
       "metrics-json", "", "PATH",
       "record per-op latency summaries (loadgen/<op>_latency_ms) and write "
       "the metric registry to PATH as JSON lines at exit");
+  o.cluster = flags.get_string(
+      "cluster", "", "HOST:PORT",
+      "melody_cluster control endpoint: fetch the routing table and route "
+      "each request to the member owning its shard (closed mode; "
+      "--host/--port are ignored)");
   o.dry_run = flags.has_switch(
       "dry-run", "print request lines to stdout instead of connecting "
                  "(pipe into melody_serve --stdin)");
   o.quiet = flags.has_switch("quiet", "suppress the per-client progress");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
   return o;
 }
 
@@ -403,6 +415,80 @@ ClientResult run_open_client(const Options& options, int client) {
   return result;
 }
 
+/// Split --cluster's "HOST:PORT". False on a malformed endpoint.
+bool parse_endpoint(const std::string& spec, std::string* host, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = spec.substr(0, colon);
+  try {
+    *port = std::stoi(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return *port >= 1 && *port <= 65535;
+}
+
+/// Closed-loop client routed through the cluster: fetch the routing table
+/// from the coordinator, then send each request to the member owning its
+/// shard (broadcasts fan out and re-merge). A not_owner rejection mid-run
+/// (a live migration) refreshes the table and retries inside call(), so
+/// the stream sees the same responses a single-process deployment gives.
+ClientResult run_cluster_client(const Options& options, int client) {
+  ClientResult result;
+  std::string ctl_host;
+  int ctl_port = 0;
+  parse_endpoint(options.cluster, &ctl_host, &ctl_port);  // validated in main
+  auto control_conn = std::make_shared<cluster::LineClient>();
+  auto pool = std::make_shared<cluster::MemberPool>();
+  cluster::ClusterClient router(
+      [pool](const cluster::ClusterMember& member,
+             const svc::Request& request, svc::Response* out) {
+        return pool->call(member, request, out);
+      },
+      [control_conn, ctl_host, ctl_port](const svc::WireObject& command,
+                                         svc::WireObject* reply) {
+        if (!control_conn->connected() &&
+            !control_conn->connect(ctl_host, ctl_port)) {
+          return false;
+        }
+        std::string line;
+        if (!control_conn->exchange(svc::format_wire(command), &line)) {
+          return false;
+        }
+        *reply = svc::parse_wire(line);
+        return true;
+      });
+  if (!router.refresh_table()) {
+    result.errors = static_cast<std::size_t>(options.requests);
+    if (!options.quiet) {
+      std::fprintf(stderr, "melody_loadgen: client %d: %s\n", client,
+                   router.last_error().c_str());
+    }
+    return result;
+  }
+  for (int k = 0; k < options.requests; ++k) {
+    const svc::Request request = make_request(options, client, k);
+    svc::Response response;
+    const auto start = Clock::now();
+    if (!router.call(request, &response)) {
+      ++result.errors;
+      continue;
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    result.latencies_ms.push_back(latency_ms);
+    record_op_latency(request.op, latency_ms);
+    ++result.sent;
+    tally_response(svc::format_response(response), result);
+    if (options.think_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.think_ms));
+    }
+  }
+  return result;
+}
+
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -428,11 +514,29 @@ int main(int argc, char** argv) {
     return usage(e.what());
   }
   if (flags->has("help")) return usage(nullptr);
+  if (options.version) {
+    std::printf("%s\n", util::build_info_line("melody_loadgen").c_str());
+    return 0;
+  }
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
   if (options.mode != "closed" && options.mode != "open") {
     return usage("--mode must be closed or open");
+  }
+  if (!options.cluster.empty()) {
+    std::string ctl_host;
+    int ctl_port = 0;
+    if (!parse_endpoint(options.cluster, &ctl_host, &ctl_port)) {
+      return usage("--cluster must be HOST:PORT");
+    }
+    if (options.mode != "closed") {
+      return usage("--cluster requires --mode closed (open-loop in-order "
+                   "matching does not survive broadcast fan-out)");
+    }
+    if (options.dry_run) {
+      return usage("--cluster and --dry-run are mutually exclusive");
+    }
   }
   if (options.clients < 1 || options.requests < 1 || options.workers < 1) {
     return usage("--clients/--requests/--workers must be positive");
@@ -493,8 +597,9 @@ int main(int argc, char** argv) {
   for (int c = 0; c < options.clients; ++c) {
     threads.emplace_back([&options, &results, c] {
       results[static_cast<std::size_t>(c)] =
-          options.mode == "closed" ? run_closed_client(options, c)
-                                   : run_open_client(options, c);
+          !options.cluster.empty() ? run_cluster_client(options, c)
+          : options.mode == "closed" ? run_closed_client(options, c)
+                                     : run_open_client(options, c);
     });
   }
   for (std::thread& t : threads) t.join();
@@ -537,12 +642,20 @@ int main(int argc, char** argv) {
   const double max =
       total.latencies_ms.empty() ? 0.0 : total.latencies_ms.back();
 
-  std::printf(
-      "melody_loadgen: %s loop, %lld clients x %lld requests against "
-      "%s:%d\n",
-      options.mode.c_str(), static_cast<long long>(options.clients),
-      static_cast<long long>(options.requests), options.host.c_str(),
-      static_cast<int>(options.port));
+  if (!options.cluster.empty()) {
+    std::printf(
+        "melody_loadgen: %s loop, %lld clients x %lld requests via cluster "
+        "%s\n",
+        options.mode.c_str(), static_cast<long long>(options.clients),
+        static_cast<long long>(options.requests), options.cluster.c_str());
+  } else {
+    std::printf(
+        "melody_loadgen: %s loop, %lld clients x %lld requests against "
+        "%s:%d\n",
+        options.mode.c_str(), static_cast<long long>(options.clients),
+        static_cast<long long>(options.requests), options.host.c_str(),
+        static_cast<int>(options.port));
+  }
   std::printf("  sent %zu  ok %zu  rejected %zu  retried %zu  errors %zu\n",
               total.sent, total.ok, total.rejected, total.retried,
               total.errors);

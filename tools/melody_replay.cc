@@ -26,6 +26,7 @@
 
 #include "svc/replay.h"
 #include "svc/router.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -40,6 +41,7 @@ struct Options {
   std::int64_t threads = 1;
   std::int64_t max_diffs = 16;
   bool quiet = false;
+  bool version = false;
 };
 
 Options read_options(const util::Flags& flags) {
@@ -48,7 +50,8 @@ Options read_options(const util::Flags& flags) {
       flags.get_string("trace", "", "PATH", "MLDYTRC trace file to replay");
   o.resume_path = flags.get_string(
       "resume", "", "PATH",
-      "restore this service checkpoint before replaying (kill/resume traces)");
+      "restore this service checkpoint before replaying (default: the "
+      "trace header's recorded resume path, if any)");
   o.mask = flags.get_string(
       "mask", "", "P1,P2",
       "extra volatile-field mask patterns (exact key, 'prefix*' or "
@@ -60,6 +63,8 @@ Options read_options(const util::Flags& flags) {
   o.max_diffs =
       flags.get_int("max-diffs", 16, "N", "stop after N diffs (0: collect all)");
   o.quiet = flags.has_switch("quiet", "suppress the summary line");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
   return o;
 }
 
@@ -91,6 +96,10 @@ int main(int argc, char** argv) {
     return usage(e.what());
   }
   if (flags->has("help")) return usage(nullptr);
+  if (options.version) {
+    std::printf("%s\n", util::build_info_line("melody_replay").c_str());
+    return 0;
+  }
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
@@ -106,8 +115,16 @@ int main(int argc, char** argv) {
                    "melody_replay: warning: trace was recorded without "
                    "--manual-clock; batch timing may diverge\n");
     }
+    // A trace recorded by a resumed session pins its checkpoint in the
+    // header; replaying it fresh would diverge on frame one, so the
+    // recorded path is the default and a missing file is a structured
+    // error naming the path, not an open failure deep in restore().
+    std::string resume = options.resume_path.empty()
+                             ? svc::resume_path_from_trace(trace)
+                             : options.resume_path;
+    if (!resume.empty()) svc::require_resume_checkpoint(resume);
     svc::ShardedService service(std::move(config));
-    if (!options.resume_path.empty()) service.restore(options.resume_path);
+    if (!resume.empty()) service.restore(resume);
 
     svc::ReplayOptions replay_options;
     replay_options.max_diffs = static_cast<std::size_t>(options.max_diffs);

@@ -22,18 +22,34 @@
 // --incremental — bids persist across runs and can be revised with the v3
 // update_bid / withdraw_bid ops; allocation stays bit-identical to a full
 // re-sort).
+//
+// Cluster membership (--cluster-member): the process keeps the full
+// global-K deployment config but only *activates* the shards named by
+// --cluster-shards; frames for inactive shards answer a structured
+// not_owner rejection, and the coordinator (melody_cluster) moves shards
+// between members live with the v5 shard_export / shard_import ops. With
+// --cluster-ctl the member announces itself to the coordinator after
+// binding (reporting the actual port, so --port 0 works) and heartbeats
+// until shutdown.
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "cluster/net.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "svc/config.h"
 #include "svc/event_loop.h"
 #include "svc/router.h"
 #include "svc/trace_log.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -49,11 +65,17 @@ struct Options {
   std::string resume_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string cluster_member;
+  std::string cluster_shards = "all";
+  std::string cluster_ctl;
+  std::int64_t heartbeat_ms = 1000;
+  std::int64_t epoch = 1;
   std::int64_t port = 7117;
   std::int64_t threads = 1;
   bool stdin_mode = false;
   bool trace = false;
   bool quiet = false;
+  bool version = false;
 };
 
 Options read_options(const util::Flags& flags) {
@@ -77,8 +99,58 @@ Options read_options(const util::Flags& flags) {
                             "hardware threads)");
   o.stdin_mode = flags.has_switch(
       "stdin", "serve one session over stdin/stdout instead of TCP");
+  o.cluster_member = flags.get_string(
+      "cluster-member", "", "NAME",
+      "join a cluster as member NAME (activates cluster routing: frames "
+      "for shards this process does not own answer not_owner)");
+  o.cluster_shards = flags.get_string(
+      "cluster-shards", "all", "SPEC",
+      "global shards this member serves: \"all\", \"none\" (respawn — the "
+      "coordinator re-imports), or a comma list like \"0,3,5\"");
+  o.cluster_ctl = flags.get_string(
+      "cluster-ctl", "", "HOST:PORT",
+      "coordinator control endpoint to join and heartbeat against");
+  o.heartbeat_ms = flags.get_int(
+      "heartbeat-ms", 1000, "MS",
+      "coordinator heartbeat cadence (0 disables)");
+  o.epoch = flags.get_int("epoch", 1, "E", "initial routing epoch");
   o.quiet = flags.has_switch("quiet", "suppress the startup/summary lines");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
   return o;
+}
+
+/// "all" / "none" / "0,3,5" -> activity mask over the K global shards.
+/// Throws std::invalid_argument on a malformed spec.
+std::uint64_t parse_shard_spec(const std::string& spec, const int shards,
+                               std::vector<int>* active) {
+  if (spec == "all") {
+    for (int s = 0; s < shards; ++s) active->push_back(s);
+    return shards >= 64 ? ~0ull : (1ull << shards) - 1;
+  }
+  if (spec == "none") return 0;
+  std::uint64_t mask = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    std::size_t used = 0;
+    int s = -1;
+    try {
+      s = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != token.size() || s < 0 || s >= shards) {
+      throw std::invalid_argument("--cluster-shards: bad shard \"" + token +
+                                  "\"");
+    }
+    mask |= 1ull << static_cast<unsigned>(s);
+    active->push_back(s);
+    pos = end + 1;
+  }
+  return mask;
 }
 
 int usage(const char* error) {
@@ -118,11 +190,15 @@ int main(int argc, char** argv) {
     return usage(e.what());
   }
   if (flags->has("help")) return usage(nullptr);
+  if (options.version) {
+    std::puts(util::build_info_line("melody_serve").c_str());
+    return 0;
+  }
   if (const auto unknown = flags->unused(); !unknown.empty()) {
     return usage(("unknown flag --" + unknown.front()).c_str());
   }
-  if (options.port < 1 || options.port > 65535) {
-    return usage("--port must be in [1, 65535]");
+  if (options.port < 0 || options.port > 65535) {
+    return usage("--port must be in [0, 65535] (0: ephemeral)");
   }
 
   util::set_shared_thread_count(static_cast<int>(options.threads));
@@ -144,9 +220,17 @@ int main(int argc, char** argv) {
     svc::ShardedService service(std::move(options.service));
     if (!options.resume_path.empty()) service.restore(options.resume_path);
 
+    std::vector<int> active_shards;
+    if (!options.cluster_member.empty()) {
+      const std::uint64_t mask = parse_shard_spec(
+          options.cluster_shards, service.shard_count(), &active_shards);
+      service.configure_cluster(mask, options.epoch);
+    }
+
     std::unique_ptr<svc::TraceRecorder> recorder;
     if (!options.trace_path.empty()) {
       recorder = std::make_unique<svc::TraceRecorder>(options.trace_path);
+      recorder->set_resume_path(options.resume_path);
     }
 
     std::signal(SIGINT, on_signal);
@@ -188,7 +272,79 @@ int main(int argc, char** argv) {
             static_cast<long long>(service.config().queue_capacity));
         std::fflush(stdout);
       }
+      // Cluster agent: join the coordinator (retrying while it comes up),
+      // then heartbeat. Runs beside front.run() — a respawn join makes the
+      // coordinator send shard_import RPCs back to this very process, so
+      // the data plane must already be serving when the join lands.
+      std::atomic<bool> agent_stop{false};
+      std::thread agent;
+      if (!options.cluster_member.empty() && !options.cluster_ctl.empty()) {
+        const auto colon = options.cluster_ctl.rfind(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("--cluster-ctl must be HOST:PORT");
+        }
+        const std::string ctl_host = options.cluster_ctl.substr(0, colon);
+        const int ctl_port =
+            std::stoi(options.cluster_ctl.substr(colon + 1));
+        svc::WireObject join;
+        join.set("cmd", svc::WireValue::of("join"));
+        join.set("member", svc::WireValue::of(options.cluster_member));
+        join.set("host", svc::WireValue::of("127.0.0.1"));
+        join.set("port", svc::WireValue::of(
+                             static_cast<std::int64_t>(front.actual_port())));
+        join.set("pid", svc::WireValue::of(
+                            static_cast<std::int64_t>(::getpid())));
+        join.set("shards",
+                 svc::WireValue::of(std::vector<double>(
+                     active_shards.begin(), active_shards.end())));
+        agent = std::thread([&agent_stop, ctl_host, ctl_port,
+                             join_line = svc::format_wire(join),
+                             member = options.cluster_member,
+                             beat_ms = options.heartbeat_ms] {
+          const auto idle = [&agent_stop](std::int64_t ms) {
+            for (std::int64_t waited = 0;
+                 waited < ms && !agent_stop.load(std::memory_order_relaxed);
+                 waited += 50) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            }
+          };
+          cluster::LineClient ctl;
+          bool joined = false;
+          while (!joined && !agent_stop.load(std::memory_order_relaxed)) {
+            std::string reply_line;
+            if (ctl.connect(ctl_host, ctl_port) &&
+                ctl.exchange(join_line, &reply_line)) {
+              try {
+                const svc::WireObject reply = svc::parse_wire(reply_line);
+                if (reply.boolean_or("ok", false)) {
+                  joined = true;
+                  break;
+                }
+                std::fprintf(stderr, "melody_serve: cluster join: %s\n",
+                             reply.text_or("error", "rejected").c_str());
+              } catch (const std::exception& e) {
+                std::fprintf(stderr,
+                             "melody_serve: bad join reply: %s\n", e.what());
+              }
+            }
+            idle(200);
+          }
+          if (beat_ms <= 0) return;
+          svc::WireObject beat;
+          beat.set("cmd", svc::WireValue::of("heartbeat"));
+          beat.set("member", svc::WireValue::of(member));
+          const std::string beat_line = svc::format_wire(beat);
+          while (!agent_stop.load(std::memory_order_relaxed)) {
+            std::string reply_line;
+            if (!ctl.connected()) ctl.connect(ctl_host, ctl_port);
+            if (ctl.connected()) ctl.exchange(beat_line, &reply_line);
+            idle(beat_ms);
+          }
+        });
+      }
       const svc::EventLoopStats stats = front.run();
+      agent_stop.store(true, std::memory_order_relaxed);
+      if (agent.joinable()) agent.join();
       service.finalize();
       if (recorder != nullptr) recorder->finish();
       if (!options.quiet) {

@@ -37,6 +37,7 @@
 #include "svc/config.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/build_info.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -54,6 +55,7 @@ struct Options {
   std::string resume_path;
   int threads = 1;
   bool quiet = false;
+  bool version = false;
 };
 
 // All getter calls live here so the --help text is generated from the same
@@ -76,6 +78,8 @@ Options read_options(const util::Flags& flags) {
       "resume from a snapshot written with the same scenario flags; "
       "bit-identical to a run that never stopped");
   o.quiet = flags.get_bool("quiet", false, "", "suppress the run table");
+  o.version = flags.has_switch(
+      "version", "print the build sha and format versions, then exit");
   return o;
 }
 
@@ -107,6 +111,10 @@ int main(int argc, char** argv) {
     return usage(e.what());
   }
   if (flags->has("help")) return usage(nullptr);
+  if (options.version) {
+    std::printf("%s\n", util::build_info_line("melody_sim").c_str());
+    return 0;
+  }
 
   const svc::ServiceConfig& config = options.service;
   const sim::LongTermScenario& scenario = config.scenario;
